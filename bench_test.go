@@ -1,0 +1,164 @@
+package mpros
+
+// One benchmark per DESIGN.md experiment (E1–E12) plus system-level
+// benchmarks of the assembled station and fleet. Each experiment benchmark
+// regenerates the corresponding table; run
+//
+//	go test -bench=. -benchmem
+//
+// at the repository root, or use cmd/mprosbench for the printed tables.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/chiller"
+	"repro/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	run, ok := experiments.Registry()[id]
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := run(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkE1DempsterWorkedExample regenerates the §5.3 worked numbers
+// (A 14%, B∨C 64%, unknown 22%).
+func BenchmarkE1DempsterWorkedExample(b *testing.B) { benchExperiment(b, "E1") }
+
+// BenchmarkE2PrognosticFusion regenerates both §5.4 fusion examples.
+func BenchmarkE2PrognosticFusion(b *testing.B) { benchExperiment(b, "E2") }
+
+// BenchmarkE3StictionDetect regenerates the Figure 3 detection table.
+func BenchmarkE3StictionDetect(b *testing.B) { benchExperiment(b, "E3") }
+
+// BenchmarkE4SBFRFootprintAndCycle regenerates the §6.3 footprint/cycle
+// bounds (100 machines < 32 KB, cycle < 4 ms).
+func BenchmarkE4SBFRFootprintAndCycle(b *testing.B) { benchExperiment(b, "E4") }
+
+// BenchmarkE5ExpertAgreement regenerates the §6.1 agreement study.
+func BenchmarkE5ExpertAgreement(b *testing.B) { benchExperiment(b, "E5") }
+
+// BenchmarkE6SeverityMapping regenerates the severity→grade→horizon table.
+func BenchmarkE6SeverityMapping(b *testing.B) { benchExperiment(b, "E6") }
+
+// BenchmarkE7IngestThroughput regenerates the acquisition-path throughput
+// table against the 4×40 kHz hardware requirement.
+func BenchmarkE7IngestThroughput(b *testing.B) { benchExperiment(b, "E7") }
+
+// BenchmarkE8GroupAblation regenerates the logical-groups-vs-naive-DS
+// ablation.
+func BenchmarkE8GroupAblation(b *testing.B) { benchExperiment(b, "E8") }
+
+// BenchmarkE9DSvsBayes regenerates the DS-vs-Bayes accuracy sweep over
+// historical-data availability.
+func BenchmarkE9DSvsBayes(b *testing.B) { benchExperiment(b, "E9") }
+
+// BenchmarkE10Figure2Browser regenerates the Figure 2 browser state.
+func BenchmarkE10Figure2Browser(b *testing.B) { benchExperiment(b, "E10") }
+
+// BenchmarkE11EventLatency regenerates the §4.5 event-model measurement.
+func BenchmarkE11EventLatency(b *testing.B) { benchExperiment(b, "E11") }
+
+// BenchmarkE12HazardRefinement regenerates the §10.1 survival-refinement
+// comparison.
+func BenchmarkE12HazardRefinement(b *testing.B) { benchExperiment(b, "E12") }
+
+// BenchmarkStationDay runs a faulty station through one virtual day of
+// scheduled monitoring (vibration tests + process scans + fusion).
+func BenchmarkStationDay(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		station, err := NewStation(StationConfig{Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := station.InjectFault(chiller.MotorImbalance, 0.7); err != nil {
+			b.Fatal(err)
+		}
+		if err := station.Advance(24 * time.Hour); err != nil {
+			b.Fatal(err)
+		}
+		if err := station.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFleetHour runs a 4-DC fleet through one virtual hour over real
+// TCP connections.
+func BenchmarkFleetHour(b *testing.B) {
+	fleet, err := NewFleet(FleetConfig{DCCount: 4, SeedBase: 500})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fleet.Close()
+	for i, st := range fleet.Stations {
+		if err := st.Plant.SetFault(chiller.Fault(i%chiller.NumFaults), 0.6); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fleet.Advance(time.Hour); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if fleet.PDME.ReceivedReports() == 0 {
+		b.Fatal("no reports crossed the network")
+	}
+	b.ReportMetric(float64(fleet.PDME.ReceivedReports())/float64(b.N), "reports/hour")
+}
+
+// BenchmarkPrioritizedList measures list assembly over a populated PDME.
+func BenchmarkPrioritizedList(b *testing.B) {
+	station, err := NewStation(StationConfig{Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer station.Close()
+	for _, f := range []chiller.Fault{chiller.MotorImbalance, chiller.GearToothWear, chiller.OilWhirl} {
+		if err := station.InjectFault(f, 0.7); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := station.Advance(24 * time.Hour); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if items := station.PrioritizedList(); len(items) == 0 {
+			b.Fatal("empty list")
+		}
+	}
+}
+
+// Example-style smoke check so `go test` exercises the rendered tables.
+func TestRenderAllExperimentTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep is slow")
+	}
+	for _, id := range experiments.IDs() {
+		res, err := experiments.Registry()[id](1)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		out := res.Render()
+		if len(out) == 0 {
+			t.Fatalf("%s: empty render", id)
+		}
+	}
+}

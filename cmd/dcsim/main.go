@@ -1,0 +1,175 @@
+// Command dcsim runs a simulated Data Concentrator: a synthetic centrifugal
+// chiller instrumented by the full DC analyzer suite, reporting over TCP to
+// a pdmed instance. Faults can be seeded at fixed severity or grown along a
+// degradation profile.
+//
+// Usage:
+//
+//	dcsim -pdme 127.0.0.1:7011 -id dc-1 -machine "chiller/1" \
+//	      -fault "motor imbalance=0.7" -hours 48 -speedup 3600
+//
+// With -speedup 0 the simulation runs as fast as possible (virtual time);
+// otherwise one virtual hour takes 3600/speedup wall seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/chiller"
+	"repro/internal/dc"
+	"repro/internal/proto"
+	"repro/internal/relstore"
+)
+
+func main() {
+	pdmeAddr := flag.String("pdme", "127.0.0.1:7011", "PDME report server address")
+	id := flag.String("id", "dc-1", "data concentrator id")
+	machine := flag.String("machine", "chiller/1", "sensed object id")
+	faultFlag := flag.String("fault", "", "seeded faults, e.g. \"motor imbalance=0.7,oil whirl=0.4\"")
+	degradeFlag := flag.String("degrade", "", "degradation profile, e.g. \"motor bearing outer race defect:onset=24,growth=120\" (hours)")
+	hours := flag.Float64("hours", 24, "virtual hours to simulate")
+	speedup := flag.Float64("speedup", 0, "virtual-to-wall speedup (0: as fast as possible)")
+	dbPath := flag.String("db", "", "DC database path (empty: in-memory)")
+	seed := flag.Int64("seed", 1, "plant randomness seed")
+	flag.Parse()
+
+	plantCfg := chiller.DefaultConfig()
+	plantCfg.Seed = *seed
+	plant, err := chiller.New(plantCfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := applyFaults(plant, *faultFlag); err != nil {
+		fatal(err)
+	}
+	var deg *chiller.Degrader
+	if *degradeFlag != "" {
+		deg, err = parseDegradation(plant, *degradeFlag)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	var db *relstore.DB
+	if *dbPath == "" {
+		db = relstore.NewMemory()
+	} else {
+		db, err = relstore.Open(*dbPath)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	defer db.Close()
+	client, err := proto.Dial(*pdmeAddr)
+	if err != nil {
+		fatal(fmt.Errorf("dial PDME: %w", err))
+	}
+	defer client.Close()
+
+	conc, err := dc.New(dc.DefaultConfig(*id, *machine), plant, db, client)
+	if err != nil {
+		fatal(err)
+	}
+	if deg != nil {
+		if err := conc.Scheduler().Schedule(&dc.Task{
+			Name: "degrade", Interval: time.Hour,
+			Run: func(time.Time) error { return deg.Advance(1) },
+		}, 0); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("dcsim %s: monitoring %s, reporting to %s, %g virtual hours\n",
+		*id, *machine, *pdmeAddr, *hours)
+
+	stepHours := 1.0
+	for done := 0.0; done < *hours; done += stepHours {
+		step := stepHours
+		if remaining := *hours - done; remaining < step {
+			step = remaining
+		}
+		if err := conc.RunFor(time.Duration(step * float64(time.Hour))); err != nil {
+			fatal(err)
+		}
+		if *speedup > 0 {
+			time.Sleep(time.Duration(step * float64(time.Hour) / *speedup))
+		}
+		fmt.Printf("  t+%5.1fh  reports sent=%d errors=%d active faults=%v\n",
+			done+step, conc.ReportsSent(), conc.ReportErrors(), faultSummary(plant))
+	}
+}
+
+func applyFaults(plant *chiller.Plant, spec string) error {
+	if spec == "" {
+		return nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return fmt.Errorf("bad fault spec %q (want name=severity)", part)
+		}
+		f, err := chiller.ParseFault(strings.TrimSpace(kv[0]))
+		if err != nil {
+			return err
+		}
+		sev, err := strconv.ParseFloat(strings.TrimSpace(kv[1]), 64)
+		if err != nil {
+			return fmt.Errorf("bad severity in %q: %w", part, err)
+		}
+		if err := plant.SetFault(f, sev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parseDegradation(plant *chiller.Plant, spec string) (*chiller.Degrader, error) {
+	var profiles []chiller.DegradationProfile
+	for _, part := range strings.Split(spec, ";") {
+		fields := strings.SplitN(strings.TrimSpace(part), ":", 2)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("bad degradation spec %q (want fault:onset=H,growth=H)", part)
+		}
+		f, err := chiller.ParseFault(strings.TrimSpace(fields[0]))
+		if err != nil {
+			return nil, err
+		}
+		p := chiller.DegradationProfile{Fault: f, Shape: chiller.Exponential}
+		for _, kv := range strings.Split(fields[1], ",") {
+			pair := strings.SplitN(strings.TrimSpace(kv), "=", 2)
+			if len(pair) != 2 {
+				return nil, fmt.Errorf("bad degradation parameter %q", kv)
+			}
+			v, err := strconv.ParseFloat(pair[1], 64)
+			if err != nil {
+				return nil, err
+			}
+			switch pair[0] {
+			case "onset":
+				p.OnsetHours = v
+			case "growth":
+				p.GrowthHours = v
+			default:
+				return nil, fmt.Errorf("unknown degradation parameter %q", pair[0])
+			}
+		}
+		profiles = append(profiles, p)
+	}
+	return chiller.NewDegrader(plant, profiles)
+}
+
+func faultSummary(plant *chiller.Plant) []string {
+	var out []string
+	for _, f := range plant.ActiveFaults(0.05) {
+		out = append(out, fmt.Sprintf("%s=%.2f", f, plant.FaultSeverity(f)))
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dcsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+// Command mprosbench regenerates every experiment in the DESIGN.md
+// per-experiment index (E1–E12): the paper's worked examples, Figure 3
+// behaviour, footprint/cycle bounds, accuracy claims, and the ablations.
+//
+// Usage:
+//
+//	mprosbench                # run every experiment
+//	mprosbench -exp E1,E4     # run selected experiments
+//	mprosbench -seed 7        # change the workload seed
+//	mprosbench -list          # list experiment ids and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	expFlag := flag.String("exp", "", "comma-separated experiment ids (default: all)")
+	seed := flag.Int64("seed", 1, "workload seed for randomized experiments")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	registry := experiments.Registry()
+	ids := experiments.IDs()
+	if *list {
+		for _, id := range ids {
+			res, err := registry[id](*seed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-4s %s\n", id, res.Title)
+		}
+		return
+	}
+	if *expFlag != "" {
+		var selected []string
+		for _, raw := range strings.Split(*expFlag, ",") {
+			id := strings.ToUpper(strings.TrimSpace(raw))
+			if _, ok := registry[id]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (have %s)\n", raw, strings.Join(ids, ", "))
+				os.Exit(2)
+			}
+			selected = append(selected, id)
+		}
+		ids = selected
+	}
+	failed := false
+	for _, id := range ids {
+		res, err := registry[id](*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
+			failed = true
+			continue
+		}
+		fmt.Println(res.Render())
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

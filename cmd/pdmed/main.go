@@ -1,0 +1,109 @@
+// Command pdmed runs a standalone PDME: it listens for §7 failure
+// prediction reports over TCP, fuses them, and periodically prints the
+// prioritized maintenance list (and optionally persists the ship model).
+//
+// Usage:
+//
+//	pdmed -listen 127.0.0.1:7011 -db /var/lib/mpros/ship.db -status 10s
+//
+// Point one or more dcsim instances (or any §7-speaking client) at the
+// listen address.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/oosm"
+	"repro/internal/pdme"
+	"repro/internal/relstore"
+
+	mpros "repro"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7011", "TCP listen address for DC reports")
+	dbPath := flag.String("db", "", "ship model database path (empty: in-memory)")
+	statusEvery := flag.Duration("status", 15*time.Second, "prioritized-list print interval (0 disables)")
+	flag.Parse()
+
+	var db *relstore.DB
+	var err error
+	if *dbPath == "" {
+		db = relstore.NewMemory()
+	} else {
+		db, err = relstore.Open(*dbPath)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	defer db.Close()
+	model, err := oosm.NewModel(db)
+	if err != nil {
+		fatal(err)
+	}
+	engine, err := pdme.New(model, mpros.ChillerGroups())
+	if err != nil {
+		fatal(err)
+	}
+	defer engine.Close()
+	addr, server, err := engine.Serve(*listen)
+	if err != nil {
+		fatal(err)
+	}
+	defer server.Close()
+	fmt.Printf("pdmed: listening on %s (db=%s)\n", addr, orMemory(*dbPath))
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if *statusEvery > 0 {
+		ticker = time.NewTicker(*statusEvery)
+		tick = ticker.C
+		defer ticker.Stop()
+	}
+	for {
+		select {
+		case <-stop:
+			fmt.Println("\npdmed: shutting down")
+			return
+		case <-tick:
+			printStatus(engine)
+		}
+	}
+}
+
+func printStatus(engine *pdme.PDME) {
+	items := engine.PrioritizedList()
+	fmt.Printf("--- %s | %d reports received | %d open conclusions ---\n",
+		time.Now().Format(time.RFC3339), engine.ReceivedReports(), len(items))
+	for i, it := range items {
+		if i >= 10 {
+			fmt.Printf("  ... %d more\n", len(items)-10)
+			break
+		}
+		line := fmt.Sprintf("  %-28s %-38s Bel=%.3f Pl=%.3f reports=%d",
+			it.Component, it.Condition, it.Belief, it.Plausibility, it.Reports)
+		if it.HasPrognostic {
+			line += fmt.Sprintf("  t(P=0.5)=%.1fd", it.TimeToHalf.Hours()/24)
+		}
+		fmt.Println(line)
+	}
+}
+
+func orMemory(path string) string {
+	if path == "" {
+		return "memory"
+	}
+	return path
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pdmed:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,167 @@
+// Command sbfrc is the SBFR toolchain: it assembles the textual state
+// machine language into the compact bytecode the §6.3 interpreter executes,
+// disassembles compiled systems, and runs a system over CSV sensor input.
+//
+// Usage:
+//
+//	sbfrc asm machines.sbfr -channels current,cpos       # compile + sizes
+//	sbfrc dis machines.sbfr -channels current,cpos       # round-trip listing
+//	sbfrc run machines.sbfr -channels current,cpos < samples.csv
+//	sbfrc ema                                            # print the Figure 3 system
+//
+// CSV input for run: one row per tick, one column per channel; the tool
+// prints machine states, locals, and status transitions as they occur.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/sbfr"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	channels := fs.String("channels", "current,cpos", "comma-separated channel names")
+	switch cmd {
+	case "ema":
+		fmt.Print(sbfr.EMASource)
+		return
+	case "asm", "dis", "run":
+		if err := fs.Parse(os.Args[2:]); err != nil {
+			fatal(err)
+		}
+		args := fs.Args()
+		if len(args) != 1 {
+			usage()
+		}
+		src, err := os.ReadFile(args[0])
+		if err != nil {
+			fatal(err)
+		}
+		chans := splitChannels(*channels)
+		switch cmd {
+		case "asm":
+			doAsm(string(src), chans)
+		case "dis":
+			doDis(string(src), chans)
+		case "run":
+			doRun(string(src), chans)
+		}
+	default:
+		usage()
+	}
+}
+
+func splitChannels(s string) []string {
+	var out []string
+	for _, c := range strings.Split(s, ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func doAsm(src string, channels []string) {
+	progs, err := sbfr.AssembleSystem(src, channels)
+	if err != nil {
+		fatal(err)
+	}
+	total := 0
+	fmt.Printf("%-20s %8s %7s %7s\n", "MACHINE", "BYTES", "STATES", "LOCALS")
+	for _, p := range progs {
+		fmt.Printf("%-20s %8d %7d %7d\n", p.Name, p.Size(), p.NumStates(), p.NumLocals())
+		total += p.Size()
+	}
+	fmt.Printf("%-20s %8d\n", "TOTAL", total)
+}
+
+func doDis(src string, channels []string) {
+	progs, err := sbfr.AssembleSystem(src, channels)
+	if err != nil {
+		fatal(err)
+	}
+	env := sbfr.Env{Channels: map[string]int{}, Machines: map[string]int{}}
+	for i, c := range channels {
+		env.Channels[c] = i
+	}
+	for i, p := range progs {
+		env.Machines[p.Name] = i
+	}
+	for _, p := range progs {
+		text, err := sbfr.Disassemble(p, &env)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(text)
+	}
+}
+
+func doRun(src string, channels []string) {
+	sys, err := sbfr.NewSystemFromSource(src, channels)
+	if err != nil {
+		fatal(err)
+	}
+	names := sys.MachineNames()
+	prevStates := make([]string, len(names))
+	sc := bufio.NewScanner(os.Stdin)
+	tick := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) != len(channels) {
+			fatal(fmt.Errorf("tick %d: %d values for %d channels", tick, len(fields), len(channels)))
+		}
+		in := make([]float64, len(fields))
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				fatal(fmt.Errorf("tick %d: %w", tick, err))
+			}
+			in[i] = v
+		}
+		if err := sys.Cycle(in); err != nil {
+			fatal(err)
+		}
+		for i, name := range names {
+			state, _ := sys.StateOf(name)
+			status, _ := sys.Status(name)
+			if state != prevStates[i] {
+				fmt.Printf("tick %5d  %-14s -> %-16s status=%g\n", tick, name, state, status)
+				prevStates[i] = state
+			}
+		}
+		tick++
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("ran %d ticks, footprint %d bytes\n", tick, sys.FootprintBytes())
+	for _, name := range names {
+		state, _ := sys.StateOf(name)
+		status, _ := sys.Status(name)
+		fmt.Printf("final: %-14s state=%-16s status=%g\n", name, state, status)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: sbfrc {asm|dis|run} [-channels a,b] file.sbfr | sbfrc ema")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sbfrc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,59 @@
+// Quickstart: assemble a single-chiller MPROS station, inject a fault, run
+// two days of virtual monitoring, and read the fused conclusions.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/chiller"
+
+	mpros "repro"
+)
+
+func main() {
+	// A station is a simulated chiller + Data Concentrator + PDME wired
+	// together in-process.
+	station, err := mpros.NewStation(mpros.StationConfig{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer station.Close()
+
+	// Day one: healthy machine.
+	if err := station.Advance(24 * time.Hour); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after a healthy day: %d open conclusions\n", len(station.PrioritizedList()))
+
+	// A bearing defect appears.
+	if err := station.InjectFault(chiller.MotorBearingOuter, 0.65); err != nil {
+		log.Fatal(err)
+	}
+	if err := station.Advance(24 * time.Hour); err != nil {
+		log.Fatal(err)
+	}
+
+	belief, err := station.Belief(chiller.MotorBearingOuter)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fused belief in %q: %.3f\n", chiller.MotorBearingOuter, belief)
+
+	// The prioritized maintenance list (§3.1).
+	for _, item := range station.PrioritizedList() {
+		fmt.Printf("maintenance: %-38s Bel=%.3f", item.Condition, item.Belief)
+		if item.HasPrognostic {
+			fmt.Printf("  50%% failure within %.1f days", item.TimeToHalf.Hours()/24)
+		}
+		fmt.Println()
+	}
+
+	// The Figure 2-style browser view.
+	view, err := station.Browser()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n" + view)
+}

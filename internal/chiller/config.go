@@ -1,0 +1,133 @@
+// Package chiller simulates the paper's target plant: a Navy shipboard
+// centrifugal chilled-water system. §2 motivates the choice: "These A/C
+// systems combine several rotating machinery equipment types (i.e.
+// induction motors, gear transmissions, pumps, and centrifugal compressors)
+// with a fluid power cycle to form a complex system with several different
+// parameters to monitor."
+//
+// The simulator produces exactly what the paper's Data Concentrator
+// acquires: dynamic vibration waveforms at high sample rates per
+// measurement point, and slowly changing process scalars (temperatures and
+// pressures) "treated as scalars rather than vectors". Each of the twelve
+// FMEA-selected failure modes injects its textbook spectral signature into
+// the vibration channels and/or perturbs the thermodynamic state, with a
+// continuous severity in [0,1], so diagnostic accuracy can be measured
+// against known ground truth (substituting for the paper's seeded-fault and
+// destructive testing programme, §9).
+package chiller
+
+import "fmt"
+
+// BearingGeometry gives the characteristic defect frequencies of a rolling
+// element bearing as multiples of shaft speed (orders).
+type BearingGeometry struct {
+	// BPFO is the ball pass frequency, outer race (order).
+	BPFO float64
+	// BPFI is the ball pass frequency, inner race (order).
+	BPFI float64
+	// BSF is the ball spin frequency (order).
+	BSF float64
+	// FTF is the fundamental train (cage) frequency (order).
+	FTF float64
+}
+
+// DefaultBearing returns a geometry typical of a medium deep-groove ball
+// bearing (SKF 6211-class orders).
+func DefaultBearing() BearingGeometry {
+	return BearingGeometry{BPFO: 4.93, BPFI: 7.07, BSF: 2.32, FTF: 0.41}
+}
+
+// Config describes the physical plant.
+type Config struct {
+	// LineFreqHz is the electrical supply frequency.
+	LineFreqHz float64
+	// MotorRPM is the nominal induction motor speed under load (includes
+	// slip; e.g. 1780 RPM for a 4-pole 60 Hz motor).
+	MotorRPM float64
+	// Poles is the motor pole count (used for rotor bar sideband spacing).
+	Poles int
+	// RotorBars is the number of rotor bars.
+	RotorBars int
+	// GearRatio is the speed-increasing ratio into the compressor.
+	GearRatio float64
+	// GearTeeth is the tooth count of the gear on the motor shaft (mesh
+	// frequency = motor shaft speed × GearTeeth).
+	GearTeeth int
+	// ImpellerBlades is the compressor impeller blade count.
+	ImpellerBlades int
+	// MotorBearing and CompBearing give the defect-frequency geometry.
+	MotorBearing BearingGeometry
+	CompBearing  BearingGeometry
+	// SampleRate is the vibration acquisition rate in Hz. The paper's DSP
+	// card samples above 40 kHz; diagnostic frames here default to 16384 Hz
+	// which comfortably covers gear mesh and blade pass.
+	SampleRate float64
+	// NoiseFloor is the broadband vibration noise standard deviation (g).
+	NoiseFloor float64
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// DefaultConfig returns a plant matching a Carrier-class shipboard
+// centrifugal chiller: 4-pole 60 Hz induction motor (~29.7 Hz shaft),
+// speed-increasing gearbox to ~95 Hz impeller speed.
+func DefaultConfig() Config {
+	return Config{
+		LineFreqHz:     60,
+		MotorRPM:       1780,
+		Poles:          4,
+		RotorBars:      45,
+		GearRatio:      3.2,
+		GearTeeth:      67,
+		ImpellerBlades: 17,
+		MotorBearing:   DefaultBearing(),
+		CompBearing:    BearingGeometry{BPFO: 3.58, BPFI: 5.42, BSF: 1.87, FTF: 0.39},
+		SampleRate:     16384,
+		NoiseFloor:     0.015,
+		Seed:           1,
+	}
+}
+
+// Validate checks physical plausibility.
+func (c Config) Validate() error {
+	if c.LineFreqHz <= 0 || c.MotorRPM <= 0 || c.SampleRate <= 0 {
+		return fmt.Errorf("chiller: non-positive frequency in config")
+	}
+	if c.Poles < 2 || c.Poles%2 != 0 {
+		return fmt.Errorf("chiller: pole count %d invalid", c.Poles)
+	}
+	if c.GearRatio <= 0 || c.GearTeeth <= 0 || c.ImpellerBlades <= 0 || c.RotorBars <= 0 {
+		return fmt.Errorf("chiller: non-positive gear/impeller parameters")
+	}
+	syncRPM := 120 * c.LineFreqHz / float64(c.Poles)
+	if c.MotorRPM >= syncRPM {
+		return fmt.Errorf("chiller: motor RPM %g at or above synchronous %g", c.MotorRPM, syncRPM)
+	}
+	// Highest synthesized tone is gear mesh 3rd harmonic; require Nyquist.
+	mesh := c.MotorRPM / 60 * float64(c.GearTeeth)
+	if 3*mesh >= c.SampleRate/2 {
+		return fmt.Errorf("chiller: sample rate %g too low for gear mesh %g", c.SampleRate, mesh)
+	}
+	return nil
+}
+
+// MotorShaftHz returns the motor shaft rotation frequency.
+func (c Config) MotorShaftHz() float64 { return c.MotorRPM / 60 }
+
+// CompShaftHz returns the compressor (impeller) shaft frequency.
+func (c Config) CompShaftHz() float64 { return c.MotorShaftHz() * c.GearRatio }
+
+// GearMeshHz returns the gear mesh frequency.
+func (c Config) GearMeshHz() float64 { return c.MotorShaftHz() * float64(c.GearTeeth) }
+
+// BladePassHz returns the impeller blade pass frequency.
+func (c Config) BladePassHz() float64 { return c.CompShaftHz() * float64(c.ImpellerBlades) }
+
+// SlipHz returns the motor slip frequency (synchronous minus actual).
+func (c Config) SlipHz() float64 {
+	return 120*c.LineFreqHz/float64(c.Poles)/60 - c.MotorShaftHz()
+}
+
+// PolePassHz returns the pole pass frequency (slip × poles) — the sideband
+// spacing of rotor bar faults around line frequency and its harmonics.
+func (c Config) PolePassHz() float64 { return c.SlipHz() * float64(c.Poles) }

@@ -1,0 +1,145 @@
+package chiller
+
+import "fmt"
+
+// Fault enumerates the twelve FMEA-selected candidate failure modes (§3.3:
+// "A failure effects mode analysis (FMEA) was completed and used to select
+// 12 candidate failure modes"). The paper does not list them; this set is
+// reconstructed from the machine conditions it names (motor imbalance,
+// motor rotor bar problem, pump bearing housing looseness, bearing
+// looseness sensitized to load) plus the standard centrifugal chiller FMEA
+// canon covering every §2 equipment type: motor, gears, compressor, and the
+// fluid cycle.
+type Fault int
+
+const (
+	// MotorImbalance: mass imbalance on the motor rotor — elevated 1×
+	// radial vibration at the motor bearings.
+	MotorImbalance Fault = iota
+	// MotorMisalignment: shaft misalignment motor-to-gearbox — elevated 2×
+	// (and axial 1×) components.
+	MotorMisalignment
+	// MotorBearingOuter: outer-race defect — BPFO tone family with
+	// harmonics and impulsive time waveform.
+	MotorBearingOuter
+	// MotorBearingInner: inner-race defect — BPFI family modulated at 1×.
+	MotorBearingInner
+	// MotorRotorBar: broken/cracked rotor bars — pole-pass sidebands around
+	// line frequency and 1×, load dependent.
+	MotorRotorBar
+	// StatorElectrical: stator/phase unbalance — elevated 2× line frequency
+	// vibration that disappears when power is cut.
+	StatorElectrical
+	// GearToothWear: distributed gear tooth wear — elevated gear mesh
+	// harmonics with 1× sidebands.
+	GearToothWear
+	// BearingLooseness: bearing housing looseness — harmonic series of 1×
+	// (up to 10×) with 0.5× subharmonics at higher severity; the paper's
+	// §6.1 example notes this rule must be sensitized to load because "some
+	// compressors vibrate more at certain frequencies when unloaded".
+	BearingLooseness
+	// OilWhirl: journal-bearing oil whirl on the high-speed compressor
+	// shaft — subsynchronous tone at ~0.43× compressor speed.
+	OilWhirl
+	// CompressorBearingOuter: compressor rolling bearing outer race defect.
+	CompressorBearingOuter
+	// RefrigerantLowCharge: low refrigerant charge — process-side fault:
+	// depressed evaporator pressure, elevated superheat, capacity loss.
+	// Non-vibrational; detected by the fuzzy-logic subsystem.
+	RefrigerantLowCharge
+	// CondenserFouling: condenser tube fouling — elevated condensing
+	// pressure and condenser approach temperature. Non-vibrational.
+	CondenserFouling
+
+	// NumFaults is the number of modelled failure modes.
+	NumFaults int = iota
+)
+
+// String returns the machine-condition name used in protocol reports.
+func (f Fault) String() string {
+	switch f {
+	case MotorImbalance:
+		return "motor imbalance"
+	case MotorMisalignment:
+		return "motor misalignment"
+	case MotorBearingOuter:
+		return "motor bearing outer race defect"
+	case MotorBearingInner:
+		return "motor bearing inner race defect"
+	case MotorRotorBar:
+		return "motor rotor bar problem"
+	case StatorElectrical:
+		return "stator electrical unbalance"
+	case GearToothWear:
+		return "gear tooth wear"
+	case BearingLooseness:
+		return "bearing housing looseness"
+	case OilWhirl:
+		return "oil whirl"
+	case CompressorBearingOuter:
+		return "compressor bearing outer race defect"
+	case RefrigerantLowCharge:
+		return "refrigerant low charge"
+	case CondenserFouling:
+		return "condenser fouling"
+	default:
+		return fmt.Sprintf("fault(%d)", int(f))
+	}
+}
+
+// AllFaults lists every modelled fault.
+func AllFaults() []Fault {
+	out := make([]Fault, NumFaults)
+	for i := range out {
+		out[i] = Fault(i)
+	}
+	return out
+}
+
+// ParseFault resolves a machine-condition name back to a Fault.
+func ParseFault(name string) (Fault, error) {
+	for _, f := range AllFaults() {
+		if f.String() == name {
+			return f, nil
+		}
+	}
+	return 0, fmt.Errorf("chiller: unknown fault %q", name)
+}
+
+// IsVibrational reports whether the fault has a vibration signature (as
+// opposed to the purely process-side faults handled by fuzzy logic).
+func (f Fault) IsVibrational() bool {
+	return f != RefrigerantLowCharge && f != CondenserFouling
+}
+
+// Group returns the logical failure group of §5.3: "failures, which are all
+// part of the same logical groups, are related to each other (for example,
+// one group might be electrical failures, another lubricant failures)".
+// Faults in one group may be mistaken for one another and share Dempster-
+// Shafer frames; faults in different groups are independent.
+func (f Fault) Group() string {
+	switch f {
+	case MotorImbalance, MotorMisalignment, BearingLooseness:
+		return "rotating-structural"
+	case MotorBearingOuter, MotorBearingInner, CompressorBearingOuter, OilWhirl:
+		return "bearing-lubrication"
+	case MotorRotorBar, StatorElectrical:
+		return "electrical"
+	case GearToothWear:
+		return "gearing"
+	case RefrigerantLowCharge, CondenserFouling:
+		return "refrigeration-cycle"
+	default:
+		return "unknown"
+	}
+}
+
+// FaultGroups returns the group names and their member faults.
+func FaultGroups() map[string][]Fault {
+	out := make(map[string][]Fault)
+	for _, f := range AllFaults() {
+		g := f.Group()
+		out[g] = append(out[g], f)
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package chiller
+
+// ProcessState is the slowly changing scalar telemetry of §2: "Slower
+// changing parameters such as temperatures and pressures must also be
+// monitored, but at a lower frequency and can be treated as scalars."
+// Units are engineering units typical of a shipboard R-134a centrifugal
+// chiller.
+type ProcessState struct {
+	// EvapPressurePSI is the evaporator (suction) pressure.
+	EvapPressurePSI float64
+	// CondPressurePSI is the condenser (discharge) pressure.
+	CondPressurePSI float64
+	// EvapApproachF is evaporator approach temperature (CHW supply minus
+	// saturated suction temperature), °F.
+	EvapApproachF float64
+	// CondApproachF is condenser approach temperature, °F.
+	CondApproachF float64
+	// SuperheatF is suction superheat, °F.
+	SuperheatF float64
+	// ChilledSupplyF and ChilledReturnF are chilled water temperatures.
+	ChilledSupplyF float64
+	ChilledReturnF float64
+	// MotorCurrentA is motor line current, amps.
+	MotorCurrentA float64
+	// OilPressurePSI is lubrication oil differential pressure.
+	OilPressurePSI float64
+	// OilTempF is oil sump temperature.
+	OilTempF float64
+	// VanePosition is the pre-rotation vane position in [0,1] — the §6.1
+	// load indicator the bearing looseness rule is sensitized to.
+	VanePosition float64
+	// LoadFraction is the delivered cooling as a fraction of rated.
+	LoadFraction float64
+}
+
+// ProcessState computes the current scalar telemetry from load and the
+// process-side fault severities, with small measurement noise.
+func (p *Plant) ProcessState() ProcessState {
+	load := p.load
+	lowCharge := p.severity[RefrigerantLowCharge]
+	fouling := p.severity[CondenserFouling]
+	oilWhirl := p.severity[OilWhirl]
+	rotorBar := p.severity[MotorRotorBar]
+
+	noise := func(scale float64) float64 { return p.rng.NormFloat64() * scale }
+
+	s := ProcessState{
+		// Healthy: ~36 psi suction, ~118 psi discharge at 80% load.
+		EvapPressurePSI: 36 - 4*load - 14*lowCharge + noise(0.3),
+		CondPressurePSI: 100 + 22*load + 35*fouling + noise(0.8),
+		EvapApproachF:   2 + 3*load + 6*lowCharge + noise(0.1),
+		CondApproachF:   2 + 3*load + 9*fouling + noise(0.1),
+		SuperheatF:      8 + 2*load + 18*lowCharge + noise(0.2),
+		ChilledSupplyF:  44 + 2.5*lowCharge*load + noise(0.1),
+		ChilledReturnF:  44 + 10*load + noise(0.15),
+		// Current rises with load; rotor bar faults add slip and draw.
+		MotorCurrentA:  120 + 260*load + 25*rotorBar*load + noise(1.5),
+		OilPressurePSI: 22 - 6*oilWhirl + noise(0.2),
+		OilTempF:       130 + 15*load + 20*oilWhirl + noise(0.5),
+		VanePosition:   load,
+		LoadFraction:   load,
+	}
+	// Capacity loss: at severe low charge the chiller cannot hold setpoint.
+	if lowCharge > 0.6 {
+		s.ChilledSupplyF += (lowCharge - 0.6) * 10 * load
+	}
+	return s
+}

@@ -1,0 +1,151 @@
+package chiller
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dsp"
+	"repro/internal/wavelet"
+)
+
+// dominantFreq returns the frequency of the largest spectral line above
+// fLo in a frame segment.
+func dominantFreq(t *testing.T, frame []float64, fs, fLo, fHi float64) float64 {
+	t.Helper()
+	s, err := dsp.AnalyzeFrame(frame, fs, dsp.Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, bestAmp := 0.0, 0.0
+	for i := s.Bin(fLo); i <= s.Bin(fHi); i++ {
+		if s.Amp[i] > bestAmp {
+			bestAmp = s.Amp[i]
+			best = s.Freq(i)
+		}
+	}
+	return best
+}
+
+func TestStartupValidation(t *testing.T) {
+	p := newPlant(t)
+	if _, err := p.StartupTransient(MotorDE, 0, 0.5); err == nil {
+		t.Error("zero length")
+	}
+	if _, err := p.StartupTransient(MeasurementPoint(99), 1024, 0.5); err == nil {
+		t.Error("bad point")
+	}
+	if _, err := p.StartupTransient(MotorDE, 1024, 0); err == nil {
+		t.Error("zero ramp")
+	}
+	if _, err := p.StartupTransient(MotorDE, 1024, 1.5); err == nil {
+		t.Error("ramp > 1")
+	}
+}
+
+func TestStartupChirpsUpward(t *testing.T) {
+	p := newPlant(t)
+	const n = 32768
+	frame, err := p.StartupTransient(MotorDE, n, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := p.Config().SampleRate
+	// The early segment's dominant rotating component sits well below the
+	// late segment's (which should be near rated shaft speed). Search the
+	// sub-line band (4..45 Hz) so the 120 Hz inrush hum does not mask the
+	// weak early chirp.
+	early := dominantFreq(t, frame[:n/4], fs, 4, 45)
+	late := dominantFreq(t, frame[3*n/4:], fs, 4, 45)
+	shaft := p.Config().MotorShaftHz()
+	if !(late > early) {
+		t.Errorf("no upward chirp: early %g Hz, late %g Hz", early, late)
+	}
+	if math.Abs(late-shaft) > 3 {
+		// The late window may still be dominated by residual inrush at 120
+		// Hz on an unfaulted machine; check the shaft line is present.
+		s, err := dsp.AnalyzeFrame(frame[3*n/4:], fs, dsp.Hann)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.AmpAt(shaft, 2) < 0.02 {
+			t.Errorf("late segment lacks shaft line: dominant %g Hz", late)
+		}
+	}
+}
+
+func TestStartupInrushDecays(t *testing.T) {
+	p := newPlant(t)
+	const n = 32768
+	frame, err := p.StartupTransient(MotorNDE, n, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := p.Config().SampleRate
+	line2 := 2 * p.Config().LineFreqHz
+	earlySpec, err := dsp.AnalyzeFrame(frame[:n/4], fs, dsp.Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lateSpec, err := dsp.AnalyzeFrame(frame[3*n/4:], fs, dsp.Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if earlySpec.AmpAt(line2, 3) < 3*lateSpec.AmpAt(line2, 3) {
+		t.Errorf("inrush did not decay: early %g late %g",
+			earlySpec.AmpAt(line2, 3), lateSpec.AmpAt(line2, 3))
+	}
+}
+
+// TestStartupResonanceBurstSeparatesFaulted is the §6.2 "transitory
+// phenomena" scenario: the ramp-through resonance burst of a loose/
+// imbalanced machine is localized in time, so wavelet band RMS separates
+// healthy from faulted startups far better than it separates their overall
+// steady levels.
+func TestStartupResonanceBurstSeparatesFaulted(t *testing.T) {
+	const n = 32768
+	startup := func(sev float64) []float64 {
+		cfg := DefaultConfig()
+		cfg.Seed = 5
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sev > 0 {
+			if err := p.SetFault(MotorImbalance, sev); err != nil {
+				t.Fatal(err)
+			}
+		}
+		frame, err := p.StartupTransient(MotorDE, n, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return frame
+	}
+	healthy := startup(0)
+	faulted := startup(0.8)
+	// Peak amplitude during the ramp (the burst) separates strongly.
+	if dsp.PeakAbs(faulted) < 2*dsp.PeakAbs(healthy) {
+		t.Errorf("resonance burst missing: healthy peak %g, faulted peak %g",
+			dsp.PeakAbs(healthy), dsp.PeakAbs(faulted))
+	}
+	// And the burst is time-localized: a mid-level wavelet detail band
+	// carries far more energy for the faulted start.
+	dh, err := wavelet.Decompose(wavelet.Daubechies4, healthy, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	df, err := wavelet.Decompose(wavelet.Daubechies4, faulted, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, rf := dh.BandRMS(), df.BandRMS()
+	better := false
+	for band := range rh {
+		if rf[band] > 2.5*rh[band] && rh[band] > 1e-6 {
+			better = true
+		}
+	}
+	if !better {
+		t.Errorf("no wavelet band separates the burst: healthy %v faulted %v", rh, rf)
+	}
+}

@@ -1,0 +1,61 @@
+// Package core anchors the paper's primary contribution — knowledge fusion
+// over a distributed prognostic/diagnostic architecture — and maps it to
+// the packages that implement it:
+//
+//   - Diagnostic knowledge fusion (§5.3): Dempster-Shafer belief
+//     maintenance over logical failure groups. The calculus lives in
+//     internal/dempster; the grouped fuser in internal/fusion.
+//   - Prognostic knowledge fusion (§5.4): conservative combination of
+//     (time, probability) vectors. internal/fusion.
+//   - The integration fabric: the Object-Oriented Ship Model
+//     (internal/oosm), the failure prediction reporting protocol
+//     (internal/proto), and the PDME that wires them (internal/pdme).
+//
+// The aliases below give the contribution a single import point; the
+// facade package at the repository root (mpros) builds deployments on top.
+package core
+
+import (
+	"repro/internal/dempster"
+	"repro/internal/fusion"
+	"repro/internal/proto"
+)
+
+// Frame is a Dempster-Shafer frame of discernment (one logical failure
+// group's hypothesis space).
+type Frame = dempster.Frame
+
+// Mass is a basic probability assignment over a frame.
+type Mass = dempster.Mass
+
+// Groups maps logical failure group names to their member conditions.
+type Groups = fusion.Groups
+
+// DiagnosticFuser is the §5.3 grouped Dempster-Shafer fuser.
+type DiagnosticFuser = fusion.DiagnosticFuser
+
+// PrognosticFuser is the §5.4 conservative prognostic fuser.
+type PrognosticFuser = fusion.PrognosticFuser
+
+// Report is the §7.2 failure prediction report.
+type Report = proto.Report
+
+// PrognosticVector is the §7.3 (probability, time) list.
+type PrognosticVector = proto.PrognosticVector
+
+// NewDiagnosticFuser constructs the grouped diagnostic fuser.
+func NewDiagnosticFuser(groups Groups) (*DiagnosticFuser, error) {
+	return fusion.NewDiagnosticFuser(groups)
+}
+
+// NewPrognosticFuser constructs the prognostic fuser.
+func NewPrognosticFuser() *PrognosticFuser { return fusion.NewPrognosticFuser() }
+
+// Combine applies Dempster's rule of combination (§5.3's calculus),
+// returning the combined mass and the conflict K.
+func Combine(a, b *Mass) (*Mass, float64, error) { return dempster.Combine(a, b) }
+
+// FuseConservative combines prognostic vectors per §5.4.
+func FuseConservative(vectors ...PrognosticVector) (PrognosticVector, error) {
+	return fusion.FuseConservative(vectors...)
+}

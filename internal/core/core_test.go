@@ -1,0 +1,39 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCoreFacade exercises the contribution through the anchor package: the
+// §5.3 worked example and a grouped fusion round trip.
+func TestCoreFacade(t *testing.T) {
+	groups := Groups{"g1": {"A", "B"}, "g2": {"C"}}
+	df, err := NewDiagnosticFuser(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := df.AddReport("m", "A", 0.6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := df.AddReport("m", "C", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	bA, _ := df.Belief("m", "A")
+	bC, _ := df.Belief("m", "C")
+	if math.Abs(bA-0.6) > 1e-9 || math.Abs(bC-0.9) > 1e-9 {
+		t.Errorf("independent groups: %g %g", bA, bC)
+	}
+	pf := NewPrognosticFuser()
+	v, err := pf.AddReport("m", "A", PrognosticVector{{Probability: 0.5, HorizonSeconds: 100}})
+	if err != nil || len(v) != 1 {
+		t.Fatalf("prognostic: %v %v", v, err)
+	}
+	fused, err := FuseConservative(
+		PrognosticVector{{Probability: 0.3, HorizonSeconds: 100}},
+		PrognosticVector{{Probability: 0.7, HorizonSeconds: 100}},
+	)
+	if err != nil || len(fused) != 1 || fused[0].Probability != 0.7 {
+		t.Fatalf("conservative fusion: %v %v", fused, err)
+	}
+}

@@ -1,0 +1,362 @@
+package dc
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/chiller"
+	"repro/internal/fuzzy"
+	"repro/internal/proto"
+	"repro/internal/relstore"
+	"repro/internal/sbfr"
+	"repro/internal/vibration"
+	"repro/internal/wnn"
+)
+
+// Source is the plant the DC instruments. chiller.Plant satisfies it.
+type Source interface {
+	AcquireVibration(pt chiller.MeasurementPoint, n int) ([]float64, error)
+	ProcessState() chiller.ProcessState
+	Load() float64
+	Config() chiller.Config
+}
+
+// Config parametrizes a Data Concentrator.
+type Config struct {
+	// ID is the DC identifier carried in every report (§5.5 "DC ID").
+	ID string
+	// ObjectID is the sensed object the DC monitors (OOSM id string).
+	ObjectID string
+	// FrameLen is the vibration acquisition length per measurement point.
+	FrameLen int
+	// VibrationInterval is the standard vibration test period.
+	VibrationInterval time.Duration
+	// ProcessInterval is the process-scan (fuzzy diagnostics) period.
+	ProcessInterval time.Duration
+	// CallThreshold is the minimum severity that generates a report.
+	CallThreshold float64
+	// Start is the initial virtual time.
+	Start time.Time
+	// EnableSBFR activates the SBFR process monitor (§5.8's "state based
+	// feature recognition routines to collect and analyze process
+	// variables") as a third knowledge source.
+	EnableSBFR bool
+	// SBFRInterval is the process-channel sampling period for the SBFR
+	// monitor (default 5 minutes when enabled).
+	SBFRInterval time.Duration
+}
+
+// DefaultConfig returns lab-prototype settings: vibration tests every four
+// hours, process scans every thirty minutes.
+func DefaultConfig(id, objectID string) Config {
+	return Config{
+		ID:                id,
+		ObjectID:          objectID,
+		FrameLen:          16384,
+		VibrationInterval: 4 * time.Hour,
+		ProcessInterval:   30 * time.Minute,
+		CallThreshold:     0.15,
+		Start:             time.Date(1998, 8, 1, 0, 0, 0, 0, time.UTC),
+	}
+}
+
+// DC is one Data Concentrator instance.
+type DC struct {
+	cfg    Config
+	src    Source
+	db     *relstore.DB
+	uplink proto.Sink
+	vib    *vibration.Engine
+	fz     *fuzzy.ChillerDiagnostics
+	mux    *Mux
+	sched  *Scheduler
+
+	// sbfrSys is the optional SBFR process monitor (Config.EnableSBFR).
+	sbfrSys *sbfr.System
+	// wnnClf is the optional wavelet neural network source (AttachWNN).
+	wnnClf *wnn.ChillerClassifier
+
+	reportsSent  int
+	reportErrors int
+}
+
+const (
+	measurementsTable = "dc_measurements"
+	reportsTable      = "dc_condition_reports"
+)
+
+// New builds a DC over a plant source, a database (its schema is created if
+// absent), and an uplink sink. Pass relstore.NewMemory() for a volatile lab
+// DC or relstore.Open(path) for the shipboard configuration.
+func New(cfg Config, src Source, db *relstore.DB, uplink proto.Sink) (*DC, error) {
+	if cfg.ID == "" || cfg.ObjectID == "" {
+		return nil, fmt.Errorf("dc: missing ID or ObjectID")
+	}
+	if cfg.FrameLen < 1024 {
+		return nil, fmt.Errorf("dc: frame length %d too short", cfg.FrameLen)
+	}
+	if cfg.VibrationInterval <= 0 || cfg.ProcessInterval <= 0 {
+		return nil, fmt.Errorf("dc: non-positive test interval")
+	}
+	if src == nil || db == nil || uplink == nil {
+		return nil, fmt.Errorf("dc: nil source, db, or uplink")
+	}
+	fz, err := fuzzy.NewChillerDiagnostics()
+	if err != nil {
+		return nil, err
+	}
+	d := &DC{
+		cfg:    cfg,
+		src:    src,
+		db:     db,
+		uplink: uplink,
+		vib:    vibration.NewEngine(src.Config(), cfg.CallThreshold),
+		fz:     fz,
+		mux:    NewMux(),
+		sched:  NewScheduler(cfg.Start),
+	}
+	if err := db.EnsureTable(relstore.Schema{
+		Name: measurementsTable,
+		Columns: []relstore.Column{
+			{Name: "point", Type: relstore.String, Indexed: true},
+			{Name: "rms", Type: relstore.Float},
+			{Name: "crest", Type: relstore.Float},
+			{Name: "kurtosis", Type: relstore.Float},
+			{Name: "taken_at", Type: relstore.Time},
+		},
+	}); err != nil {
+		return nil, err
+	}
+	if err := db.EnsureTable(relstore.Schema{
+		Name: reportsTable,
+		Columns: []relstore.Column{
+			{Name: "condition", Type: relstore.String, Indexed: true},
+			{Name: "source", Type: relstore.String},
+			{Name: "severity", Type: relstore.Float},
+			{Name: "belief", Type: relstore.Float},
+			{Name: "issued_at", Type: relstore.Time},
+			{Name: "delivered", Type: relstore.Bool},
+		},
+	}); err != nil {
+		return nil, err
+	}
+	if err := d.sched.Schedule(&Task{
+		Name: "vibration-test", Interval: cfg.VibrationInterval, Run: d.RunVibrationTest,
+	}, 0); err != nil {
+		return nil, err
+	}
+	if err := d.sched.Schedule(&Task{
+		Name: "process-scan", Interval: cfg.ProcessInterval, Run: d.RunProcessScan,
+	}, 0); err != nil {
+		return nil, err
+	}
+	if cfg.EnableSBFR {
+		d.sbfrSys, err = newProcessMonitor()
+		if err != nil {
+			return nil, err
+		}
+		interval := cfg.SBFRInterval
+		if interval <= 0 {
+			interval = 5 * time.Minute
+		}
+		if err := d.sched.Schedule(&Task{
+			Name: "sbfr-scan", Interval: interval, Run: d.RunSBFRScan,
+		}, 0); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// AttachWNN installs a trained wavelet neural network classifier as an
+// additional knowledge source; it runs on the same frames as the scheduled
+// vibration test. Training is the caller's job (wnn.NewChillerClassifier)
+// because it is expensive relative to DC construction. The classifier's
+// frame length must match the DC's.
+func (d *DC) AttachWNN(clf *wnn.ChillerClassifier) error {
+	if clf == nil {
+		return fmt.Errorf("dc: nil classifier")
+	}
+	if clf.FrameLen() != d.cfg.FrameLen {
+		return fmt.Errorf("dc: classifier trained on %d-sample frames, DC acquires %d",
+			clf.FrameLen(), d.cfg.FrameLen)
+	}
+	d.wnnClf = clf
+	return nil
+}
+
+// Scheduler exposes the DC's event scheduler so callers can add tasks (e.g.
+// a degradation advance for long-horizon simulations) or drive time.
+func (d *DC) Scheduler() *Scheduler { return d.sched }
+
+// Mux exposes the acquisition front end.
+func (d *DC) Mux() *Mux { return d.mux }
+
+// RunFor advances the DC's virtual clock by the duration, executing every
+// scheduled test that falls due.
+func (d *DC) RunFor(dur time.Duration) error {
+	return d.sched.RunUntil(d.sched.Now().Add(dur))
+}
+
+// RunVibrationTest performs the standard §5.8 vibration test: acquire every
+// measurement point through the MUX, store waveform statistics, run the
+// expert system, persist and uplink the resulting condition reports.
+func (d *DC) RunVibrationTest(now time.Time) error {
+	features := make(map[chiller.MeasurementPoint]*vibration.Features, chiller.NumPoints)
+	type wnnCall struct {
+		pt  chiller.MeasurementPoint
+		cls wnn.Classification
+	}
+	var wnnCalls []wnnCall
+	for i, pt := range chiller.AllPoints() {
+		// Each point occupies one MUX lane of bank i/bankSize.
+		if err := d.mux.SelectBank(i / d.mux.BankSize()); err != nil {
+			return err
+		}
+		frame, err := d.src.AcquireVibration(pt, d.cfg.FrameLen)
+		if err != nil {
+			return err
+		}
+		if _, _, err := d.mux.Ingest(i%d.mux.BankSize(), frame); err != nil {
+			return err
+		}
+		f, err := vibration.Extract(frame, d.src.Config(), pt)
+		if err != nil {
+			return err
+		}
+		features[pt] = f
+		if d.wnnClf != nil {
+			cls, err := d.wnnClf.Classify(frame, pt)
+			if err != nil {
+				return err
+			}
+			// Only confident fault calls become reports; the WNN abstains
+			// otherwise (§3.1: overlapping sources may disagree — that is
+			// Knowledge Fusion's job to arbitrate, not the DC's).
+			if !cls.Healthy && cls.Confidence >= 0.6 {
+				wnnCalls = append(wnnCalls, wnnCall{pt: pt, cls: cls})
+			}
+		}
+		if _, err := d.db.Insert(measurementsTable, relstore.Row{
+			"point":    pt.String(),
+			"rms":      f.OverallRMS,
+			"crest":    f.CrestFactor,
+			"kurtosis": f.Kurtosis,
+			"taken_at": now,
+		}); err != nil {
+			return err
+		}
+	}
+	ctx := &vibration.Context{Load: d.src.Load(), Process: d.src.ProcessState()}
+	diags, err := d.vib.Diagnose(features, ctx)
+	if err != nil {
+		return err
+	}
+	for _, diag := range diags {
+		report := diag.ToReport(d.cfg.ID, "ks/dli", d.cfg.ObjectID, now)
+		if err := d.emit(report, now); err != nil {
+			return err
+		}
+	}
+	for _, call := range wnnCalls {
+		sev := 0.3 + 0.4*call.cls.Confidence // classifier gives class, not magnitude
+		report := &proto.Report{
+			DCID:               d.cfg.ID,
+			KnowledgeSourceID:  "ks/wnn",
+			SensedObjectID:     d.cfg.ObjectID,
+			MachineConditionID: call.cls.Fault.String(),
+			Severity:           sev,
+			Belief:             0.8 * call.cls.Confidence,
+			Explanation: fmt.Sprintf("WNN classification at %s, confidence %.2f",
+				call.pt, call.cls.Confidence),
+			Timestamp:   now,
+			Prognostics: vibration.WorstCasePrognostic(proto.GradeSeverity(sev), sev),
+		}
+		if err := d.emit(report, now); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunProcessScan performs the fuzzy process-parameter diagnosis.
+func (d *DC) RunProcessScan(now time.Time) error {
+	results, err := d.fz.Diagnose(d.src.ProcessState(), d.cfg.CallThreshold)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		report := r.ToReport(d.cfg.ID, d.cfg.ObjectID, now)
+		if err := d.emit(report, now); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emit persists a report locally then delivers it upstream, recording
+// delivery status — the DC database is the ship-side audit log when the
+// network is down (§4.9).
+func (d *DC) emit(r *proto.Report, now time.Time) error {
+	delivered := true
+	if err := d.uplink.Deliver(r); err != nil {
+		delivered = false
+		d.reportErrors++
+	} else {
+		d.reportsSent++
+	}
+	_, err := d.db.Insert(reportsTable, relstore.Row{
+		"condition": r.MachineConditionID,
+		"source":    r.KnowledgeSourceID,
+		"severity":  r.Severity,
+		"belief":    r.Belief,
+		"issued_at": now,
+		"delivered": delivered,
+	})
+	return err
+}
+
+// ReportsSent returns how many reports were delivered upstream.
+func (d *DC) ReportsSent() int { return d.reportsSent }
+
+// ReportErrors returns how many uplink deliveries failed.
+func (d *DC) ReportErrors() int { return d.reportErrors }
+
+// Measurements returns stored measurement rows for a point.
+func (d *DC) Measurements(pt chiller.MeasurementPoint) ([]relstore.Row, error) {
+	return d.db.Select(measurementsTable, relstore.Eq("point", pt.String()), 0)
+}
+
+// StoredReports returns locally persisted condition reports, optionally
+// filtered by condition ("" for all).
+func (d *DC) StoredReports(condition string) ([]relstore.Row, error) {
+	if condition == "" {
+		return d.db.Select(reportsTable, nil, 0)
+	}
+	return d.db.Select(reportsTable, relstore.Eq("condition", condition), 0)
+}
+
+// IngestThroughput measures the raw acquisition+RMS-detector path: frames
+// of frameLen samples pushed through every MUX lane for rounds bank sweeps.
+// It returns the total samples processed (the E7 experiment's inner loop).
+func (d *DC) IngestThroughput(frameLen, rounds int) (int64, error) {
+	frame := make([]float64, frameLen)
+	for i := range frame {
+		frame[i] = float64(i%7) * 0.1
+	}
+	var samples int64
+	for r := 0; r < rounds; r++ {
+		for b := 0; b < d.mux.Banks(); b++ {
+			if err := d.mux.SelectBank(b); err != nil {
+				return samples, err
+			}
+			for lane := 0; lane < d.mux.BankSize(); lane++ {
+				if _, _, err := d.mux.Ingest(lane, frame); err != nil {
+					return samples, err
+				}
+				samples += int64(frameLen)
+			}
+		}
+	}
+	return samples, nil
+}

@@ -1,0 +1,125 @@
+package dc
+
+import (
+	"fmt"
+
+	"repro/internal/dsp"
+)
+
+// Mux models the §8 acquisition front end: "Each of the 2 MUX cards can
+// switch between 4 sets of 4 channels each yielding up to 32 channels of
+// data ... all channels are equipped with an RMS detector which can be
+// configure[d] to provide a digital signal when the RMS of the incoming
+// signal exceeds a programmed value. This allows for real-time and constant
+// alarming for all sensors."
+//
+// The DSP card digitizes one 4-channel bank at a time; the Mux selects
+// banks and runs the per-channel RMS alarm detectors over every frame.
+type Mux struct {
+	cards           int
+	banksPerCard    int
+	channelsPerBank int
+	thresholds      []float64 // RMS alarm level per absolute channel; 0 = disabled
+	selected        int       // currently selected bank (absolute index)
+	alarms          []bool
+}
+
+// NewMux builds the paper's configuration: 2 cards × 4 banks × 4 channels.
+func NewMux() *Mux {
+	return NewMuxWith(2, 4, 4)
+}
+
+// NewMuxWith builds a custom multiplexer geometry.
+func NewMuxWith(cards, banksPerCard, channelsPerBank int) *Mux {
+	n := cards * banksPerCard * channelsPerBank
+	return &Mux{
+		cards:           cards,
+		banksPerCard:    banksPerCard,
+		channelsPerBank: channelsPerBank,
+		thresholds:      make([]float64, n),
+		alarms:          make([]bool, n),
+	}
+}
+
+// Channels returns the total channel count.
+func (m *Mux) Channels() int { return len(m.thresholds) }
+
+// Banks returns the number of selectable banks.
+func (m *Mux) Banks() int { return m.cards * m.banksPerCard }
+
+// BankSize returns channels per bank (the DSP card width).
+func (m *Mux) BankSize() int { return m.channelsPerBank }
+
+// SelectBank switches the DSP card input to the given bank.
+func (m *Mux) SelectBank(bank int) error {
+	if bank < 0 || bank >= m.Banks() {
+		return fmt.Errorf("dc: bank %d out of range (have %d)", bank, m.Banks())
+	}
+	m.selected = bank
+	return nil
+}
+
+// SelectedBank returns the active bank.
+func (m *Mux) SelectedBank() int { return m.selected }
+
+// ChannelOf maps (selected bank, lane) to the absolute channel index.
+func (m *Mux) ChannelOf(lane int) (int, error) {
+	if lane < 0 || lane >= m.channelsPerBank {
+		return 0, fmt.Errorf("dc: lane %d out of range", lane)
+	}
+	return m.selected*m.channelsPerBank + lane, nil
+}
+
+// SetAlarmThreshold programs an RMS alarm level for an absolute channel
+// (0 disables the detector).
+func (m *Mux) SetAlarmThreshold(channel int, rms float64) error {
+	if channel < 0 || channel >= len(m.thresholds) {
+		return fmt.Errorf("dc: channel %d out of range", channel)
+	}
+	if rms < 0 {
+		return fmt.Errorf("dc: negative threshold")
+	}
+	m.thresholds[channel] = rms
+	return nil
+}
+
+// Ingest runs the RMS detector for the lane's frame on the selected bank
+// and latches an alarm when the level exceeds the channel's threshold.
+// It returns the measured RMS and whether the alarm is (now) latched.
+func (m *Mux) Ingest(lane int, frame []float64) (float64, bool, error) {
+	ch, err := m.ChannelOf(lane)
+	if err != nil {
+		return 0, false, err
+	}
+	level := dsp.RMS(frame)
+	if th := m.thresholds[ch]; th > 0 && level > th {
+		m.alarms[ch] = true
+	}
+	return level, m.alarms[ch], nil
+}
+
+// Alarmed reports whether an absolute channel's alarm is latched.
+func (m *Mux) Alarmed(channel int) bool {
+	if channel < 0 || channel >= len(m.alarms) {
+		return false
+	}
+	return m.alarms[channel]
+}
+
+// ClearAlarm resets a latched alarm.
+func (m *Mux) ClearAlarm(channel int) {
+	if channel >= 0 && channel < len(m.alarms) {
+		m.alarms[channel] = false
+	}
+}
+
+// AlarmedChannels returns all latched channels.
+func (m *Mux) AlarmedChannels() []int {
+	var out []int
+	for ch, a := range m.alarms {
+		if a {
+			out = append(out, ch)
+		}
+	}
+	return out
+}

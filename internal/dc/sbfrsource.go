@@ -1,0 +1,119 @@
+package dc
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/chiller"
+	"repro/internal/proto"
+	"repro/internal/sbfr"
+)
+
+// The SBFR process monitor is the DC-resident use of State-Based Feature
+// Recognition the paper describes: "state based feature recognition
+// routines to collect and analyze process variables" (§5.8). Two enhanced
+// state machines watch slow process channels for temporally persistent
+// excursions — exactly the time-correlation job SBFR was built for — and
+// flag their status registers; the DC acts as the §6.3 "other agent" that
+// notices a flagged condition, emits a §7 report, and resets the register.
+
+// ProcessMonitorChannels are the process channels the monitor samples.
+var ProcessMonitorChannels = []string{"oil_pressure", "evap_pressure"}
+
+// ProcessMonitorSource is the SBFR assembly for the process monitor.
+// Thresholds are calibrated to the chiller simulator's healthy envelope
+// (oil ≈ 22 psi, suction ≈ 30–36 psi): a reading must stay depressed for
+// more than four consecutive samples before a condition is flagged, the
+// same debouncing idea as Figure 3's ΔT constraints.
+const ProcessMonitorSource = `
+# Persistent lubrication-pressure depression: oil whirl precursor.
+machine OilPressureLow
+  locals 1
+  state Watch
+    when local.0 > 4 do status.self = 1 goto Alarm
+    when in.oil_pressure < 18.5 do local.0 = local.0 + 1 goto Watch
+    when in.oil_pressure >= 18.5 do local.0 = 0 goto Watch
+  state Alarm
+    when status.self == 0 do local.0 = 0 goto Watch
+
+# Persistent suction-pressure depression: refrigerant loss precursor.
+machine SuctionLow
+  locals 1
+  state Watch
+    when local.0 > 4 do status.self = 1 goto Alarm
+    when in.evap_pressure < 26 do local.0 = local.0 + 1 goto Watch
+    when in.evap_pressure >= 26 do local.0 = 0 goto Watch
+  state Alarm
+    when status.self == 0 do local.0 = 0 goto Watch
+`
+
+// machineCondition maps a monitor machine to the §7.2 machine condition it
+// reports, with its severity and believability.
+var monitorConditions = map[string]struct {
+	condition string
+	severity  float64
+	belief    float64
+	explain   string
+}{
+	"OilPressureLow": {
+		condition: chiller.OilWhirl.String(),
+		severity:  0.45,
+		belief:    0.6,
+		explain:   "SBFR: lubrication oil pressure persistently below 18.5 psi (5+ consecutive samples)",
+	},
+	"SuctionLow": {
+		condition: chiller.RefrigerantLowCharge.String(),
+		severity:  0.45,
+		belief:    0.55,
+		explain:   "SBFR: suction pressure persistently below 26 psi (5+ consecutive samples)",
+	},
+}
+
+// newProcessMonitor assembles the monitor system.
+func newProcessMonitor() (*sbfr.System, error) {
+	return sbfr.NewSystemFromSource(ProcessMonitorSource, ProcessMonitorChannels)
+}
+
+// RunSBFRScan samples the process channels into the SBFR system and emits a
+// report for each machine whose status register is flagged, then resets the
+// register (the DC is the acknowledging agent).
+func (d *DC) RunSBFRScan(now time.Time) error {
+	if d.sbfrSys == nil {
+		return fmt.Errorf("dc: SBFR monitor not enabled")
+	}
+	ps := d.src.ProcessState()
+	if err := d.sbfrSys.Cycle([]float64{ps.OilPressurePSI, ps.EvapPressurePSI}); err != nil {
+		return err
+	}
+	for _, name := range d.sbfrSys.MachineNames() {
+		status, err := d.sbfrSys.Status(name)
+		if err != nil {
+			return err
+		}
+		if status == 0 {
+			continue
+		}
+		mc, ok := monitorConditions[name]
+		if !ok {
+			return fmt.Errorf("dc: SBFR machine %q has no report mapping", name)
+		}
+		report := &proto.Report{
+			DCID:               d.cfg.ID,
+			KnowledgeSourceID:  "ks/sbfr",
+			SensedObjectID:     d.cfg.ObjectID,
+			MachineConditionID: mc.condition,
+			Severity:           mc.severity,
+			Belief:             mc.belief,
+			Explanation:        mc.explain,
+			Timestamp:          now,
+			Prognostics:        proto.PrognosticVector{{Probability: 0.4, HorizonSeconds: 60 * 86400}},
+		}
+		if err := d.emit(report, now); err != nil {
+			return err
+		}
+		if err := d.sbfrSys.SetStatus(name, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+// Package dc implements the MPROS Data Concentrator (§5.8): "The DC
+// software is coordinated by an event scheduler. It coordinates standard
+// vibration test[s] including data acquisition and communication of the
+// results ... The data is processed and then sent to an expert system
+// [which] applies stored rules for each equipment type and derives the
+// diagnoses ... Each of the components extract information from and store
+// data in the DC database."
+//
+// The DC owns: a virtual-time event scheduler; a MUX/channel acquisition
+// model mirroring the §8 hardware (two 16×4 multiplexer cards with RMS
+// alarm detectors feeding a 4-channel DSP card); the analyzer suite
+// (vibration rulebook, fuzzy process diagnostics, optional SBFR system);
+// a relstore database for measurements, diagnostic results and condition
+// reports; and an uplink Sink that carries reports to the PDME.
+package dc
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Task is a scheduled activity.
+type Task struct {
+	// Name identifies the task in logs and the task table.
+	Name string
+	// Interval is the repetition period (0 means one-shot).
+	Interval time.Duration
+	// Run executes the activity at virtual time now.
+	Run func(now time.Time) error
+}
+
+// Scheduler is a deterministic virtual-time event scheduler. The paper's DC
+// runs tests on wall-clock schedules; driving the same queue with virtual
+// time lets a month of shipboard operation execute in milliseconds of test
+// time. It is not safe for concurrent use.
+type Scheduler struct {
+	now   time.Time
+	queue eventQueue
+	seq   int64
+}
+
+type event struct {
+	at   time.Time
+	seq  int64 // tiebreak for deterministic ordering
+	task *Task
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// NewScheduler creates a scheduler starting at the given virtual time.
+func NewScheduler(start time.Time) *Scheduler {
+	s := &Scheduler{now: start}
+	heap.Init(&s.queue)
+	return s
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Time { return s.now }
+
+// Schedule enqueues a task to first run after delay, then repeat at its
+// interval (if non-zero).
+func (s *Scheduler) Schedule(t *Task, delay time.Duration) error {
+	if t == nil || t.Run == nil {
+		return fmt.Errorf("dc: nil task")
+	}
+	if delay < 0 {
+		return fmt.Errorf("dc: negative delay")
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: s.now.Add(delay), seq: s.seq, task: t})
+	return nil
+}
+
+// RunUntil executes due tasks in time order until the virtual clock passes
+// end. Task errors abort the run. One-shot tasks are dropped after running;
+// periodic tasks re-enqueue at their interval.
+func (s *Scheduler) RunUntil(end time.Time) error {
+	for len(s.queue) > 0 {
+		next := s.queue[0]
+		if next.at.After(end) {
+			break
+		}
+		heap.Pop(&s.queue)
+		s.now = next.at
+		if err := next.task.Run(s.now); err != nil {
+			return fmt.Errorf("dc: task %q at %v: %w", next.task.Name, s.now, err)
+		}
+		if next.task.Interval > 0 {
+			s.seq++
+			heap.Push(&s.queue, &event{at: s.now.Add(next.task.Interval), seq: s.seq, task: next.task})
+		}
+	}
+	if s.now.Before(end) {
+		s.now = end
+	}
+	return nil
+}
+
+// Pending returns the number of queued events.
+func (s *Scheduler) Pending() int { return len(s.queue) }

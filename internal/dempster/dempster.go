@@ -1,0 +1,385 @@
+// Package dempster implements Dempster-Shafer theory of evidence, the
+// calculus MPROS uses for diagnostic knowledge fusion (§5.3).
+//
+// "Dempster-Shafer theory is a calculus for qualifying beliefs using
+// numerical expressions. [...] given a belief of 40% that A will occur and
+// another belief of 75% that B or C will occur, it will [be] concluded that
+// A is 14% likely, 'B or C' is 64% likely and there is 22% of belief
+// assigned to unknown possibilities."
+//
+// The package represents a frame of discernment of up to 64 hypotheses;
+// subsets of the frame are bitmasks (type Set). Mass functions assign
+// basic probability to subsets; Combine applies Dempster's rule of
+// combination with conflict renormalization. The maintenance of mass on the
+// full frame Θ — the "unknown possibilities" — is, per the paper, "both a
+// differentiator and a strength" of the approach, so Unknown() is a
+// first-class query.
+package dempster
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// MaxHypotheses is the largest number of atomic hypotheses a Frame supports.
+const MaxHypotheses = 64
+
+// Set is a subset of a frame of discernment, one bit per atomic hypothesis.
+type Set uint64
+
+// Empty is the empty hypothesis set.
+const Empty Set = 0
+
+// Singleton returns the set containing only hypothesis i.
+func Singleton(i int) Set { return 1 << uint(i) }
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set { return s | t }
+
+// Intersect returns s ∩ t.
+func (s Set) Intersect(t Set) Set { return s & t }
+
+// Contains reports whether every element of t is in s.
+func (s Set) Contains(t Set) bool { return s&t == t }
+
+// IsEmpty reports whether s has no elements.
+func (s Set) IsEmpty() bool { return s == 0 }
+
+// Count returns the number of atomic hypotheses in s.
+func (s Set) Count() int { return bits.OnesCount64(uint64(s)) }
+
+// Frame is a frame of discernment: the exhaustive set of mutually exclusive
+// hypotheses under consideration (within one logical failure group, in MPROS
+// terms). A Frame is immutable after construction.
+type Frame struct {
+	names []string
+	index map[string]int
+}
+
+// NewFrame builds a frame from hypothesis names. Names must be unique,
+// non-empty, and at most MaxHypotheses of them.
+func NewFrame(names ...string) (*Frame, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("dempster: frame needs at least one hypothesis")
+	}
+	if len(names) > MaxHypotheses {
+		return nil, fmt.Errorf("dempster: %d hypotheses exceeds maximum %d", len(names), MaxHypotheses)
+	}
+	f := &Frame{index: make(map[string]int, len(names))}
+	for _, n := range names {
+		if n == "" {
+			return nil, fmt.Errorf("dempster: empty hypothesis name")
+		}
+		if _, dup := f.index[n]; dup {
+			return nil, fmt.Errorf("dempster: duplicate hypothesis %q", n)
+		}
+		f.index[n] = len(f.names)
+		f.names = append(f.names, n)
+	}
+	return f, nil
+}
+
+// MustFrame is NewFrame that panics on error; for tests and static tables.
+func MustFrame(names ...string) *Frame {
+	f, err := NewFrame(names...)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Size returns the number of atomic hypotheses in the frame.
+func (f *Frame) Size() int { return len(f.names) }
+
+// Theta returns the full set Θ (all hypotheses).
+func (f *Frame) Theta() Set {
+	if len(f.names) == 64 {
+		return Set(^uint64(0))
+	}
+	return Set(1<<uint(len(f.names))) - 1
+}
+
+// Hypothesis returns the singleton set for the named hypothesis.
+func (f *Frame) Hypothesis(name string) (Set, error) {
+	i, ok := f.index[name]
+	if !ok {
+		return 0, fmt.Errorf("dempster: unknown hypothesis %q", name)
+	}
+	return Singleton(i), nil
+}
+
+// SetOf returns the subset containing the named hypotheses.
+func (f *Frame) SetOf(names ...string) (Set, error) {
+	var s Set
+	for _, n := range names {
+		h, err := f.Hypothesis(n)
+		if err != nil {
+			return 0, err
+		}
+		s |= h
+	}
+	return s, nil
+}
+
+// Names returns the hypothesis names present in s, in frame order.
+func (f *Frame) Names(s Set) []string {
+	var out []string
+	for i, n := range f.names {
+		if s&Singleton(i) != 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Format renders s as a human-readable disjunction, "∅" for the empty set
+// and "Θ" for the full frame.
+func (f *Frame) Format(s Set) string {
+	if s.IsEmpty() {
+		return "∅"
+	}
+	if s == f.Theta() {
+		return "Θ"
+	}
+	return strings.Join(f.Names(s), "∨")
+}
+
+// Mass is a basic probability assignment over subsets of a frame. Masses
+// must be non-negative and sum to 1 (checked by Validate). The zero value is
+// not usable; construct with NewMass.
+type Mass struct {
+	frame *Frame
+	m     map[Set]float64
+}
+
+// NewMass returns an empty mass function over f.
+func NewMass(f *Frame) *Mass {
+	return &Mass{frame: f, m: make(map[Set]float64)}
+}
+
+// VacuousMass returns the mass function that assigns everything to Θ —
+// total ignorance, the identity element of Dempster combination.
+func VacuousMass(f *Frame) *Mass {
+	m := NewMass(f)
+	m.m[f.Theta()] = 1
+	return m
+}
+
+// SimpleSupport returns the mass function that assigns belief b to focal set
+// s and the remainder 1-b to Θ. This is exactly how MPROS turns an incoming
+// diagnostic report (machine condition + belief) into evidence.
+func SimpleSupport(f *Frame, s Set, belief float64) (*Mass, error) {
+	if belief < 0 || belief > 1 {
+		return nil, fmt.Errorf("dempster: belief %g outside [0,1]", belief)
+	}
+	if s.IsEmpty() {
+		return nil, fmt.Errorf("dempster: simple support on empty set")
+	}
+	if !f.Theta().Contains(s) {
+		return nil, fmt.Errorf("dempster: focal set outside frame")
+	}
+	m := NewMass(f)
+	if belief > 0 {
+		m.m[s] = belief
+	}
+	if belief < 1 {
+		m.m[f.Theta()] += 1 - belief
+	}
+	return m, nil
+}
+
+// Frame returns the frame the mass function is defined over.
+func (m *Mass) Frame() *Frame { return m.frame }
+
+// Set assigns mass v to focal set s, replacing any previous assignment.
+func (m *Mass) Set(s Set, v float64) error {
+	if v < 0 {
+		return fmt.Errorf("dempster: negative mass %g", v)
+	}
+	if s.IsEmpty() && v > 0 {
+		return fmt.Errorf("dempster: positive mass on empty set")
+	}
+	if !m.frame.Theta().Contains(s) {
+		return fmt.Errorf("dempster: focal set outside frame")
+	}
+	if v == 0 {
+		delete(m.m, s)
+		return nil
+	}
+	m.m[s] = v
+	return nil
+}
+
+// Get returns the mass assigned to exactly the focal set s.
+func (m *Mass) Get(s Set) float64 { return m.m[s] }
+
+// FocalSets returns the focal sets (sets with positive mass) in ascending
+// bitmask order, for deterministic iteration.
+func (m *Mass) FocalSets() []Set {
+	out := make([]Set, 0, len(m.m))
+	for s := range m.m {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Validate checks that masses are non-negative and sum to 1 within tol.
+func (m *Mass) Validate(tol float64) error {
+	var sum float64
+	for s, v := range m.m {
+		if v < 0 {
+			return fmt.Errorf("dempster: negative mass %g on %s", v, m.frame.Format(s))
+		}
+		if s.IsEmpty() && v > 0 {
+			return fmt.Errorf("dempster: mass on empty set")
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > tol {
+		return fmt.Errorf("dempster: masses sum to %g, want 1", sum)
+	}
+	return nil
+}
+
+// Normalize rescales masses to sum to 1. It returns an error if total mass
+// is zero.
+func (m *Mass) Normalize() error {
+	var sum float64
+	for _, v := range m.m {
+		sum += v
+	}
+	if sum == 0 {
+		return fmt.Errorf("dempster: cannot normalize zero mass")
+	}
+	for s := range m.m {
+		m.m[s] /= sum
+	}
+	return nil
+}
+
+// Belief returns Bel(s): the total mass committed to subsets of s — the
+// degree to which the evidence supports s.
+func (m *Mass) Belief(s Set) float64 {
+	var sum float64
+	for focal, v := range m.m {
+		if s.Contains(focal) && !focal.IsEmpty() {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// Plausibility returns Pl(s): the total mass not committed against s —
+// the degree to which the evidence fails to refute s.
+func (m *Mass) Plausibility(s Set) float64 {
+	var sum float64
+	for focal, v := range m.m {
+		if !focal.Intersect(s).IsEmpty() {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// Unknown returns the mass still assigned to the whole frame Θ — the
+// "likelihood of unknown possibilities" the paper calls out as the
+// differentiator of Dempster-Shafer.
+func (m *Mass) Unknown() float64 { return m.m[m.frame.Theta()] }
+
+// Clone returns a deep copy of m.
+func (m *Mass) Clone() *Mass {
+	c := NewMass(m.frame)
+	for s, v := range m.m {
+		c.m[s] = v
+	}
+	return c
+}
+
+// Combine applies Dempster's rule of combination to a and b, which must be
+// defined over the same frame. It returns the combined mass function and the
+// conflict K (the total probability mass the two sources assign to
+// incompatible conclusions). Combination fails if the sources are in total
+// conflict (K == 1).
+func Combine(a, b *Mass) (*Mass, float64, error) {
+	if a.frame != b.frame {
+		return nil, 0, fmt.Errorf("dempster: cannot combine masses over different frames")
+	}
+	out := NewMass(a.frame)
+	var conflict float64
+	for sa, va := range a.m {
+		for sb, vb := range b.m {
+			inter := sa.Intersect(sb)
+			p := va * vb
+			if inter.IsEmpty() {
+				conflict += p
+			} else {
+				out.m[inter] += p
+			}
+		}
+	}
+	if conflict >= 1-1e-12 {
+		return nil, conflict, fmt.Errorf("dempster: total conflict between sources (K=%.6f)", conflict)
+	}
+	norm := 1 / (1 - conflict)
+	for s := range out.m {
+		out.m[s] *= norm
+	}
+	return out, conflict, nil
+}
+
+// CombineAll folds Combine over any number of mass functions; per the paper,
+// Dempster's rule "can be extended to handle any number of inputs". Returns
+// the vacuous mass for an empty input list (frame must then be supplied via
+// at least one mass, so empty input is an error).
+func CombineAll(masses ...*Mass) (*Mass, error) {
+	if len(masses) == 0 {
+		return nil, fmt.Errorf("dempster: no masses to combine")
+	}
+	acc := masses[0].Clone()
+	for _, m := range masses[1:] {
+		next, _, err := Combine(acc, m)
+		if err != nil {
+			return nil, err
+		}
+		acc = next
+	}
+	return acc, nil
+}
+
+// Pignistic returns the pignistic probability transform BetP of m: each
+// focal set's mass divided evenly among its atoms. It is the standard way to
+// turn a belief state into a point probability for ranking — the PDME uses
+// it to prioritize the maintenance list.
+func (m *Mass) Pignistic() map[string]float64 {
+	out := make(map[string]float64, m.frame.Size())
+	for i, n := range m.frame.names {
+		out[n] = 0
+		_ = i
+	}
+	for s, v := range m.m {
+		c := s.Count()
+		if c == 0 {
+			continue
+		}
+		share := v / float64(c)
+		for i, n := range m.frame.names {
+			if s&Singleton(i) != 0 {
+				out[n] += share
+			}
+		}
+	}
+	return out
+}
+
+// String renders the mass function for debugging.
+func (m *Mass) String() string {
+	var b strings.Builder
+	for _, s := range m.FocalSets() {
+		fmt.Fprintf(&b, "m(%s)=%.4f ", m.frame.Format(s), m.m[s])
+	}
+	return strings.TrimSpace(b.String())
+}

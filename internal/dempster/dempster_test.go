@@ -1,0 +1,434 @@
+package dempster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewFrameValidation(t *testing.T) {
+	if _, err := NewFrame(); err == nil {
+		t.Error("empty frame should error")
+	}
+	if _, err := NewFrame("a", "a"); err == nil {
+		t.Error("duplicate names should error")
+	}
+	if _, err := NewFrame("a", ""); err == nil {
+		t.Error("empty name should error")
+	}
+	big := make([]string, 65)
+	for i := range big {
+		big[i] = string(rune('a')) + string(rune('0'+i/10)) + string(rune('0'+i%10))
+	}
+	if _, err := NewFrame(big...); err == nil {
+		t.Error("65 hypotheses should error")
+	}
+	f, err := NewFrame("x", "y", "z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 3 || f.Theta() != 0b111 {
+		t.Errorf("size %d theta %b", f.Size(), f.Theta())
+	}
+}
+
+func TestFrame64Hypotheses(t *testing.T) {
+	names := make([]string, 64)
+	for i := range names {
+		names[i] = string(rune('A'+i/26)) + string(rune('a'+i%26))
+	}
+	f := MustFrame(names...)
+	if f.Theta() != Set(^uint64(0)) {
+		t.Errorf("64-wide theta wrong: %x", f.Theta())
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	f := MustFrame("a", "b", "c", "d")
+	ab, err := f.SetOf("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, _ := f.SetOf("b", "c")
+	if ab.Intersect(bc) != Singleton(1) {
+		t.Error("intersect")
+	}
+	if ab.Union(bc).Count() != 3 {
+		t.Error("union")
+	}
+	if !ab.Contains(Singleton(0)) || ab.Contains(Singleton(2)) {
+		t.Error("contains")
+	}
+	if _, err := f.SetOf("a", "nope"); err == nil {
+		t.Error("unknown name should error")
+	}
+	if got := f.Format(ab); got != "a∨b" {
+		t.Errorf("format %q", got)
+	}
+	if f.Format(Empty) != "∅" || f.Format(f.Theta()) != "Θ" {
+		t.Error("special formats")
+	}
+	if ns := f.Names(bc); len(ns) != 2 || ns[0] != "b" || ns[1] != "c" {
+		t.Errorf("names %v", ns)
+	}
+}
+
+// TestPaperWorkedExample reproduces the §5.3 numbers exactly: belief 40% in
+// A combined with belief 75% in B∨C yields A 14%, B∨C 64%, unknown 22%.
+func TestPaperWorkedExample(t *testing.T) {
+	f := MustFrame("A", "B", "C")
+	a, _ := f.Hypothesis("A")
+	bc, _ := f.SetOf("B", "C")
+	m1, err := SimpleSupport(f, a, 0.40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := SimpleSupport(f, bc, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comb, conflict, err := Combine(m1, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Conflict K = 0.40 × 0.75 = 0.30.
+	if math.Abs(conflict-0.30) > 1e-12 {
+		t.Errorf("conflict %g, want 0.30", conflict)
+	}
+	// Exact values: 0.1/0.7, 0.45/0.7, 0.15/0.7.
+	if got := comb.Get(a); math.Abs(got-0.1/0.7) > 1e-12 {
+		t.Errorf("m(A) = %g, want %g", got, 0.1/0.7)
+	}
+	if got := comb.Get(bc); math.Abs(got-0.45/0.7) > 1e-12 {
+		t.Errorf("m(B∨C) = %g, want %g", got, 0.45/0.7)
+	}
+	if got := comb.Unknown(); math.Abs(got-0.15/0.7) > 1e-12 {
+		t.Errorf("m(Θ) = %g, want %g", got, 0.15/0.7)
+	}
+	// Paper's rounded presentation: 14%, 64%, 22%.
+	if pct := math.Round(comb.Get(a) * 100); pct != 14 {
+		t.Errorf("A%% = %g, want 14", pct)
+	}
+	if pct := math.Round(comb.Get(bc) * 100); pct != 64 {
+		t.Errorf("B∨C%% = %g, want 64", pct)
+	}
+	if pct := math.Round(comb.Unknown() * 100); pct != 21 && pct != 22 {
+		// 0.15/0.7 = 21.43% — the paper rounds its three numbers to sum to
+		// 100 (14+64+22); the exact mass rounds to 21.
+		t.Errorf("unknown%% = %g, want ≈22", pct)
+	}
+	if err := comb.Validate(1e-9); err != nil {
+		t.Errorf("combined mass invalid: %v", err)
+	}
+}
+
+func TestSimpleSupportValidation(t *testing.T) {
+	f := MustFrame("A", "B")
+	a, _ := f.Hypothesis("A")
+	if _, err := SimpleSupport(f, a, -0.1); err == nil {
+		t.Error("negative belief")
+	}
+	if _, err := SimpleSupport(f, a, 1.1); err == nil {
+		t.Error("belief > 1")
+	}
+	if _, err := SimpleSupport(f, Empty, 0.5); err == nil {
+		t.Error("empty focal set")
+	}
+	if _, err := SimpleSupport(f, Set(0b100), 0.5); err == nil {
+		t.Error("focal set outside frame")
+	}
+	// belief 1 leaves no mass on theta; belief 0 is vacuous.
+	m, err := SimpleSupport(f, a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Unknown() != 0 || m.Get(a) != 1 {
+		t.Error("belief 1 support wrong")
+	}
+	v, err := SimpleSupport(f, a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Unknown() != 1 {
+		t.Error("belief 0 should be vacuous")
+	}
+}
+
+func TestMassSetValidation(t *testing.T) {
+	f := MustFrame("A", "B")
+	m := NewMass(f)
+	if err := m.Set(Singleton(0), -1); err == nil {
+		t.Error("negative mass")
+	}
+	if err := m.Set(Empty, 0.5); err == nil {
+		t.Error("mass on empty set")
+	}
+	if err := m.Set(Set(0b1000), 0.5); err == nil {
+		t.Error("mass outside frame")
+	}
+	if err := m.Set(Singleton(0), 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set(Singleton(0), 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.FocalSets()) != 0 {
+		t.Error("zero mass should delete focal set")
+	}
+}
+
+func TestVacuousIsIdentity(t *testing.T) {
+	f := MustFrame("A", "B", "C")
+	a, _ := f.Hypothesis("A")
+	m, _ := SimpleSupport(f, a, 0.6)
+	comb, conflict, err := Combine(m, VacuousMass(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conflict != 0 {
+		t.Errorf("conflict with vacuous: %g", conflict)
+	}
+	if math.Abs(comb.Get(a)-0.6) > 1e-12 || math.Abs(comb.Unknown()-0.4) > 1e-12 {
+		t.Errorf("vacuous not identity: %v", comb)
+	}
+}
+
+func TestTotalConflict(t *testing.T) {
+	f := MustFrame("A", "B")
+	a, _ := f.Hypothesis("A")
+	b, _ := f.Hypothesis("B")
+	m1, _ := SimpleSupport(f, a, 1)
+	m2, _ := SimpleSupport(f, b, 1)
+	if _, k, err := Combine(m1, m2); err == nil {
+		t.Errorf("total conflict should error (K=%g)", k)
+	}
+}
+
+func TestCombineDifferentFramesFails(t *testing.T) {
+	f1 := MustFrame("A", "B")
+	f2 := MustFrame("A", "B")
+	m1 := VacuousMass(f1)
+	m2 := VacuousMass(f2)
+	if _, _, err := Combine(m1, m2); err == nil {
+		t.Error("different frame instances should not combine")
+	}
+}
+
+func TestBeliefPlausibility(t *testing.T) {
+	f := MustFrame("A", "B", "C")
+	a, _ := f.Hypothesis("A")
+	ab, _ := f.SetOf("A", "B")
+	m := NewMass(f)
+	if err := m.Set(a, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set(ab, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set(f.Theta(), 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Belief(a); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("Bel(A) = %g", got)
+	}
+	if got := m.Belief(ab); math.Abs(got-0.7) > 1e-12 {
+		t.Errorf("Bel(A∨B) = %g", got)
+	}
+	if got := m.Plausibility(a); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("Pl(A) = %g", got)
+	}
+	c, _ := f.Hypothesis("C")
+	if got := m.Plausibility(c); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("Pl(C) = %g", got)
+	}
+}
+
+func TestCombineAll(t *testing.T) {
+	f := MustFrame("A", "B", "C")
+	a, _ := f.Hypothesis("A")
+	var ms []*Mass
+	for i := 0; i < 5; i++ {
+		m, _ := SimpleSupport(f, a, 0.5)
+		ms = append(ms, m)
+	}
+	comb, err := CombineAll(ms...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Five independent 0.5-supports for A: unknown mass is 0.5^5 (no
+	// conflict when all sources agree).
+	if got := comb.Unknown(); math.Abs(got-math.Pow(0.5, 5)) > 1e-12 {
+		t.Errorf("unknown %g, want %g", got, math.Pow(0.5, 5))
+	}
+	if got := comb.Belief(a); got < 0.96 {
+		t.Errorf("Bel(A) after 5 agreeing sources = %g", got)
+	}
+	if _, err := CombineAll(); err == nil {
+		t.Error("empty CombineAll should error")
+	}
+}
+
+func TestPignistic(t *testing.T) {
+	f := MustFrame("A", "B", "C")
+	bc, _ := f.SetOf("B", "C")
+	m := NewMass(f)
+	if err := m.Set(bc, 0.6); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set(f.Theta(), 0.4); err != nil {
+		t.Fatal(err)
+	}
+	p := m.Pignistic()
+	// BetP(A) = 0.4/3; BetP(B) = BetP(C) = 0.6/2 + 0.4/3.
+	if math.Abs(p["A"]-0.4/3) > 1e-12 {
+		t.Errorf("BetP(A) = %g", p["A"])
+	}
+	if math.Abs(p["B"]-(0.3+0.4/3)) > 1e-12 {
+		t.Errorf("BetP(B) = %g", p["B"])
+	}
+	var sum float64
+	for _, v := range p {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("pignistic sums to %g", sum)
+	}
+}
+
+func randomMass(rng *rand.Rand, f *Frame) *Mass {
+	m := NewMass(f)
+	n := rng.Intn(4) + 1
+	total := 0.0
+	weights := make([]float64, n+1)
+	for i := range weights {
+		weights[i] = rng.Float64() + 0.01
+		total += weights[i]
+	}
+	for i := 0; i < n; i++ {
+		s := Set(rng.Int63n(int64(f.Theta())) + 1)
+		m.m[s] += weights[i] / total
+	}
+	m.m[f.Theta()] += weights[n] / total
+	return m
+}
+
+func TestCombineProperties(t *testing.T) {
+	// Properties of Dempster combination on random masses:
+	// 1. result is a valid mass function;
+	// 2. commutativity: a⊕b == b⊕a;
+	// 3. unknown mass never increases: m(Θ) of a⊕b <= min of inputs' m(Θ)
+	//    (more evidence can only reduce ignorance).
+	f := MustFrame("A", "B", "C", "D")
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomMass(rng, f)
+		b := randomMass(rng, f)
+		ab, k1, err1 := Combine(a, b)
+		ba, k2, err2 := Combine(b, a)
+		if err1 != nil || err2 != nil {
+			// Total conflict is possible but must be symmetric.
+			return (err1 != nil) == (err2 != nil)
+		}
+		if math.Abs(k1-k2) > 1e-12 {
+			return false
+		}
+		if ab.Validate(1e-9) != nil {
+			return false
+		}
+		for _, s := range ab.FocalSets() {
+			if math.Abs(ab.Get(s)-ba.Get(s)) > 1e-9 {
+				return false
+			}
+		}
+		minUnknown := math.Min(a.Unknown(), b.Unknown())
+		return ab.Unknown() <= minUnknown+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBeliefPlausibilityInvariantProperty(t *testing.T) {
+	// Property: Bel(s) <= Pl(s) for any subset, and Bel(s) + Bel(¬s) <= 1.
+	f := MustFrame("A", "B", "C", "D", "E")
+	prop := func(seed int64, raw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomMass(rng, f)
+		s := Set(raw) & f.Theta()
+		if s.IsEmpty() {
+			s = Singleton(0)
+		}
+		bel := m.Belief(s)
+		pl := m.Plausibility(s)
+		if bel > pl+1e-9 {
+			return false
+		}
+		not := f.Theta() &^ s
+		return bel+m.Belief(not) <= 1+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	f := MustFrame("A", "B")
+	m := NewMass(f)
+	if err := m.Normalize(); err == nil {
+		t.Error("zero mass normalize should error")
+	}
+	a, _ := f.Hypothesis("A")
+	if err := m.Set(a, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set(f.Theta(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(1e-12); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMassString(t *testing.T) {
+	f := MustFrame("A", "B")
+	a, _ := f.Hypothesis("A")
+	m, _ := SimpleSupport(f, a, 0.4)
+	s := m.String()
+	if s == "" {
+		t.Error("empty string rendering")
+	}
+}
+
+func BenchmarkCombineTwoSources(b *testing.B) {
+	f := MustFrame("A", "B", "C", "D", "E", "F")
+	rng := rand.New(rand.NewSource(9))
+	m1 := randomMass(rng, f)
+	m2 := randomMass(rng, f)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Combine(m1, m2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCombineTenSources(b *testing.B) {
+	f := MustFrame("A", "B", "C", "D", "E", "F", "G", "H")
+	rng := rand.New(rand.NewSource(10))
+	masses := make([]*Mass, 10)
+	for i := range masses {
+		masses[i] = randomMass(rng, f)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CombineAll(masses...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

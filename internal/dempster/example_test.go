@@ -1,0 +1,30 @@
+package dempster_test
+
+import (
+	"fmt"
+
+	"repro/internal/dempster"
+)
+
+// ExampleCombine reproduces the §5.3 worked example from the paper: a 40%
+// belief in A combined with a 75% belief in B∨C.
+func ExampleCombine() {
+	frame := dempster.MustFrame("A", "B", "C")
+	a, _ := frame.Hypothesis("A")
+	bc, _ := frame.SetOf("B", "C")
+	m1, _ := dempster.SimpleSupport(frame, a, 0.40)
+	m2, _ := dempster.SimpleSupport(frame, bc, 0.75)
+	combined, conflict, err := dempster.Combine(m1, m2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("m(A)    = %.1f%%\n", 100*combined.Get(a))
+	fmt.Printf("m(B∨C)  = %.1f%%\n", 100*combined.Get(bc))
+	fmt.Printf("m(Θ)    = %.1f%%\n", 100*combined.Unknown())
+	fmt.Printf("conflict = %.2f\n", conflict)
+	// Output:
+	// m(A)    = 14.3%
+	// m(B∨C)  = 64.3%
+	// m(Θ)    = 21.4%
+	// conflict = 0.30
+}

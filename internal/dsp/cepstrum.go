@@ -1,0 +1,96 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Cepstrum computes the real cepstrum of frame: IFFT(log|FFT(frame)|).
+// The cepstrum exposes periodic families of harmonics and sidebands (gear
+// mesh and rotor-bar signatures) as single peaks at the corresponding
+// quefrency; the wavelet neural network's feature vector includes cepstral
+// coefficients per §6.2 of the paper.
+func Cepstrum(frame []float64) ([]float64, error) {
+	if len(frame) == 0 {
+		return nil, fmt.Errorf("dsp: empty frame")
+	}
+	n := NextPow2(len(frame))
+	buf := ToComplex(ZeroPad(frame, n))
+	if err := FFT(buf); err != nil {
+		return nil, err
+	}
+	const floor = 1e-12
+	for i, c := range buf {
+		mag := cmplx.Abs(c)
+		if mag < floor {
+			mag = floor
+		}
+		buf[i] = complex(math.Log(mag), 0)
+	}
+	if err := IFFT(buf); err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i, c := range buf {
+		out[i] = real(c)
+	}
+	return out, nil
+}
+
+// CepstralCoefficients returns the first k cepstral coefficients of frame,
+// skipping the zeroth (overall level) coefficient.
+func CepstralCoefficients(frame []float64, k int) ([]float64, error) {
+	ceps, err := Cepstrum(frame)
+	if err != nil {
+		return nil, err
+	}
+	if k > len(ceps)-1 {
+		k = len(ceps) - 1
+	}
+	out := make([]float64, k)
+	copy(out, ceps[1:1+k])
+	return out, nil
+}
+
+// DCT2 computes the (unnormalized) type-II discrete cosine transform of x.
+// DCT coefficients are another §6.2 feature family for the WNN classifier.
+func DCT2(x []float64) []float64 {
+	n := len(x)
+	out := make([]float64, n)
+	for k := 0; k < n; k++ {
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += x[i] * math.Cos(math.Pi/float64(n)*(float64(i)+0.5)*float64(k))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// DCT2Coefficients returns the first k type-II DCT coefficients of x,
+// normalized by the frame length so that magnitudes are comparable across
+// frame sizes. Only the requested coefficients are computed (O(n·k) rather
+// than the full O(n²) transform).
+func DCT2Coefficients(x []float64, k int) []float64 {
+	n := len(x)
+	if k > n {
+		k = n
+	}
+	if k < 0 {
+		k = 0
+	}
+	out := make([]float64, k)
+	if n == 0 {
+		return out
+	}
+	for c := 0; c < k; c++ {
+		var sum float64
+		w := math.Pi / float64(n) * float64(c)
+		for i := 0; i < n; i++ {
+			sum += x[i] * math.Cos(w*(float64(i)+0.5))
+		}
+		out[c] = sum / float64(n)
+	}
+	return out
+}

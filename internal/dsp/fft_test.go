@@ -1,0 +1,251 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	if err := FFT(make([]complex128, 3)); err == nil {
+		t.Fatal("expected error for length 3")
+	}
+	if err := FFT(make([]complex128, 100)); err == nil {
+		t.Fatal("expected error for length 100")
+	}
+}
+
+func TestFFTEmptyAndSingle(t *testing.T) {
+	if err := FFT(nil); err != nil {
+		t.Fatalf("empty FFT: %v", err)
+	}
+	x := []complex128{complex(3.5, -1)}
+	if err := FFT(x); err != nil {
+		t.Fatalf("single FFT: %v", err)
+	}
+	if x[0] != complex(3.5, -1) {
+		t.Fatalf("length-1 FFT must be identity, got %v", x[0])
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// FFT of a unit impulse is all ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if !almostEqual(real(v), 1, 1e-12) || !almostEqual(imag(v), 0, 1e-12) {
+			t.Fatalf("bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestFFTSingleTone(t *testing.T) {
+	// A cosine at bin k puts N/2 into bins k and N-k.
+	const n = 64
+	const k = 5
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(math.Cos(2*math.Pi*float64(k)*float64(i)/n), 0)
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		want := 0.0
+		if i == k || i == n-k {
+			want = n / 2
+		}
+		if !almostEqual(cmplx.Abs(x[i]), want, 1e-9) {
+			t.Fatalf("bin %d magnitude %g, want %g", i, cmplx.Abs(x[i]), want)
+		}
+	}
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 32
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	want := naiveDFT(x)
+	got := append([]complex128(nil), x...)
+	if err := FFT(got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if cmplx.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("bin %d: fft %v, dft %v", i, got[i], want[i])
+		}
+	}
+}
+
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for i := 0; i < n; i++ {
+			angle := -2 * math.Pi * float64(k) * float64(i) / float64(n)
+			sum += x[i] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+func TestIFFTRoundTripProperty(t *testing.T) {
+	// Property: IFFT(FFT(x)) == x for random frames (power-of-two lengths).
+	f := func(seed int64, sizeSel uint8) bool {
+		n := 1 << (uint(sizeSel)%8 + 1) // 2..256
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		y := append([]complex128(nil), x...)
+		if err := FFT(y); err != nil {
+			return false
+		}
+		if err := IFFT(y); err != nil {
+			return false
+		}
+		for i := range x {
+			if cmplx.Abs(x[i]-y[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	// Property: sum |x|^2 == (1/N) sum |X|^2.
+	f := func(seed int64) bool {
+		const n = 128
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]complex128, n)
+		var tdEnergy float64
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), 0)
+			tdEnergy += real(x[i]) * real(x[i])
+		}
+		if err := FFT(x); err != nil {
+			return false
+		}
+		var fdEnergy float64
+		for _, v := range x {
+			fdEnergy += real(v)*real(v) + imag(v)*imag(v)
+		}
+		fdEnergy /= n
+		return math.Abs(tdEnergy-fdEnergy) < 1e-6*math.Max(1, tdEnergy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTLinearityProperty(t *testing.T) {
+	// Property: FFT(a*x + b*y) == a*FFT(x) + b*FFT(y).
+	f := func(seed int64, ar, br float64) bool {
+		if math.IsNaN(ar) || math.IsInf(ar, 0) || math.IsNaN(br) || math.IsInf(br, 0) {
+			return true
+		}
+		// Keep coefficients bounded to avoid float blow-up obscuring the check.
+		a := complex(math.Mod(ar, 10), 0)
+		b := complex(math.Mod(br, 10), 0)
+		const n = 64
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]complex128, n)
+		y := make([]complex128, n)
+		mix := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			y[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			mix[i] = a*x[i] + b*y[i]
+		}
+		if err := FFT(x); err != nil {
+			return false
+		}
+		if err := FFT(y); err != nil {
+			return false
+		}
+		if err := FFT(mix); err != nil {
+			return false
+		}
+		for i := range mix {
+			if cmplx.Abs(mix[i]-(a*x[i]+b*y[i])) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{-5: 1, 0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1000: 1024, 1024: 1024, 1025: 2048}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestZeroPad(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := ZeroPad(x, 5)
+	if len(y) != 5 || y[0] != 1 || y[2] != 3 || y[3] != 0 || y[4] != 0 {
+		t.Fatalf("bad pad: %v", y)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when target shorter than input")
+		}
+	}()
+	ZeroPad(x, 2)
+}
+
+func BenchmarkFFT1024(b *testing.B) {
+	x := make([]complex128, 1024)
+	rng := rand.New(rand.NewSource(7))
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), 0)
+	}
+	buf := make([]complex128, len(x))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, x)
+		if err := FFT(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFFT16384(b *testing.B) {
+	x := make([]complex128, 16384)
+	rng := rand.New(rand.NewSource(7))
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), 0)
+	}
+	buf := make([]complex128, len(x))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, x)
+		if err := FFT(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Spectrum holds a one-sided amplitude spectrum of a real-valued frame.
+// Amplitudes are corrected for window coherent gain so that a pure sine of
+// amplitude A shows a bin amplitude close to A.
+type Spectrum struct {
+	// SampleRate is the acquisition rate in Hz of the source frame.
+	SampleRate float64
+	// Resolution is the bin width in Hz.
+	Resolution float64
+	// Amp[i] is the amplitude of the tone at frequency i*Resolution.
+	Amp []float64
+	// Phase[i] is the phase in radians of bin i.
+	Phase []float64
+}
+
+// NumBins returns the number of frequency bins in the spectrum.
+func (s *Spectrum) NumBins() int { return len(s.Amp) }
+
+// Freq returns the centre frequency of bin i in Hz.
+func (s *Spectrum) Freq(i int) float64 { return float64(i) * s.Resolution }
+
+// Bin returns the bin index nearest to frequency f, clamped to range.
+func (s *Spectrum) Bin(f float64) int {
+	if s.Resolution == 0 || len(s.Amp) == 0 {
+		return 0
+	}
+	i := int(math.Round(f / s.Resolution))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s.Amp) {
+		i = len(s.Amp) - 1
+	}
+	return i
+}
+
+// AmpAt returns the peak amplitude within ±tol Hz of frequency f. Vibration
+// rules use a tolerance of one or two bins to absorb slight speed drift.
+func (s *Spectrum) AmpAt(f, tol float64) float64 {
+	lo := s.Bin(f - tol)
+	hi := s.Bin(f + tol)
+	var m float64
+	for i := lo; i <= hi; i++ {
+		if s.Amp[i] > m {
+			m = s.Amp[i]
+		}
+	}
+	return m
+}
+
+// BandRMS returns the RMS amplitude over [fLo, fHi] Hz.
+func (s *Spectrum) BandRMS(fLo, fHi float64) float64 {
+	lo := s.Bin(fLo)
+	hi := s.Bin(fHi)
+	var sum float64
+	n := 0
+	for i := lo; i <= hi; i++ {
+		// Each spectral line of amplitude A contributes A^2/2 to signal power.
+		sum += s.Amp[i] * s.Amp[i] / 2
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Sqrt(sum)
+}
+
+// TotalRMS returns the overall RMS estimated from all spectral lines,
+// excluding the DC bin.
+func (s *Spectrum) TotalRMS() float64 {
+	if len(s.Amp) < 2 {
+		return 0
+	}
+	return s.BandRMS(s.Resolution, s.Freq(len(s.Amp)-1))
+}
+
+// AnalyzeFrame computes a one-sided amplitude spectrum of frame sampled at
+// sampleRate Hz, applying the given window. Frames whose length is not a
+// power of two are zero-padded.
+func AnalyzeFrame(frame []float64, sampleRate float64, window WindowKind) (*Spectrum, error) {
+	if len(frame) == 0 {
+		return nil, fmt.Errorf("dsp: empty frame")
+	}
+	if sampleRate <= 0 {
+		return nil, fmt.Errorf("dsp: non-positive sample rate %g", sampleRate)
+	}
+	n := NextPow2(len(frame))
+	work := make([]float64, len(frame))
+	copy(work, frame)
+	gain := ApplyWindow(window, work)
+	work = ZeroPad(work, n)
+	spec, err := RealFFT(work)
+	if err != nil {
+		return nil, err
+	}
+	out := &Spectrum{
+		SampleRate: sampleRate,
+		Resolution: sampleRate / float64(n),
+		Amp:        make([]float64, len(spec)),
+		Phase:      make([]float64, len(spec)),
+	}
+	// Scale by frame length (not padded length) and window gain; double
+	// interior bins to fold negative frequencies into the one-sided view.
+	scale := 1 / (float64(len(frame)) * gain)
+	for i, c := range spec {
+		a := cmplx.Abs(c) * scale
+		if i != 0 && i != len(spec)-1 {
+			a *= 2
+		}
+		out.Amp[i] = a
+		out.Phase[i] = cmplx.Phase(c)
+	}
+	return out, nil
+}
+
+// PSD returns the power spectral density estimate (amplitude squared per Hz)
+// for each bin of s.
+func (s *Spectrum) PSD() []float64 {
+	out := make([]float64, len(s.Amp))
+	if s.Resolution == 0 {
+		return out
+	}
+	for i, a := range s.Amp {
+		out[i] = a * a / (2 * s.Resolution)
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package dsp
+
+import (
+	"math"
+	"sort"
+)
+
+// RMS returns the root-mean-square value of x; 0 for an empty slice.
+func RMS(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range x {
+		sum += v * v
+	}
+	return math.Sqrt(sum / float64(len(x)))
+}
+
+// Mean returns the arithmetic mean of x; 0 for an empty slice.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range x {
+		sum += v
+	}
+	return sum / float64(len(x))
+}
+
+// StdDev returns the population standard deviation of x.
+func StdDev(x []float64) float64 {
+	if len(x) < 2 {
+		return 0
+	}
+	m := Mean(x)
+	var sum float64
+	for _, v := range x {
+		d := v - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(x)))
+}
+
+// PeakAbs returns the maximum absolute value in x.
+func PeakAbs(x []float64) float64 {
+	var m float64
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// PeakToPeak returns max(x) - min(x).
+func PeakToPeak(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	mn, mx := x[0], x[0]
+	for _, v := range x[1:] {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx - mn
+}
+
+// CrestFactor returns peak/RMS, a standard early-warning indicator for
+// impulsive bearing faults. Returns 0 when the RMS is 0.
+func CrestFactor(x []float64) float64 {
+	r := RMS(x)
+	if r == 0 {
+		return 0
+	}
+	return PeakAbs(x) / r
+}
+
+// Kurtosis returns the excess-free kurtosis (normal process ≈ 3) of x,
+// another impulsiveness indicator used in bearing diagnostics.
+func Kurtosis(x []float64) float64 {
+	if len(x) < 2 {
+		return 0
+	}
+	m := Mean(x)
+	var m2, m4 float64
+	for _, v := range x {
+		d := v - m
+		d2 := d * d
+		m2 += d2
+		m4 += d2 * d2
+	}
+	n := float64(len(x))
+	m2 /= n
+	m4 /= n
+	if m2 == 0 {
+		return 0
+	}
+	return m4 / (m2 * m2)
+}
+
+// Median returns the median of x without modifying it.
+func Median(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	tmp := make([]float64, len(x))
+	copy(tmp, x)
+	sort.Float64s(tmp)
+	n := len(tmp)
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	return (tmp[n/2-1] + tmp[n/2]) / 2
+}
+
+// Skewness returns the sample skewness of x.
+func Skewness(x []float64) float64 {
+	if len(x) < 2 {
+		return 0
+	}
+	m := Mean(x)
+	var m2, m3 float64
+	for _, v := range x {
+		d := v - m
+		m2 += d * d
+		m3 += d * d * d
+	}
+	n := float64(len(x))
+	m2 /= n
+	m3 /= n
+	if m2 == 0 {
+		return 0
+	}
+	return m3 / math.Pow(m2, 1.5)
+}

@@ -1,0 +1,132 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRMS(t *testing.T) {
+	if RMS(nil) != 0 {
+		t.Error("RMS(nil) != 0")
+	}
+	if got := RMS([]float64{3, 4, 3, 4}); math.Abs(got-math.Sqrt(12.5)) > 1e-12 {
+		t.Errorf("RMS = %g", got)
+	}
+	// Sine of amplitude A has RMS A/sqrt(2).
+	x := sine(10000, 10000, 50, 2)
+	if got := RMS(x); math.Abs(got-2/math.Sqrt2) > 0.01 {
+		t.Errorf("sine RMS = %g, want %g", got, 2/math.Sqrt2)
+	}
+}
+
+func TestMeanMedianStd(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 100}
+	if Mean(x) != 22 {
+		t.Errorf("mean = %g", Mean(x))
+	}
+	if Median(x) != 3 {
+		t.Errorf("median = %g", Median(x))
+	}
+	if Median([]float64{1, 2, 3, 4}) != 2.5 {
+		t.Error("even median")
+	}
+	if Median(nil) != 0 || Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Error("empty-slice stats should be 0")
+	}
+	if StdDev([]float64{5, 5, 5, 5}) != 0 {
+		t.Error("constant stddev should be 0")
+	}
+}
+
+func TestCrestFactorAndKurtosis(t *testing.T) {
+	// A pure sine has crest factor sqrt(2) and kurtosis 1.5.
+	x := sine(8192, 8192, 100, 1)
+	if cf := CrestFactor(x); math.Abs(cf-math.Sqrt2) > 0.01 {
+		t.Errorf("sine crest factor %g, want %g", cf, math.Sqrt2)
+	}
+	if k := Kurtosis(x); math.Abs(k-1.5) > 0.02 {
+		t.Errorf("sine kurtosis %g, want 1.5", k)
+	}
+	// Gaussian noise has kurtosis ≈ 3.
+	rng := rand.New(rand.NewSource(11))
+	g := make([]float64, 100000)
+	for i := range g {
+		g[i] = rng.NormFloat64()
+	}
+	if k := Kurtosis(g); math.Abs(k-3) > 0.1 {
+		t.Errorf("gaussian kurtosis %g, want ≈3", k)
+	}
+	// An impulsive signal has much higher crest factor and kurtosis.
+	imp := make([]float64, 1024)
+	imp[100] = 10
+	imp[500] = -10
+	if CrestFactor(imp) < 10 {
+		t.Error("impulsive crest factor should be large")
+	}
+	if CrestFactor(make([]float64, 4)) != 0 {
+		t.Error("zero signal crest factor should be 0")
+	}
+}
+
+func TestPeakToPeak(t *testing.T) {
+	if PeakToPeak(nil) != 0 {
+		t.Error("empty")
+	}
+	if PeakToPeak([]float64{-3, 2, 7, -1}) != 10 {
+		t.Error("p2p")
+	}
+}
+
+func TestSkewness(t *testing.T) {
+	// Symmetric data: ~0 skewness.
+	if s := Skewness([]float64{-2, -1, 0, 1, 2}); math.Abs(s) > 1e-12 {
+		t.Errorf("symmetric skewness %g", s)
+	}
+	// Right-skewed data: positive.
+	if s := Skewness([]float64{1, 1, 1, 1, 10}); s <= 0 {
+		t.Errorf("right-skewed skewness %g", s)
+	}
+	if Skewness([]float64{2, 2, 2}) != 0 {
+		t.Error("constant skewness should be 0")
+	}
+}
+
+func TestStatsInvariantsProperty(t *testing.T) {
+	// Properties on random data: RMS >= |mean|; peak >= RMS; shift invariance
+	// of stddev; scale covariance of RMS.
+	f := func(seed int64, shift float64) bool {
+		if math.IsNaN(shift) || math.IsInf(shift, 0) {
+			return true
+		}
+		shift = math.Mod(shift, 1e3)
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]float64, 257)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 5
+		}
+		if RMS(x) < math.Abs(Mean(x))-1e-9 {
+			return false
+		}
+		if PeakAbs(x) < RMS(x)-1e-9 {
+			return false
+		}
+		shifted := make([]float64, len(x))
+		scaled := make([]float64, len(x))
+		for i, v := range x {
+			shifted[i] = v + shift
+			scaled[i] = v * 3
+		}
+		if math.Abs(StdDev(shifted)-StdDev(x)) > 1e-6 {
+			return false
+		}
+		if math.Abs(RMS(scaled)-3*RMS(x)) > 1e-6 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package dsp
+
+import "math"
+
+// WindowKind selects a tapering window for spectral analysis frames.
+type WindowKind int
+
+const (
+	// Rectangular applies no tapering (all ones).
+	Rectangular WindowKind = iota
+	// Hann is the raised-cosine window; the default for vibration spectra
+	// because of its good sidelobe behaviour on rotating-machinery tones.
+	Hann
+	// Hamming is the classic Hamming window.
+	Hamming
+	// Blackman is the three-term Blackman window with very low sidelobes.
+	Blackman
+	// FlatTop is a five-term flat-top window used when amplitude accuracy
+	// of discrete tones matters more than frequency resolution.
+	FlatTop
+)
+
+// String returns the human-readable window name.
+func (w WindowKind) String() string {
+	switch w {
+	case Rectangular:
+		return "rectangular"
+	case Hann:
+		return "hann"
+	case Hamming:
+		return "hamming"
+	case Blackman:
+		return "blackman"
+	case FlatTop:
+		return "flattop"
+	default:
+		return "unknown"
+	}
+}
+
+// Window returns the n window coefficients for kind.
+func Window(kind WindowKind, n int) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	den := float64(n - 1)
+	for i := 0; i < n; i++ {
+		t := float64(i) / den
+		switch kind {
+		case Rectangular:
+			w[i] = 1
+		case Hann:
+			w[i] = 0.5 - 0.5*math.Cos(2*math.Pi*t)
+		case Hamming:
+			w[i] = 0.54 - 0.46*math.Cos(2*math.Pi*t)
+		case Blackman:
+			w[i] = 0.42 - 0.5*math.Cos(2*math.Pi*t) + 0.08*math.Cos(4*math.Pi*t)
+		case FlatTop:
+			w[i] = 0.21557895 -
+				0.41663158*math.Cos(2*math.Pi*t) +
+				0.277263158*math.Cos(4*math.Pi*t) -
+				0.083578947*math.Cos(6*math.Pi*t) +
+				0.006947368*math.Cos(8*math.Pi*t)
+		}
+	}
+	return w
+}
+
+// ApplyWindow multiplies x element-wise by the window coefficients for kind
+// and returns the coherent gain of the window (mean of its coefficients),
+// which callers use to correct tone amplitudes.
+func ApplyWindow(kind WindowKind, x []float64) float64 {
+	w := Window(kind, len(x))
+	var sum float64
+	for i := range x {
+		x[i] *= w[i]
+		sum += w[i]
+	}
+	if len(x) == 0 {
+		return 1
+	}
+	return sum / float64(len(x))
+}

@@ -1,0 +1,198 @@
+// Package ema simulates the electro-mechanical actuator of the paper's
+// Figure 3 workload: "EMAs are essentially large solenoids meant to replace
+// hydraulic actuators for the steering of rocket engines. Prediction of
+// this fault was done by recognizing stiction in the mechanism" — spikes in
+// the drive motor current that are not associated with a commanded position
+// change (CPOS).
+//
+// The simulator produces two sample streams at a fixed tick rate: drive
+// motor current and commanded position. Commanded moves produce a current
+// spike that trails the CPOS step by a configurable latency (a real
+// actuator draws extra current while it accelerates). Stiction events
+// inject the same spike shape with no CPOS change. Both ride on Gaussian
+// measurement noise.
+package ema
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Config parametrizes the actuator simulation.
+type Config struct {
+	// BaseCurrent is the quiescent drive current (normalized units).
+	BaseCurrent float64
+	// SpikeHeight is the current rise of a spike above baseline.
+	SpikeHeight float64
+	// SpikeRiseTicks and SpikeFallTicks shape the spike ramp.
+	SpikeRiseTicks int
+	SpikeFallTicks int
+	// CommandLatency is how many ticks after a CPOS change the commanded
+	// move's current spike begins.
+	CommandLatency int
+	// NoiseStd is the standard deviation of current measurement noise.
+	NoiseStd float64
+	// Seed makes the run reproducible.
+	Seed int64
+}
+
+// DefaultConfig returns parameters matching the thresholds in
+// sbfr.EMASource (spikes rise >0.5/tick above a ~1.0 baseline).
+func DefaultConfig() Config {
+	return Config{
+		BaseCurrent:    1.0,
+		SpikeHeight:    2.0,
+		SpikeRiseTicks: 2,
+		SpikeFallTicks: 2,
+		CommandLatency: 2,
+		NoiseStd:       0.03,
+	}
+}
+
+// Event is a scheduled occurrence in the simulation.
+type Event struct {
+	// Tick is when the event begins.
+	Tick int
+	// Kind distinguishes commanded moves from stiction spikes.
+	Kind EventKind
+	// PositionDelta is the commanded position change (Command events).
+	PositionDelta float64
+}
+
+// EventKind enumerates simulation events.
+type EventKind int
+
+const (
+	// Command is an operator-commanded position change: CPOS steps, and the
+	// current spikes CommandLatency ticks later.
+	Command EventKind = iota
+	// StictionSpike is an uncommanded current spike caused by the sticking
+	// mechanism — the fault precursor the Figure 3 machines count.
+	StictionSpike
+)
+
+// Sample is one tick of simulated sensor data.
+type Sample struct {
+	Tick    int
+	Current float64
+	CPOS    float64
+}
+
+// Simulator generates the two-channel EMA stream.
+type Simulator struct {
+	cfg  Config
+	rng  *rand.Rand
+	cpos float64
+	// spikeUntil maps ticks to residual spike amplitude contributions.
+	spikes []spike
+	tick   int
+	events []Event
+	next   int
+}
+
+type spike struct{ start int }
+
+// NewSimulator builds a simulator with the given config and event schedule.
+// Events must be sorted by tick.
+func NewSimulator(cfg Config, events []Event) (*Simulator, error) {
+	if cfg.SpikeRiseTicks < 1 || cfg.SpikeFallTicks < 1 {
+		return nil, fmt.Errorf("ema: spike ramps must be at least one tick")
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Tick < events[i-1].Tick {
+			return nil, fmt.Errorf("ema: events not sorted by tick")
+		}
+	}
+	return &Simulator{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		events: events,
+	}, nil
+}
+
+// Step produces the next sample.
+func (s *Simulator) Step() Sample {
+	// Activate due events.
+	for s.next < len(s.events) && s.events[s.next].Tick == s.tick {
+		ev := s.events[s.next]
+		s.next++
+		switch ev.Kind {
+		case Command:
+			s.cpos += ev.PositionDelta
+			s.spikes = append(s.spikes, spike{start: s.tick + s.cfg.CommandLatency})
+		case StictionSpike:
+			s.spikes = append(s.spikes, spike{start: s.tick})
+		}
+	}
+	current := s.cfg.BaseCurrent + s.rng.NormFloat64()*s.cfg.NoiseStd
+	// Superimpose active spikes (triangular ramp up then down).
+	total := s.cfg.SpikeRiseTicks + s.cfg.SpikeFallTicks
+	kept := s.spikes[:0]
+	for _, sp := range s.spikes {
+		age := s.tick - sp.start
+		if age < 0 {
+			kept = append(kept, sp)
+			continue
+		}
+		if age < total {
+			var frac float64
+			if age < s.cfg.SpikeRiseTicks {
+				frac = float64(age+1) / float64(s.cfg.SpikeRiseTicks)
+			} else {
+				frac = float64(total-age-1) / float64(s.cfg.SpikeFallTicks)
+			}
+			current += s.cfg.SpikeHeight * frac
+			kept = append(kept, sp)
+		}
+	}
+	s.spikes = kept
+	out := Sample{Tick: s.tick, Current: current, CPOS: s.cpos}
+	s.tick++
+	return out
+}
+
+// Run produces n samples.
+func (s *Simulator) Run(n int) []Sample {
+	out := make([]Sample, n)
+	for i := range out {
+		out[i] = s.Step()
+	}
+	return out
+}
+
+// Scenario builders -------------------------------------------------------
+
+// HealthyScenario schedules only commanded moves: numMoves commands spaced
+// spacing ticks apart starting at start.
+func HealthyScenario(start, numMoves, spacing int) []Event {
+	out := make([]Event, 0, numMoves)
+	for i := 0; i < numMoves; i++ {
+		out = append(out, Event{Tick: start + i*spacing, Kind: Command, PositionDelta: 1})
+	}
+	return out
+}
+
+// StictionScenario schedules commanded moves interleaved with uncommanded
+// stiction spikes: the degradation signature of an EMA approaching seize-up.
+func StictionScenario(start, numSpikes, spacing int) []Event {
+	out := make([]Event, 0, numSpikes)
+	for i := 0; i < numSpikes; i++ {
+		out = append(out, Event{Tick: start + i*spacing, Kind: StictionSpike})
+	}
+	return out
+}
+
+// MergeEvents combines schedules into one sorted schedule.
+func MergeEvents(lists ...[]Event) []Event {
+	var all []Event
+	for _, l := range lists {
+		all = append(all, l...)
+	}
+	// Insertion sort: schedules are short.
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0 && all[j].Tick < all[j-1].Tick; j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+	return all
+}

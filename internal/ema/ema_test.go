@@ -1,0 +1,155 @@
+package ema
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHealthyBaseline(t *testing.T) {
+	sim, err := NewSimulator(DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := sim.Run(500)
+	if len(samples) != 500 {
+		t.Fatalf("got %d samples", len(samples))
+	}
+	var sum float64
+	for i, s := range samples {
+		if s.Tick != i {
+			t.Fatalf("tick %d mislabeled as %d", i, s.Tick)
+		}
+		if s.CPOS != 0 {
+			t.Fatalf("cpos moved without command: %g", s.CPOS)
+		}
+		sum += s.Current
+	}
+	mean := sum / 500
+	if math.Abs(mean-1.0) > 0.02 {
+		t.Errorf("baseline mean %g, want ≈1.0", mean)
+	}
+}
+
+func TestCommandProducesCposStepAndDelayedSpike(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NoiseStd = 0 // deterministic
+	sim, err := NewSimulator(cfg, []Event{{Tick: 10, Kind: Command, PositionDelta: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := sim.Run(30)
+	if samples[9].CPOS != 0 || samples[10].CPOS != 2 {
+		t.Fatalf("cpos step wrong: %g -> %g", samples[9].CPOS, samples[10].CPOS)
+	}
+	// Current is flat until CommandLatency after the step.
+	for i := 0; i < 10+cfg.CommandLatency; i++ {
+		if math.Abs(samples[i].Current-cfg.BaseCurrent) > 1e-9 {
+			t.Fatalf("tick %d current %g before spike should be baseline", i, samples[i].Current)
+		}
+	}
+	// Peak reaches baseline + height during the spike.
+	peak := 0.0
+	for _, s := range samples[12:18] {
+		if s.Current > peak {
+			peak = s.Current
+		}
+	}
+	if math.Abs(peak-(cfg.BaseCurrent+cfg.SpikeHeight)) > 1e-9 {
+		t.Errorf("spike peak %g, want %g", peak, cfg.BaseCurrent+cfg.SpikeHeight)
+	}
+	// Current returns to baseline after the spike.
+	last := samples[29]
+	if math.Abs(last.Current-cfg.BaseCurrent) > 1e-9 {
+		t.Errorf("current did not settle: %g", last.Current)
+	}
+}
+
+func TestStictionSpikeWithoutCposChange(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NoiseStd = 0
+	sim, err := NewSimulator(cfg, []Event{{Tick: 5, Kind: StictionSpike}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := sim.Run(20)
+	for _, s := range samples {
+		if s.CPOS != 0 {
+			t.Fatal("stiction spike must not move cpos")
+		}
+	}
+	if samples[5].Current <= cfg.BaseCurrent {
+		t.Error("spike should start immediately at its tick")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SpikeRiseTicks = 0
+	if _, err := NewSimulator(cfg, nil); err == nil {
+		t.Error("zero rise ticks should error")
+	}
+	if _, err := NewSimulator(DefaultConfig(), []Event{{Tick: 10}, {Tick: 5}}); err == nil {
+		t.Error("unsorted events should error")
+	}
+}
+
+func TestScenarioBuilders(t *testing.T) {
+	h := HealthyScenario(10, 3, 20)
+	if len(h) != 3 || h[0].Tick != 10 || h[2].Tick != 50 || h[0].Kind != Command {
+		t.Errorf("healthy %v", h)
+	}
+	s := StictionScenario(5, 4, 10)
+	if len(s) != 4 || s[3].Tick != 35 || s[0].Kind != StictionSpike {
+		t.Errorf("stiction %v", s)
+	}
+	m := MergeEvents(h, s)
+	if len(m) != 7 {
+		t.Fatalf("merged %d", len(m))
+	}
+	for i := 1; i < len(m); i++ {
+		if m[i].Tick < m[i-1].Tick {
+			t.Fatal("merge not sorted")
+		}
+	}
+}
+
+func TestReproducibility(t *testing.T) {
+	run := func() []Sample {
+		cfg := DefaultConfig()
+		cfg.Seed = 99
+		sim, err := NewSimulator(cfg, StictionScenario(10, 3, 20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim.Run(100)
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d", i)
+		}
+	}
+}
+
+func TestOverlappingSpikesSuperimpose(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NoiseStd = 0
+	sim, err := NewSimulator(cfg, []Event{
+		{Tick: 5, Kind: StictionSpike},
+		{Tick: 5, Kind: StictionSpike},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := sim.Run(15)
+	peak := 0.0
+	for _, s := range samples {
+		if s.Current > peak {
+			peak = s.Current
+		}
+	}
+	want := cfg.BaseCurrent + 2*cfg.SpikeHeight
+	if math.Abs(peak-want) > 1e-9 {
+		t.Errorf("superimposed peak %g, want %g", peak, want)
+	}
+}

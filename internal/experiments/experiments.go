@@ -1,0 +1,107 @@
+// Package experiments implements the per-experiment reproduction harness
+// indexed in DESIGN.md: every behavioural figure and quantitative claim in
+// the paper has a function here that regenerates it as a printable table.
+// cmd/mprosbench prints them; the root bench_test.go wraps them as Go
+// benchmarks; EXPERIMENTS.md records paper-vs-measured for each.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Result is one experiment's regenerated table.
+type Result struct {
+	// ID is the experiment id from DESIGN.md (E1..E12).
+	ID string
+	// Title summarizes what is reproduced.
+	Title string
+	// PaperClaim quotes or paraphrases what the paper reports.
+	PaperClaim string
+	// Header and Rows form the regenerated table.
+	Header []string
+	Rows   [][]string
+	// Notes carry measured-vs-paper commentary.
+	Notes []string
+}
+
+// Render formats the result as an aligned text table.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	if r.PaperClaim != "" {
+		fmt.Fprintf(&b, "paper: %s\n", r.PaperClaim)
+	}
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Header)
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Runner is an experiment entry point. Seed makes randomized workloads
+// reproducible; implementations that are deterministic ignore it.
+type Runner func(seed int64) (*Result, error)
+
+// Registry maps experiment ids to runners.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"E1":  E1DempsterWorkedExample,
+		"E2":  E2PrognosticFusion,
+		"E3":  E3StictionDetect,
+		"E4":  E4SBFRFootprintAndCycle,
+		"E5":  E5ExpertAgreement,
+		"E6":  E6SeverityMapping,
+		"E7":  E7IngestThroughput,
+		"E8":  E8GroupAblation,
+		"E9":  E9DSvsBayes,
+		"E10": E10Figure2Browser,
+		"E11": E11EventLatency,
+		"E12": E12HazardRefinement,
+	}
+}
+
+// IDs returns the experiment ids in order.
+func IDs() []string {
+	reg := Registry()
+	out := make([]string, 0, len(reg))
+	for id := range reg {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// Numeric sort on the suffix.
+		var a, b int
+		fmt.Sscanf(out[i], "E%d", &a)
+		fmt.Sscanf(out[j], "E%d", &b)
+		return a < b
+	})
+	return out
+}
+
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }

@@ -1,0 +1,360 @@
+// Package fusion implements MPROS Knowledge Fusion (§5): "the coordination
+// of individual data reports from a variety of sensors ... higher level
+// than pure 'data fusion'".
+//
+// Diagnostic fusion (§5.3) combines incoming condition reports with
+// Dempster-Shafer belief maintenance, "facilitated by use of a heuristic
+// that groups similar failures into logical groups": a plain single-frame
+// Dempster-Shafer treatment "assumes that any one failure precludes any
+// other failures. However this is not the case in CBM, there can, in fact,
+// be several failures at one time". Failures within a group "might be
+// mistaken for one another, so they are logically related and should share
+// probabilities"; failures in different groups stay independent, each group
+// carrying its own frame of discernment and its own unknown mass.
+//
+// Prognostic fusion (§5.4) combines (time, probability) vectors by "taking
+// the most conservative estimate at any given time period, and
+// interpolating a smooth curve from point to point".
+package fusion
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/dempster"
+)
+
+// Groups maps a logical failure group name to its member condition names.
+type Groups map[string][]string
+
+// otherHypothesis is a reserved frame member added to every group so the
+// frame of discernment is never exhausted by the known failures: even a
+// single-condition group keeps a representable "some other failure"
+// alternative, and with it a meaningful unknown mass. Without it a
+// one-condition group's Θ would equal the condition itself and its belief
+// would be degenerately 1 before any report arrived.
+const otherHypothesis = "__other__"
+
+// Validate checks that groups are non-empty and no condition appears twice.
+func (g Groups) Validate() error {
+	if len(g) == 0 {
+		return fmt.Errorf("fusion: no failure groups")
+	}
+	seen := map[string]string{}
+	for name, conds := range g {
+		if len(conds) == 0 {
+			return fmt.Errorf("fusion: group %q is empty", name)
+		}
+		if len(conds) >= dempster.MaxHypotheses-1 {
+			return fmt.Errorf("fusion: group %q too large", name)
+		}
+		for _, c := range conds {
+			if c == otherHypothesis {
+				return fmt.Errorf("fusion: condition name %q is reserved", c)
+			}
+			if prev, dup := seen[c]; dup {
+				return fmt.Errorf("fusion: condition %q in both %q and %q", c, prev, name)
+			}
+			seen[c] = name
+		}
+	}
+	return nil
+}
+
+// ConditionBelief is one fused conclusion for the prioritized maintenance
+// list.
+type ConditionBelief struct {
+	// Condition is the machine condition name.
+	Condition string
+	// Group is the logical failure group it belongs to.
+	Group string
+	// Belief is the fused Dempster-Shafer belief in this condition.
+	Belief float64
+	// Plausibility is the fused upper bound.
+	Plausibility float64
+	// Reports is how many reports have mentioned this condition.
+	Reports int
+}
+
+// groupState is the running belief state of one (component, group) pair.
+type groupState struct {
+	frame *dempster.Frame
+	mass  *dempster.Mass
+	// reports counts per-condition report arrivals.
+	reports map[string]int
+}
+
+// DiagnosticFuser maintains fused beliefs per component, partitioned into
+// logical failure groups. Safe for concurrent use.
+type DiagnosticFuser struct {
+	mu          sync.RWMutex
+	groups      Groups
+	groupOf     map[string]string
+	states      map[string]map[string]*groupState // component -> group -> state
+	maxBelief   float64
+	totalFusedN int
+}
+
+// NewDiagnosticFuser builds a fuser over the given failure groups. Incoming
+// report beliefs are clamped to 0.999 so two certain-but-contradictory
+// sources discount each other instead of producing total conflict.
+func NewDiagnosticFuser(groups Groups) (*DiagnosticFuser, error) {
+	if err := groups.Validate(); err != nil {
+		return nil, err
+	}
+	df := &DiagnosticFuser{
+		groups:    groups,
+		groupOf:   make(map[string]string),
+		states:    make(map[string]map[string]*groupState),
+		maxBelief: 0.999,
+	}
+	for name, conds := range groups {
+		for _, c := range conds {
+			df.groupOf[c] = name
+		}
+	}
+	return df, nil
+}
+
+// GroupOf returns the logical group of a condition.
+func (df *DiagnosticFuser) GroupOf(condition string) (string, error) {
+	g, ok := df.groupOf[condition]
+	if !ok {
+		return "", fmt.Errorf("fusion: condition %q not in any failure group", condition)
+	}
+	return g, nil
+}
+
+func (df *DiagnosticFuser) state(component, group string) (*groupState, error) {
+	byGroup, ok := df.states[component]
+	if !ok {
+		byGroup = make(map[string]*groupState)
+		df.states[component] = byGroup
+	}
+	st, ok := byGroup[group]
+	if !ok {
+		frame, err := dempster.NewFrame(append(append([]string(nil), df.groups[group]...), otherHypothesis)...)
+		if err != nil {
+			return nil, err
+		}
+		st = &groupState{
+			frame:   frame,
+			mass:    dempster.VacuousMass(frame),
+			reports: make(map[string]int),
+		}
+		byGroup[group] = st
+	}
+	return st, nil
+}
+
+// AddReport fuses one diagnostic report: a knowledge source asserting the
+// condition on the component with the given belief. It returns the updated
+// fused belief in that condition. Per §5.6, the update also reweights every
+// other failure in the condition's logical group and the group's unknown
+// mass — all readable afterwards via Belief/Unknown/Ranked.
+func (df *DiagnosticFuser) AddReport(component, condition string, belief float64) (float64, error) {
+	if component == "" {
+		return 0, fmt.Errorf("fusion: empty component")
+	}
+	if belief < 0 || belief > 1 {
+		return 0, fmt.Errorf("fusion: belief %g outside [0,1]", belief)
+	}
+	group, err := df.GroupOf(condition)
+	if err != nil {
+		return 0, err
+	}
+	if belief > df.maxBelief {
+		belief = df.maxBelief
+	}
+	df.mu.Lock()
+	defer df.mu.Unlock()
+	st, err := df.state(component, group)
+	if err != nil {
+		return 0, err
+	}
+	hyp, err := st.frame.Hypothesis(condition)
+	if err != nil {
+		return 0, err
+	}
+	evidence, err := dempster.SimpleSupport(st.frame, hyp, belief)
+	if err != nil {
+		return 0, err
+	}
+	combined, _, err := dempster.Combine(st.mass, evidence)
+	if err != nil {
+		return 0, err
+	}
+	st.mass = combined
+	st.reports[condition]++
+	df.totalFusedN++
+	return st.mass.Belief(hyp), nil
+}
+
+// Belief returns the fused belief in a condition on a component (0 when no
+// reports have arrived).
+func (df *DiagnosticFuser) Belief(component, condition string) (float64, error) {
+	group, err := df.GroupOf(condition)
+	if err != nil {
+		return 0, err
+	}
+	df.mu.RLock()
+	defer df.mu.RUnlock()
+	byGroup := df.states[component]
+	if byGroup == nil || byGroup[group] == nil {
+		return 0, nil
+	}
+	st := byGroup[group]
+	hyp, err := st.frame.Hypothesis(condition)
+	if err != nil {
+		return 0, err
+	}
+	return st.mass.Belief(hyp), nil
+}
+
+// Plausibility returns the fused plausibility of a condition.
+func (df *DiagnosticFuser) Plausibility(component, condition string) (float64, error) {
+	group, err := df.GroupOf(condition)
+	if err != nil {
+		return 0, err
+	}
+	df.mu.RLock()
+	defer df.mu.RUnlock()
+	byGroup := df.states[component]
+	if byGroup == nil || byGroup[group] == nil {
+		return 1, nil // vacuous: everything fully plausible
+	}
+	st := byGroup[group]
+	hyp, err := st.frame.Hypothesis(condition)
+	if err != nil {
+		return 0, err
+	}
+	return st.mass.Plausibility(hyp), nil
+}
+
+// Unknown returns the §5.3 "likelihood of unknown possibilities" for a
+// component's failure group — 1.0 before any report arrives.
+func (df *DiagnosticFuser) Unknown(component, group string) (float64, error) {
+	if _, ok := df.groups[group]; !ok {
+		return 0, fmt.Errorf("fusion: unknown group %q", group)
+	}
+	df.mu.RLock()
+	defer df.mu.RUnlock()
+	byGroup := df.states[component]
+	if byGroup == nil || byGroup[group] == nil {
+		return 1, nil
+	}
+	return byGroup[group].mass.Unknown(), nil
+}
+
+// Ranked returns every condition reported against the component, ranked by
+// fused belief descending — the prioritized list the PDME shows maintenance
+// personnel.
+func (df *DiagnosticFuser) Ranked(component string) []ConditionBelief {
+	df.mu.RLock()
+	defer df.mu.RUnlock()
+	var out []ConditionBelief
+	for group, st := range df.states[component] {
+		for cond, n := range st.reports {
+			hyp, err := st.frame.Hypothesis(cond)
+			if err != nil {
+				continue
+			}
+			out = append(out, ConditionBelief{
+				Condition:    cond,
+				Group:        group,
+				Belief:       st.mass.Belief(hyp),
+				Plausibility: st.mass.Plausibility(hyp),
+				Reports:      n,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Belief != out[j].Belief {
+			return out[i].Belief > out[j].Belief
+		}
+		return out[i].Condition < out[j].Condition
+	})
+	return out
+}
+
+// Components returns every component with at least one fused report.
+func (df *DiagnosticFuser) Components() []string {
+	df.mu.RLock()
+	defer df.mu.RUnlock()
+	out := make([]string, 0, len(df.states))
+	for c := range df.states {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ReportCount returns the total number of fused reports.
+func (df *DiagnosticFuser) ReportCount() int {
+	df.mu.RLock()
+	defer df.mu.RUnlock()
+	return df.totalFusedN
+}
+
+// NaiveFuser is the E8 ablation baseline: a single global frame over ALL
+// conditions, exactly the construction §5.3 rejects because it "assumes
+// mutual exclusivity of failures". It shares the DiagnosticFuser interface
+// shape for belief queries.
+type NaiveFuser struct {
+	mu    sync.Mutex
+	frame *dempster.Frame
+	state map[string]*dempster.Mass // component -> mass
+}
+
+// NewNaiveFuser builds the single-frame baseline over all conditions (plus
+// the reserved "other" hypothesis, matching the grouped fuser's frames).
+func NewNaiveFuser(conditions []string) (*NaiveFuser, error) {
+	frame, err := dempster.NewFrame(append(append([]string(nil), conditions...), otherHypothesis)...)
+	if err != nil {
+		return nil, err
+	}
+	return &NaiveFuser{frame: frame, state: make(map[string]*dempster.Mass)}, nil
+}
+
+// AddReport fuses a report into the single global frame.
+func (nf *NaiveFuser) AddReport(component, condition string, belief float64) (float64, error) {
+	if belief > 0.999 {
+		belief = 0.999
+	}
+	nf.mu.Lock()
+	defer nf.mu.Unlock()
+	m, ok := nf.state[component]
+	if !ok {
+		m = dempster.VacuousMass(nf.frame)
+	}
+	hyp, err := nf.frame.Hypothesis(condition)
+	if err != nil {
+		return 0, err
+	}
+	ev, err := dempster.SimpleSupport(nf.frame, hyp, belief)
+	if err != nil {
+		return 0, err
+	}
+	combined, _, err := dempster.Combine(m, ev)
+	if err != nil {
+		return 0, err
+	}
+	nf.state[component] = combined
+	return combined.Belief(hyp), nil
+}
+
+// Belief returns the fused belief in a condition.
+func (nf *NaiveFuser) Belief(component, condition string) (float64, error) {
+	nf.mu.Lock()
+	defer nf.mu.Unlock()
+	m, ok := nf.state[component]
+	if !ok {
+		return 0, nil
+	}
+	hyp, err := nf.frame.Hypothesis(condition)
+	if err != nil {
+		return 0, err
+	}
+	return m.Belief(hyp), nil
+}

@@ -1,0 +1,144 @@
+package oosm
+
+import (
+	"sync"
+	"time"
+)
+
+// EventKind enumerates the model change notifications of §4.5.
+type EventKind int
+
+const (
+	// ObjectCreated fires when a new object instance is created.
+	ObjectCreated EventKind = iota
+	// ObjectDeleted fires when an object is deleted.
+	ObjectDeleted
+	// PropertyChanged fires once per changed property on SetProps.
+	PropertyChanged
+	// RelationAdded fires when a relationship is recorded.
+	RelationAdded
+	// RelationRemoved fires when a relationship is removed.
+	RelationRemoved
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case ObjectCreated:
+		return "object-created"
+	case ObjectDeleted:
+		return "object-deleted"
+	case PropertyChanged:
+		return "property-changed"
+	case RelationAdded:
+		return "relation-added"
+	case RelationRemoved:
+		return "relation-removed"
+	default:
+		return "unknown"
+	}
+}
+
+// Event describes one model change.
+type Event struct {
+	Kind     EventKind
+	Object   ObjectID
+	Property string  // set for PropertyChanged
+	Value    any     // set for PropertyChanged
+	Relation RelKind // set for RelationAdded/Removed
+	Other    ObjectID
+	Time     time.Time
+}
+
+// Subscription is a handle for cancelling an event subscription.
+type Subscription struct {
+	hub *eventHub
+	id  int
+}
+
+// Cancel removes the subscription; it is safe to call more than once.
+func (s *Subscription) Cancel() {
+	if s == nil || s.hub == nil {
+		return
+	}
+	s.hub.remove(s.id)
+	s.hub = nil
+}
+
+// Handler receives model events. Handlers run synchronously on the mutating
+// goroutine (the paper's OLE Automation events are likewise synchronous
+// callbacks); handlers must not block and must not mutate the model
+// reentrantly in ways that could deadlock their own goroutine's locks.
+type Handler func(Event)
+
+type subscriber struct {
+	id     int
+	class  string // "" = all classes
+	kind   EventKind
+	any    bool // ignore kind filter
+	handle Handler
+}
+
+type eventHub struct {
+	mu     sync.RWMutex
+	nextID int
+	subs   []subscriber
+}
+
+func newEventHub() *eventHub { return &eventHub{} }
+
+func (h *eventHub) publish(e Event) {
+	h.mu.RLock()
+	// Copy the handler list so handlers can subscribe/cancel reentrantly.
+	subs := make([]subscriber, len(h.subs))
+	copy(subs, h.subs)
+	h.mu.RUnlock()
+	for _, s := range subs {
+		if s.class != "" && s.class != e.Object.Class {
+			continue
+		}
+		if !s.any && s.kind != e.Kind {
+			continue
+		}
+		s.handle(e)
+	}
+}
+
+func (h *eventHub) add(s subscriber) *Subscription {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.nextID++
+	s.id = h.nextID
+	h.subs = append(h.subs, s)
+	return &Subscription{hub: h, id: s.id}
+}
+
+func (h *eventHub) remove(id int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, s := range h.subs {
+		if s.id == id {
+			h.subs = append(h.subs[:i], h.subs[i+1:]...)
+			return
+		}
+	}
+}
+
+// Subscribe registers a handler for every event of the given kind, on any
+// class. The returned subscription cancels it.
+func (m *Model) Subscribe(kind EventKind, fn Handler) *Subscription {
+	return m.events.add(subscriber{kind: kind, handle: fn})
+}
+
+// SubscribeClass registers a handler for events of the given kind on objects
+// of one class. Knowledge Fusion uses this to "automatically process failure
+// prediction reports as they are delivered to the OOSM" (§4.5).
+func (m *Model) SubscribeClass(class string, kind EventKind, fn Handler) *Subscription {
+	return m.events.add(subscriber{class: class, kind: kind, handle: fn})
+}
+
+// SubscribeAll registers a handler for every event on every class — the
+// PDME browser uses this to refresh its display.
+func (m *Model) SubscribeAll(fn Handler) *Subscription {
+	return m.events.add(subscriber{any: true, handle: fn})
+}

@@ -1,0 +1,351 @@
+// Package oosm implements the Object-Oriented Ship Model of §4: a persistent
+// repository of machinery state "used for communication between the various
+// prognostic and diagnostic software modules".
+//
+// Entities are objects with typed properties and relationships to other
+// entities ("part-of", "kind-of", "proximity", "flow", "refers-to"). An
+// event model notifies client programs of changes "without the need to
+// poll" (§4.5) — Knowledge Fusion subscribes to process failure prediction
+// reports as they arrive. Persistence follows §4.6: "object types are
+// mapped to tables and properties and relationships are mapped to columns
+// and helper tables", here on the internal/relstore engine; persistence is
+// "entirely managed in the background" — callers never see the tables.
+package oosm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/relstore"
+)
+
+// PropType enumerates the value types an object property can hold.
+type PropType int
+
+const (
+	// PropString is a text property (name, manufacturer, ...).
+	PropString PropType = iota
+	// PropFloat is a numeric property (capacity, energy usage, ...).
+	PropFloat
+	// PropInt is an integer property.
+	PropInt
+	// PropBool is a boolean property.
+	PropBool
+	// PropTime is a timestamp property.
+	PropTime
+)
+
+func (p PropType) column() relstore.ColumnType {
+	switch p {
+	case PropString:
+		return relstore.String
+	case PropFloat:
+		return relstore.Float
+	case PropInt:
+		return relstore.Int
+	case PropBool:
+		return relstore.Bool
+	case PropTime:
+		return relstore.Time
+	default:
+		return relstore.String
+	}
+}
+
+// Class describes an object type: its name and property schema. Classes
+// mirror the paper's physical entities (sensor, motor, compressor, deck,
+// ship) and abstract ones (failure prediction report, knowledge source).
+type Class struct {
+	// Name is the class name, unique within a model.
+	Name string
+	// Props maps property names to types.
+	Props map[string]PropType
+}
+
+// ObjectID identifies an object instance: its class plus a per-class serial.
+type ObjectID struct {
+	Class string
+	Num   int64
+}
+
+// String renders the id as "class/num"; this form is also accepted by
+// ParseObjectID and used as the SensedObjectID in protocol reports.
+func (id ObjectID) String() string { return fmt.Sprintf("%s/%d", id.Class, id.Num) }
+
+// IsZero reports whether the id is the zero value.
+func (id ObjectID) IsZero() bool { return id.Class == "" && id.Num == 0 }
+
+// ParseObjectID parses the "class/num" form produced by ObjectID.String.
+func ParseObjectID(s string) (ObjectID, error) {
+	var id ObjectID
+	i := -1
+	for j := len(s) - 1; j >= 0; j-- {
+		if s[j] == '/' {
+			i = j
+			break
+		}
+	}
+	if i <= 0 || i == len(s)-1 {
+		return id, fmt.Errorf("oosm: malformed object id %q", s)
+	}
+	id.Class = s[:i]
+	if _, err := fmt.Sscanf(s[i+1:], "%d", &id.Num); err != nil {
+		return id, fmt.Errorf("oosm: malformed object id %q: %w", s, err)
+	}
+	return id, nil
+}
+
+// Model is the ship model: a set of classes, their object instances, and the
+// relationship graph, persisted transparently to a relstore database.
+// All methods are safe for concurrent use.
+type Model struct {
+	mu      sync.RWMutex
+	db      *relstore.DB
+	classes map[string]Class
+	events  *eventHub
+}
+
+const relTable = "oosm_relationships"
+
+// NewModel creates a model persisted in db (use relstore.NewMemory for a
+// volatile model or relstore.Open for a durable one). Classes registered by
+// earlier sessions against the same database are available after re-opening
+// once RegisterClass is called again with the same schemas.
+func NewModel(db *relstore.DB) (*Model, error) {
+	m := &Model{
+		db:      db,
+		classes: make(map[string]Class),
+		events:  newEventHub(),
+	}
+	err := db.EnsureTable(relstore.Schema{
+		Name: relTable,
+		Columns: []relstore.Column{
+			{Name: "kind", Type: relstore.String, Indexed: true},
+			{Name: "from", Type: relstore.String, Indexed: true},
+			{Name: "to", Type: relstore.String, Indexed: true},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func classTable(class string) string { return "oosm_obj_" + class }
+
+// RegisterClass declares (or re-attaches to) an object class. Property names
+// must not collide with the reserved "id" column.
+func (m *Model) RegisterClass(c Class) error {
+	if c.Name == "" {
+		return fmt.Errorf("oosm: empty class name")
+	}
+	if len(c.Props) == 0 {
+		return fmt.Errorf("oosm: class %q has no properties", c.Name)
+	}
+	cols := make([]relstore.Column, 0, len(c.Props))
+	names := make([]string, 0, len(c.Props))
+	for n := range c.Props {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		cols = append(cols, relstore.Column{
+			Name:     n,
+			Type:     c.Props[n].column(),
+			Nullable: true,
+		})
+	}
+	if err := m.db.EnsureTable(relstore.Schema{Name: classTable(c.Name), Columns: cols}); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.classes[c.Name]; dup {
+		return fmt.Errorf("oosm: class %q already registered", c.Name)
+	}
+	props := make(map[string]PropType, len(c.Props))
+	for k, v := range c.Props {
+		props[k] = v
+	}
+	m.classes[c.Name] = Class{Name: c.Name, Props: props}
+	return nil
+}
+
+// Classes returns the registered class names in sorted order.
+func (m *Model) Classes() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.classes))
+	for n := range m.classes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// checkProps validates property names and value types against a class.
+func (m *Model) checkProps(c Class, props map[string]any) error {
+	for name, v := range props {
+		pt, ok := c.Props[name]
+		if !ok {
+			return fmt.Errorf("oosm: class %q has no property %q", c.Name, name)
+		}
+		if v == nil {
+			continue
+		}
+		valid := false
+		switch pt {
+		case PropString:
+			_, valid = v.(string)
+		case PropFloat:
+			_, valid = v.(float64)
+		case PropInt:
+			_, valid = v.(int64)
+		case PropBool:
+			_, valid = v.(bool)
+		case PropTime:
+			_, valid = v.(time.Time)
+		}
+		if !valid {
+			return fmt.Errorf("oosm: property %q of class %q: value %T has wrong type", name, c.Name, v)
+		}
+	}
+	return nil
+}
+
+// Create instantiates an object of the class with the given initial
+// properties (missing properties are null). It emits an ObjectCreated event.
+func (m *Model) Create(class string, props map[string]any) (ObjectID, error) {
+	m.mu.RLock()
+	c, ok := m.classes[class]
+	m.mu.RUnlock()
+	if !ok {
+		return ObjectID{}, fmt.Errorf("oosm: unknown class %q", class)
+	}
+	if err := m.checkProps(c, props); err != nil {
+		return ObjectID{}, err
+	}
+	row := relstore.Row{}
+	for k, v := range props {
+		row[k] = v
+	}
+	num, err := m.db.Insert(classTable(class), row)
+	if err != nil {
+		return ObjectID{}, err
+	}
+	id := ObjectID{Class: class, Num: num}
+	m.events.publish(Event{Kind: ObjectCreated, Object: id, Time: time.Now()})
+	return id, nil
+}
+
+// Get returns all properties of an object (null properties as nil values).
+func (m *Model) Get(id ObjectID) (map[string]any, error) {
+	row, err := m.db.Get(classTable(id.Class), id.Num)
+	if err != nil {
+		return nil, fmt.Errorf("oosm: %v: %w", id, err)
+	}
+	out := make(map[string]any, len(row))
+	for k, v := range row {
+		if k == "id" {
+			continue
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+// GetProp returns one property value of an object.
+func (m *Model) GetProp(id ObjectID, name string) (any, error) {
+	props, err := m.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	v, ok := props[name]
+	if !ok {
+		return nil, fmt.Errorf("oosm: object %v has no property %q", id, name)
+	}
+	return v, nil
+}
+
+// SetProps updates properties of an object and emits a PropertyChanged event
+// per changed property.
+func (m *Model) SetProps(id ObjectID, props map[string]any) error {
+	m.mu.RLock()
+	c, ok := m.classes[id.Class]
+	m.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("oosm: unknown class %q", id.Class)
+	}
+	if err := m.checkProps(c, props); err != nil {
+		return err
+	}
+	row := relstore.Row{}
+	for k, v := range props {
+		row[k] = v
+	}
+	if err := m.db.Update(classTable(id.Class), id.Num, row); err != nil {
+		return err
+	}
+	now := time.Now()
+	for k, v := range props {
+		m.events.publish(Event{Kind: PropertyChanged, Object: id, Property: k, Value: v, Time: now})
+	}
+	return nil
+}
+
+// Delete removes an object and all relationships that mention it, emitting
+// an ObjectDeleted event.
+func (m *Model) Delete(id ObjectID) error {
+	if err := m.db.Delete(classTable(id.Class), id.Num); err != nil {
+		return err
+	}
+	// Remove relationships in both directions.
+	key := id.String()
+	for _, col := range []string{"from", "to"} {
+		rows, err := m.db.Select(relTable, relstore.Eq(col, key), 0)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			if err := m.db.Delete(relTable, r.ID()); err != nil {
+				return err
+			}
+		}
+	}
+	m.events.publish(Event{Kind: ObjectDeleted, Object: id, Time: time.Now()})
+	return nil
+}
+
+// Exists reports whether the object is present in the model.
+func (m *Model) Exists(id ObjectID) bool {
+	_, err := m.db.Get(classTable(id.Class), id.Num)
+	return err == nil
+}
+
+// Instances returns all object ids of a class, ordered by creation.
+func (m *Model) Instances(class string) ([]ObjectID, error) {
+	rows, err := m.db.Select(classTable(class), nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ObjectID, len(rows))
+	for i, r := range rows {
+		out[i] = ObjectID{Class: class, Num: r.ID()}
+	}
+	return out, nil
+}
+
+// FindByProp returns objects of the class whose property equals value.
+func (m *Model) FindByProp(class, prop string, value any) ([]ObjectID, error) {
+	rows, err := m.db.Select(classTable(class), relstore.Eq(prop, value), 0)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ObjectID, len(rows))
+	for i, r := range rows {
+		out[i] = ObjectID{Class: class, Num: r.ID()}
+	}
+	return out, nil
+}

@@ -1,0 +1,445 @@
+package oosm
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/relstore"
+)
+
+func newTestModel(t testing.TB) *Model {
+	t.Helper()
+	m, err := NewModel(relstore.NewMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []Class{
+		{Name: "ship", Props: map[string]PropType{"name": PropString}},
+		{Name: "chiller", Props: map[string]PropType{
+			"name": PropString, "manufacturer": PropString, "capacity_tons": PropFloat,
+		}},
+		{Name: "motor", Props: map[string]PropType{
+			"name": PropString, "power_kw": PropFloat, "poles": PropInt,
+			"running": PropBool, "installed": PropTime,
+		}},
+		{Name: "compressor", Props: map[string]PropType{"name": PropString}},
+		{Name: "report", Props: map[string]PropType{
+			"condition": PropString, "belief": PropFloat, "severity": PropFloat,
+		}},
+	} {
+		if err := m.RegisterClass(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func TestObjectIDParse(t *testing.T) {
+	id := ObjectID{Class: "motor", Num: 42}
+	parsed, err := ParseObjectID(id.String())
+	if err != nil || parsed != id {
+		t.Fatalf("round trip: %v %v", parsed, err)
+	}
+	// Classes may contain slashes (e.g. "ac/motor"); last slash splits.
+	parsed, err = ParseObjectID("ac/motor/7")
+	if err != nil || parsed.Class != "ac/motor" || parsed.Num != 7 {
+		t.Fatalf("nested: %v %v", parsed, err)
+	}
+	for _, bad := range []string{"", "noslash", "/7", "motor/", "motor/x"} {
+		if _, err := ParseObjectID(bad); err == nil {
+			t.Errorf("%q should fail", bad)
+		}
+	}
+	if !(ObjectID{}).IsZero() {
+		t.Error("zero id")
+	}
+	if id.IsZero() {
+		t.Error("non-zero id")
+	}
+}
+
+func TestRegisterClassValidation(t *testing.T) {
+	m := newTestModel(t)
+	if err := m.RegisterClass(Class{Name: "", Props: map[string]PropType{"a": PropString}}); err == nil {
+		t.Error("empty name")
+	}
+	if err := m.RegisterClass(Class{Name: "x", Props: nil}); err == nil {
+		t.Error("no props")
+	}
+	if err := m.RegisterClass(Class{Name: "ship", Props: map[string]PropType{"a": PropString}}); err == nil {
+		t.Error("duplicate class")
+	}
+	cs := m.Classes()
+	if len(cs) != 5 {
+		t.Errorf("classes %v", cs)
+	}
+}
+
+func TestObjectLifecycle(t *testing.T) {
+	m := newTestModel(t)
+	installed := time.Date(1998, 8, 1, 0, 0, 0, 0, time.UTC)
+	id, err := m.Create("motor", map[string]any{
+		"name": "A/C Compressor Motor 1", "power_kw": 75.0,
+		"poles": int64(4), "running": true, "installed": installed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Exists(id) {
+		t.Fatal("created object should exist")
+	}
+	props, err := m.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if props["name"] != "A/C Compressor Motor 1" || props["power_kw"] != 75.0 ||
+		props["poles"] != int64(4) || props["running"] != true {
+		t.Errorf("props %v", props)
+	}
+	if got, _ := props["installed"].(time.Time); !got.Equal(installed) {
+		t.Errorf("installed %v", props["installed"])
+	}
+	v, err := m.GetProp(id, "power_kw")
+	if err != nil || v != 75.0 {
+		t.Errorf("GetProp %v %v", v, err)
+	}
+	if _, err := m.GetProp(id, "ghost"); err == nil {
+		t.Error("ghost property")
+	}
+	if err := m.SetProps(id, map[string]any{"running": false}); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = m.GetProp(id, "running")
+	if v != false {
+		t.Error("SetProps lost")
+	}
+	if err := m.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if m.Exists(id) {
+		t.Error("deleted object exists")
+	}
+	if _, err := m.Get(id); err == nil {
+		t.Error("Get after delete")
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	m := newTestModel(t)
+	if _, err := m.Create("ghost", nil); err == nil {
+		t.Error("unknown class")
+	}
+	if _, err := m.Create("motor", map[string]any{"ghost": 1}); err == nil {
+		t.Error("unknown property")
+	}
+	if _, err := m.Create("motor", map[string]any{"power_kw": "oops"}); err == nil {
+		t.Error("wrong type")
+	}
+	if _, err := m.Create("motor", map[string]any{"power_kw": nil}); err != nil {
+		t.Error("nil property should be allowed")
+	}
+	id, err := m.Create("motor", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetProps(id, map[string]any{"poles": 4}); err == nil {
+		t.Error("int (not int64) should be rejected")
+	}
+	if err := m.SetProps(ObjectID{Class: "ghost", Num: 1}, nil); err == nil {
+		t.Error("SetProps unknown class")
+	}
+}
+
+func TestInstancesAndFind(t *testing.T) {
+	m := newTestModel(t)
+	for i := 0; i < 5; i++ {
+		if _, err := m.Create("motor", map[string]any{"name": fmt.Sprintf("m%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids, err := m.Instances("motor")
+	if err != nil || len(ids) != 5 {
+		t.Fatalf("instances %v %v", ids, err)
+	}
+	found, err := m.FindByProp("motor", "name", "m3")
+	if err != nil || len(found) != 1 {
+		t.Fatalf("find %v %v", found, err)
+	}
+	if _, err := m.Instances("ghost"); err == nil {
+		t.Error("instances of unknown class")
+	}
+}
+
+func TestRelationships(t *testing.T) {
+	m := newTestModel(t)
+	ship, _ := m.Create("ship", map[string]any{"name": "Mercy"})
+	ch, _ := m.Create("chiller", map[string]any{"name": "Chiller 1"})
+	mot, _ := m.Create("motor", map[string]any{"name": "Motor 1"})
+	comp, _ := m.Create("compressor", map[string]any{"name": "Compressor 1"})
+
+	if err := m.Relate(PartOf, ch, ship); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Relate(PartOf, mot, ch); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Relate(PartOf, comp, ch); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Relate(Proximity, mot, comp); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent.
+	if err := m.Relate(PartOf, mot, ch); err != nil {
+		t.Fatal(err)
+	}
+	up, err := m.Related(mot, PartOf)
+	if err != nil || len(up) != 1 || up[0] != ch {
+		t.Fatalf("related %v %v", up, err)
+	}
+	parts, err := m.RelatedTo(ch, PartOf)
+	if err != nil || len(parts) != 2 {
+		t.Fatalf("relatedTo %v %v", parts, err)
+	}
+	// Transitive: motor -> chiller -> ship.
+	chain, err := m.TransitiveRelated(mot, PartOf, 0)
+	if err != nil || len(chain) != 2 || chain[0] != ch || chain[1] != ship {
+		t.Fatalf("transitive %v %v", chain, err)
+	}
+	// Depth limit.
+	chain, _ = m.TransitiveRelated(mot, PartOf, 1)
+	if len(chain) != 1 {
+		t.Fatalf("depth-limited %v", chain)
+	}
+	// Neighbors in both directions, any kind.
+	nbrs, err := m.Neighbors(mot)
+	if err != nil || len(nbrs) != 2 {
+		t.Fatalf("neighbors %v %v", nbrs, err)
+	}
+	// Unrelate.
+	if err := m.Unrelate(Proximity, mot, comp); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Unrelate(Proximity, mot, comp); err == nil {
+		t.Error("double unrelate should error")
+	}
+	// Relating a missing object fails.
+	if err := m.Relate(PartOf, ObjectID{Class: "motor", Num: 999}, ch); err == nil {
+		t.Error("missing from")
+	}
+	if err := m.Relate(PartOf, mot, ObjectID{Class: "motor", Num: 999}); err == nil {
+		t.Error("missing to")
+	}
+	// Deleting an object removes its edges.
+	if err := m.Delete(comp); err != nil {
+		t.Fatal(err)
+	}
+	parts, _ = m.RelatedTo(ch, PartOf)
+	if len(parts) != 1 {
+		t.Fatalf("edges not cleaned after delete: %v", parts)
+	}
+}
+
+func TestTransitiveCycleSafe(t *testing.T) {
+	m := newTestModel(t)
+	a, _ := m.Create("ship", map[string]any{"name": "a"})
+	b, _ := m.Create("ship", map[string]any{"name": "b"})
+	if err := m.Relate(Flow, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Relate(Flow, b, a); err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.TransitiveRelated(a, Flow, 0)
+	if err != nil || len(out) != 1 || out[0] != b {
+		t.Fatalf("cycle walk: %v %v", out, err)
+	}
+}
+
+func TestEvents(t *testing.T) {
+	m := newTestModel(t)
+	var created, changed, deleted, related int32
+	subC := m.Subscribe(ObjectCreated, func(e Event) { atomic.AddInt32(&created, 1) })
+	m.Subscribe(PropertyChanged, func(e Event) {
+		if e.Property == "running" {
+			atomic.AddInt32(&changed, 1)
+		}
+	})
+	m.Subscribe(ObjectDeleted, func(e Event) { atomic.AddInt32(&deleted, 1) })
+	m.Subscribe(RelationAdded, func(e Event) { atomic.AddInt32(&related, 1) })
+
+	id, _ := m.Create("motor", map[string]any{"name": "m"})
+	other, _ := m.Create("motor", map[string]any{"name": "n"})
+	if err := m.SetProps(id, map[string]any{"running": true, "power_kw": 1.0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Relate(Proximity, id, other); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if created != 2 || changed != 1 || deleted != 1 || related != 1 {
+		t.Errorf("events created=%d changed=%d deleted=%d related=%d", created, changed, deleted, related)
+	}
+	// Cancel stops delivery.
+	subC.Cancel()
+	subC.Cancel() // double-cancel is safe
+	if _, err := m.Create("motor", nil); err != nil {
+		t.Fatal(err)
+	}
+	if created != 2 {
+		t.Error("cancelled subscription still firing")
+	}
+}
+
+func TestSubscribeClassFiltering(t *testing.T) {
+	m := newTestModel(t)
+	var reports int32
+	m.SubscribeClass("report", ObjectCreated, func(e Event) { atomic.AddInt32(&reports, 1) })
+	var all int32
+	m.SubscribeAll(func(e Event) { atomic.AddInt32(&all, 1) })
+	if _, err := m.Create("motor", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create("report", map[string]any{"condition": "imbalance", "belief": 0.8}); err != nil {
+		t.Fatal(err)
+	}
+	if reports != 1 {
+		t.Errorf("class filter: %d", reports)
+	}
+	if all != 2 {
+		t.Errorf("subscribe all: %d", all)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	kinds := map[EventKind]string{
+		ObjectCreated: "object-created", ObjectDeleted: "object-deleted",
+		PropertyChanged: "property-changed", RelationAdded: "relation-added",
+		RelationRemoved: "relation-removed", EventKind(99): "unknown",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d: %q", k, k.String())
+		}
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ship.db")
+	db, err := relstore.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModel(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls := Class{Name: "motor", Props: map[string]PropType{"name": PropString, "power_kw": PropFloat}}
+	if err := m.RegisterClass(cls); err != nil {
+		t.Fatal(err)
+	}
+	id, err := m.Create("motor", map[string]any{"name": "M1", "power_kw": 55.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, _ := m.Create("motor", map[string]any{"name": "M2"})
+	if err := m.Relate(Proximity, id, id2); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := relstore.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	m2, err := NewModel(db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.RegisterClass(cls); err != nil {
+		t.Fatal(err)
+	}
+	props, err := m2.Get(id)
+	if err != nil || props["name"] != "M1" || props["power_kw"] != 55.0 {
+		t.Fatalf("reopened props %v %v", props, err)
+	}
+	nbrs, err := m2.Neighbors(id)
+	if err != nil || len(nbrs) != 1 || nbrs[0] != id2 {
+		t.Fatalf("reopened neighbors %v %v", nbrs, err)
+	}
+}
+
+func TestConcurrentCreateAndSubscribe(t *testing.T) {
+	m := newTestModel(t)
+	var count int32
+	m.SubscribeClass("motor", ObjectCreated, func(Event) { atomic.AddInt32(&count, 1) })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if _, err := m.Create("motor", nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if count != 200 {
+		t.Errorf("events %d, want 200", count)
+	}
+	ids, _ := m.Instances("motor")
+	if len(ids) != 200 {
+		t.Errorf("instances %d", len(ids))
+	}
+}
+
+func TestObjectIDRoundTripProperty(t *testing.T) {
+	prop := func(numRaw int64, classSel uint8) bool {
+		classes := []string{"motor", "a/c", "deck-2/pump", "x"}
+		id := ObjectID{Class: classes[int(classSel)%len(classes)], Num: numRaw & 0x7fffffffffffffff}
+		parsed, err := ParseObjectID(id.String())
+		return err == nil && parsed == id
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCreateObject(b *testing.B) {
+	m := newTestModel(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Create("motor", map[string]any{"name": "m", "power_kw": 1.0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPropertyChangeWithSubscriber(b *testing.B) {
+	m := newTestModel(b)
+	id, _ := m.Create("motor", map[string]any{"name": "m"})
+	var n int64
+	m.Subscribe(PropertyChanged, func(Event) { atomic.AddInt64(&n, 1) })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.SetProps(id, map[string]any{"power_kw": float64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package pdme
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/oosm"
+)
+
+// This file implements the §10.1 "Future Directions For Knowledge Fusion"
+// extensions over the ship model's relationship graph:
+//
+//   - Multi-level reasoning: "we could reason about the health of a system
+//     based on the health of a constituent part. Currently, only the parts
+//     are tracked."
+//   - Spatial reasoning: "proximity (for example, a device is vibrating
+//     because a component next to it is broken and vibrating wildly) and
+//     flow ... one component passing fouled fluids on to other components
+//     downstream."
+
+// ComponentHealth summarizes one model object's fused condition state.
+type ComponentHealth struct {
+	// Object is the model object.
+	Object oosm.ObjectID
+	// WorstBelief is the highest fused belief across its conditions
+	// (0 when nothing has been reported).
+	WorstBelief float64
+	// WorstCondition names that condition ("" when healthy).
+	WorstCondition string
+}
+
+// componentHealth computes a single object's worst fused condition.
+func (p *PDME) componentHealth(id oosm.ObjectID) ComponentHealth {
+	h := ComponentHealth{Object: id}
+	for _, cb := range p.diag.Ranked(id.String()) {
+		if cb.Belief > h.WorstBelief {
+			h.WorstBelief = cb.Belief
+			h.WorstCondition = cb.Condition
+		}
+	}
+	return h
+}
+
+// SystemHealth rolls constituent-part conclusions up the part-of hierarchy:
+// the health of root is bounded by its own conclusions and those of every
+// transitive constituent. It returns the assembly's worst finding and the
+// per-part breakdown (worst first).
+func (p *PDME) SystemHealth(root oosm.ObjectID) (ComponentHealth, []ComponentHealth, error) {
+	if !p.model.Exists(root) {
+		return ComponentHealth{}, nil, fmt.Errorf("pdme: %v does not exist", root)
+	}
+	// Parts point at their assembly with part-of edges; walk them inward.
+	parts, err := p.transitiveParts(root)
+	if err != nil {
+		return ComponentHealth{}, nil, err
+	}
+	breakdown := make([]ComponentHealth, 0, len(parts)+1)
+	breakdown = append(breakdown, p.componentHealth(root))
+	for _, part := range parts {
+		breakdown = append(breakdown, p.componentHealth(part))
+	}
+	sort.Slice(breakdown, func(i, j int) bool {
+		return breakdown[i].WorstBelief > breakdown[j].WorstBelief
+	})
+	overall := ComponentHealth{Object: root}
+	if len(breakdown) > 0 && breakdown[0].WorstBelief > 0 {
+		overall.WorstBelief = breakdown[0].WorstBelief
+		overall.WorstCondition = fmt.Sprintf("%s (at %s)",
+			breakdown[0].WorstCondition, breakdown[0].Object)
+	}
+	return overall, breakdown, nil
+}
+
+// transitiveParts collects every object that is transitively part-of root.
+func (p *PDME) transitiveParts(root oosm.ObjectID) ([]oosm.ObjectID, error) {
+	seen := map[oosm.ObjectID]bool{root: true}
+	var out []oosm.ObjectID
+	frontier := []oosm.ObjectID{root}
+	for len(frontier) > 0 {
+		var next []oosm.ObjectID
+		for _, id := range frontier {
+			parts, err := p.model.RelatedTo(id, oosm.PartOf)
+			if err != nil {
+				return nil, err
+			}
+			for _, part := range parts {
+				if !seen[part] {
+					seen[part] = true
+					out = append(out, part)
+					next = append(next, part)
+				}
+			}
+		}
+		frontier = next
+	}
+	return out, nil
+}
+
+// AdvisoryKind distinguishes the two §10.1 spatial mechanisms.
+type AdvisoryKind int
+
+const (
+	// ProximityAdvisory warns that a neighbour's strong structural fault
+	// can induce vibration readings on this component.
+	ProximityAdvisory AdvisoryKind = iota
+	// FlowAdvisory warns that an upstream component's fault can propagate
+	// along a fluid/electrical/mechanical flow path.
+	FlowAdvisory
+)
+
+// String names the advisory kind.
+func (k AdvisoryKind) String() string {
+	switch k {
+	case ProximityAdvisory:
+		return "proximity"
+	case FlowAdvisory:
+		return "flow"
+	default:
+		return "unknown"
+	}
+}
+
+// Advisory is one spatial-reasoning finding.
+type Advisory struct {
+	Kind AdvisoryKind
+	// Subject is the component the advisory is about.
+	Subject oosm.ObjectID
+	// Cause is the faulted component inducing the advisory.
+	Cause oosm.ObjectID
+	// Condition is the cause's fused condition.
+	Condition string
+	// Belief is the cause's fused belief.
+	Belief float64
+	// Message is the human-readable advisory.
+	Message string
+}
+
+// SpatialAdvisories inspects the model neighbourhood of every strongly
+// believed conclusion (belief >= threshold) and emits advisories for
+// proximate components (vibration induction) and flow-downstream components
+// (propagation of fouled fluids or disturbed energy).
+func (p *PDME) SpatialAdvisories(threshold float64) ([]Advisory, error) {
+	if threshold <= 0 || threshold > 1 {
+		return nil, fmt.Errorf("pdme: threshold %g outside (0,1]", threshold)
+	}
+	var out []Advisory
+	for _, component := range p.diag.Components() {
+		id, err := oosm.ParseObjectID(component)
+		if err != nil || !p.model.Exists(id) {
+			continue // reports about objects not modelled in the OOSM
+		}
+		for _, cb := range p.diag.Ranked(component) {
+			if cb.Belief < threshold {
+				continue
+			}
+			// Proximity: undirected neighbourhood.
+			for _, dir := range []func(oosm.ObjectID, oosm.RelKind) ([]oosm.ObjectID, error){
+				p.model.Related, p.model.RelatedTo,
+			} {
+				nbrs, err := dir(id, oosm.Proximity)
+				if err != nil {
+					return nil, err
+				}
+				for _, n := range nbrs {
+					out = append(out, Advisory{
+						Kind: ProximityAdvisory, Subject: n, Cause: id,
+						Condition: cb.Condition, Belief: cb.Belief,
+						Message: fmt.Sprintf(
+							"%s readings may be induced by adjacent %s (%s, Bel=%.2f)",
+							n, id, cb.Condition, cb.Belief),
+					})
+				}
+			}
+			// Flow: directed downstream only.
+			downstream, err := p.model.TransitiveRelated(id, oosm.Flow, 0)
+			if err != nil {
+				return nil, err
+			}
+			for _, dst := range downstream {
+				out = append(out, Advisory{
+					Kind: FlowAdvisory, Subject: dst, Cause: id,
+					Condition: cb.Condition, Belief: cb.Belief,
+					Message: fmt.Sprintf(
+						"%s is downstream of %s (%s, Bel=%.2f); inspect for propagated effects",
+						dst, id, cb.Condition, cb.Belief),
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Belief != out[j].Belief {
+			return out[i].Belief > out[j].Belief
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out, nil
+}

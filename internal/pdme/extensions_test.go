@@ -1,0 +1,169 @@
+package pdme
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/oosm"
+)
+
+// shipFixture builds a small ship: chiller with motor and compressor parts,
+// a pump adjacent to the motor, and a condenser downstream of the
+// compressor along a flow edge.
+func shipFixture(t *testing.T) (*PDME, map[string]oosm.ObjectID) {
+	t.Helper()
+	p := newTestPDME(t)
+	classes := []oosm.Class{
+		{Name: "chiller", Props: map[string]oosm.PropType{"name": oosm.PropString}},
+		{Name: "motor", Props: map[string]oosm.PropType{"name": oosm.PropString}},
+		{Name: "compressor", Props: map[string]oosm.PropType{"name": oosm.PropString}},
+		{Name: "pump", Props: map[string]oosm.PropType{"name": oosm.PropString}},
+		{Name: "condenser", Props: map[string]oosm.PropType{"name": oosm.PropString}},
+	}
+	for _, c := range classes {
+		if err := p.Model().RegisterClass(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := map[string]oosm.ObjectID{}
+	for _, spec := range []struct{ class, name string }{
+		{"chiller", "Chiller 1"}, {"motor", "Motor 1"}, {"compressor", "Compressor 1"},
+		{"pump", "CHW Pump 1"}, {"condenser", "Condenser 1"},
+	} {
+		id, err := p.Model().Create(spec.class, map[string]any{"name": spec.name})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[spec.class] = id
+	}
+	mustRelate := func(kind oosm.RelKind, from, to oosm.ObjectID) {
+		if err := p.Model().Relate(kind, from, to); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustRelate(oosm.PartOf, ids["motor"], ids["chiller"])
+	mustRelate(oosm.PartOf, ids["compressor"], ids["chiller"])
+	mustRelate(oosm.Proximity, ids["pump"], ids["motor"])
+	mustRelate(oosm.Flow, ids["compressor"], ids["condenser"])
+	return p, ids
+}
+
+func TestSystemHealthRollsUpFromParts(t *testing.T) {
+	p, ids := shipFixture(t)
+	defer p.Close()
+	// Healthy assembly: zero health findings.
+	overall, breakdown, err := p.SystemHealth(ids["chiller"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if overall.WorstBelief != 0 {
+		t.Errorf("healthy overall %+v", overall)
+	}
+	if len(breakdown) != 3 { // chiller + 2 parts
+		t.Errorf("breakdown %v", breakdown)
+	}
+	// Fault the motor (a constituent part).
+	at := time.Now()
+	if err := p.Deliver(report("ks", ids["motor"].String(), "motor imbalance", 0.6, 0.9, at, nil)); err != nil {
+		t.Fatal(err)
+	}
+	overall, breakdown, err = p.SystemHealth(ids["chiller"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if overall.WorstBelief < 0.89 {
+		t.Errorf("system health did not roll up: %+v", overall)
+	}
+	if !strings.Contains(overall.WorstCondition, "motor imbalance") {
+		t.Errorf("condition %q", overall.WorstCondition)
+	}
+	if breakdown[0].Object != ids["motor"] {
+		t.Errorf("worst part %v", breakdown[0])
+	}
+	// Missing object errors.
+	if _, _, err := p.SystemHealth(oosm.ObjectID{Class: "motor", Num: 999}); err == nil {
+		t.Error("missing root accepted")
+	}
+}
+
+func TestSpatialAdvisories(t *testing.T) {
+	p, ids := shipFixture(t)
+	defer p.Close()
+	at := time.Now()
+	// A strong structural fault on the motor: the adjacent pump should get
+	// a proximity advisory.
+	if err := p.Deliver(report("ks", ids["motor"].String(), "motor imbalance", 0.7, 0.95, at, nil)); err != nil {
+		t.Fatal(err)
+	}
+	// A strong fault on the compressor: the condenser is downstream.
+	if err := p.Deliver(report("ks", ids["compressor"].String(), "oil whirl", 0.6, 0.9, at, nil)); err != nil {
+		t.Fatal(err)
+	}
+	// A weak report that must NOT generate advisories.
+	if err := p.Deliver(report("ks", ids["compressor"].String(), "motor misalignment", 0.2, 0.2, at, nil)); err != nil {
+		t.Fatal(err)
+	}
+	advisories, err := p.SpatialAdvisories(0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prox, flow int
+	for _, a := range advisories {
+		switch a.Kind {
+		case ProximityAdvisory:
+			prox++
+			if a.Subject != ids["pump"] || a.Cause != ids["motor"] {
+				t.Errorf("proximity advisory wrong: %+v", a)
+			}
+		case FlowAdvisory:
+			flow++
+			if a.Subject != ids["condenser"] || a.Cause != ids["compressor"] {
+				t.Errorf("flow advisory wrong: %+v", a)
+			}
+		}
+		if a.Message == "" {
+			t.Error("empty message")
+		}
+	}
+	if prox != 1 {
+		t.Errorf("%d proximity advisories, want 1", prox)
+	}
+	if flow != 1 {
+		t.Errorf("%d flow advisories, want 1", flow)
+	}
+	// Sorted by belief descending.
+	for i := 1; i < len(advisories); i++ {
+		if advisories[i].Belief > advisories[i-1].Belief {
+			t.Error("advisories not sorted")
+		}
+	}
+	// Threshold validation.
+	if _, err := p.SpatialAdvisories(0); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	if _, err := p.SpatialAdvisories(1.5); err == nil {
+		t.Error("threshold > 1 accepted")
+	}
+	if ProximityAdvisory.String() != "proximity" || FlowAdvisory.String() != "flow" ||
+		AdvisoryKind(9).String() != "unknown" {
+		t.Error("advisory kind names")
+	}
+}
+
+func TestSpatialAdvisoriesIgnoreUnmodelledComponents(t *testing.T) {
+	p := newTestPDME(t)
+	defer p.Close()
+	// Report about a component that has no OOSM object: no advisories, no
+	// error.
+	if err := p.Deliver(report("ks", "ghost/1", "motor imbalance", 0.7, 0.95, time.Now(), nil)); err != nil {
+		t.Fatal(err)
+	}
+	advisories, err := p.SpatialAdvisories(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(advisories) != 0 {
+		t.Errorf("advisories for unmodelled component: %+v", advisories)
+	}
+}

@@ -1,0 +1,112 @@
+package pdme
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// §1 requires "open interfaces to provide machinery condition and raw
+// sensor data to other shipboard systems such as ICAS (Integrated Condition
+// Assessment System)". This file is that interface: a versioned JSON
+// snapshot of the PDME's fused condition state that an external consumer
+// can poll, in the spirit of the MIMOSA open-standards alignment §3.3
+// mentions.
+
+// SnapshotVersion identifies the export schema.
+const SnapshotVersion = "mpros-condition-snapshot/1"
+
+// ConditionExport is one fused conclusion in the snapshot.
+type ConditionExport struct {
+	Component     string  `json:"component"`
+	Condition     string  `json:"condition"`
+	Group         string  `json:"group"`
+	Belief        float64 `json:"belief"`
+	Plausibility  float64 `json:"plausibility"`
+	Reports       int     `json:"reports"`
+	TimeToHalfSec float64 `json:"time_to_half_seconds,omitempty"`
+}
+
+// Snapshot is the full export document.
+type Snapshot struct {
+	Version     string            `json:"version"`
+	GeneratedAt time.Time         `json:"generated_at"`
+	Reports     int               `json:"reports_received"`
+	Conditions  []ConditionExport `json:"conditions"`
+	Advisories  []AdvisoryExport  `json:"advisories,omitempty"`
+}
+
+// AdvisoryExport is one §10.1 spatial advisory in the snapshot.
+type AdvisoryExport struct {
+	Kind    string  `json:"kind"`
+	Subject string  `json:"subject"`
+	Cause   string  `json:"cause"`
+	Belief  float64 `json:"belief"`
+	Message string  `json:"message"`
+}
+
+// ExportSnapshot assembles the condition snapshot at the given timestamp.
+// Advisories are included for conclusions at or above advisoryThreshold
+// (pass a value > 1 to omit them).
+func (p *PDME) ExportSnapshot(at time.Time, advisoryThreshold float64) (*Snapshot, error) {
+	if at.IsZero() {
+		return nil, fmt.Errorf("pdme: zero snapshot time")
+	}
+	snap := &Snapshot{
+		Version:     SnapshotVersion,
+		GeneratedAt: at,
+		Reports:     p.ReceivedReports(),
+	}
+	for _, item := range p.PrioritizedList() {
+		ce := ConditionExport{
+			Component:    item.Component,
+			Condition:    item.Condition,
+			Group:        item.Group,
+			Belief:       item.Belief,
+			Plausibility: item.Plausibility,
+			Reports:      item.Reports,
+		}
+		if item.HasPrognostic {
+			ce.TimeToHalfSec = item.TimeToHalf.Seconds()
+		}
+		snap.Conditions = append(snap.Conditions, ce)
+	}
+	if advisoryThreshold <= 1 {
+		advisories, err := p.SpatialAdvisories(advisoryThreshold)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range advisories {
+			snap.Advisories = append(snap.Advisories, AdvisoryExport{
+				Kind:    a.Kind.String(),
+				Subject: a.Subject.String(),
+				Cause:   a.Cause.String(),
+				Belief:  a.Belief,
+				Message: a.Message,
+			})
+		}
+	}
+	return snap, nil
+}
+
+// ExportJSON renders the snapshot as indented JSON.
+func (p *PDME) ExportJSON(at time.Time, advisoryThreshold float64) ([]byte, error) {
+	snap, err := p.ExportSnapshot(at, advisoryThreshold)
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(snap, "", "  ")
+}
+
+// ParseSnapshot decodes an exported snapshot, validating the version — the
+// consumer half of the open interface.
+func ParseSnapshot(data []byte) (*Snapshot, error) {
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("pdme: decode snapshot: %w", err)
+	}
+	if snap.Version != SnapshotVersion {
+		return nil, fmt.Errorf("pdme: unsupported snapshot version %q", snap.Version)
+	}
+	return &snap, nil
+}

@@ -1,0 +1,80 @@
+package pdme
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+)
+
+func TestExportSnapshotRoundTrip(t *testing.T) {
+	p, ids := shipFixture(t)
+	defer p.Close()
+	at := time.Date(1998, 10, 1, 0, 0, 0, 0, time.UTC)
+	day := 86400.0
+	vec := proto.PrognosticVector{{Probability: 0.6, HorizonSeconds: 20 * day}}
+	if err := p.Deliver(report("ks/dli", ids["motor"].String(), "motor imbalance", 0.6, 0.9, at, vec)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Deliver(report("ks/wnn", ids["compressor"].String(), "oil whirl", 0.4, 0.5, at, nil)); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := p.ExportJSON(at, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ParseSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != SnapshotVersion || snap.Reports != 2 {
+		t.Errorf("header %+v", snap)
+	}
+	if len(snap.Conditions) != 2 {
+		t.Fatalf("conditions %v", snap.Conditions)
+	}
+	// Ranked: the strong imbalance first, with its prognostic horizon.
+	first := snap.Conditions[0]
+	if first.Condition != "motor imbalance" || first.Belief < 0.89 {
+		t.Errorf("first condition %+v", first)
+	}
+	if first.TimeToHalfSec <= 0 {
+		t.Error("missing time-to-half")
+	}
+	if first.Group == "" || first.Reports != 1 {
+		t.Errorf("incomplete export %+v", first)
+	}
+	// The strong motor fault triggers a proximity advisory for the pump.
+	if len(snap.Advisories) == 0 {
+		t.Fatal("no advisories exported")
+	}
+	if snap.Advisories[0].Kind != "proximity" ||
+		!strings.Contains(snap.Advisories[0].Subject, "pump") {
+		t.Errorf("advisory %+v", snap.Advisories[0])
+	}
+}
+
+func TestExportSnapshotValidation(t *testing.T) {
+	p := newTestPDME(t)
+	defer p.Close()
+	if _, err := p.ExportSnapshot(time.Time{}, 2); err == nil {
+		t.Error("zero time accepted")
+	}
+	// Threshold > 1 omits advisories without error.
+	snap, err := p.ExportSnapshot(time.Now(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Advisories) != 0 || len(snap.Conditions) != 0 {
+		t.Errorf("fresh snapshot not empty: %+v", snap)
+	}
+	// Bad payloads.
+	if _, err := ParseSnapshot([]byte("{")); err == nil {
+		t.Error("bad json accepted")
+	}
+	if _, err := ParseSnapshot([]byte(`{"version":"other/9"}`)); err == nil {
+		t.Error("wrong version accepted")
+	}
+}

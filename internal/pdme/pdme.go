@@ -1,0 +1,351 @@
+// Package pdme implements the Prognostic/Diagnostic Monitoring Engine, "the
+// logical center of the MPROS system" (§3.1): it collects diagnostic and
+// prognostic conclusions from DC-resident algorithms, fuses conflicting and
+// reinforcing source conclusions, and forms "a prioritized list for the use
+// of maintenance personnel".
+//
+// The knowledge-fusion wiring follows §5.1's four-step format exactly:
+//
+//  1. New reports arriving to the PDME are posted in the OOSM.
+//  2. New reports posted in the OOSM generate "new data" messages to the
+//     knowledge fusion components (the OOSM event model, §4.5).
+//  3. The knowledge fusion components access the newly arrived data from
+//     the OOSM and perform diagnostic and prognostic fusion.
+//  4. Conclusions from the knowledge fusion components are posted to the
+//     OOSM and presented in user displays.
+//
+// The PDME implements proto.Sink, so it terminates both the TCP report
+// server and the in-process bus.
+package pdme
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/fusion"
+	"repro/internal/oosm"
+	"repro/internal/proto"
+	"repro/internal/trend"
+)
+
+// Class names the PDME registers in the OOSM.
+const (
+	// ReportClass holds §7.2 failure prediction reports.
+	ReportClass = "failure_prediction_report"
+	// ConclusionClass holds fused KF conclusions.
+	ConclusionClass = "kf_conclusion"
+	// KnowledgeSourceClass registers report-producing expert systems.
+	KnowledgeSourceClass = "knowledge_source"
+)
+
+// PDME is the monitoring engine.
+type PDME struct {
+	model  *oosm.Model
+	diag   *fusion.DiagnosticFuser
+	prog   *fusion.PrognosticFuser
+	trends *trend.Tracker
+
+	mu sync.Mutex
+	// conclusionIDs maps component|condition to the OOSM conclusion object,
+	// so fused updates rewrite one object instead of accumulating.
+	conclusionIDs map[string]oosm.ObjectID
+	received      int
+	sub           *oosm.Subscription
+	// resident hosts §5.7 PDME-resident algorithms.
+	resident residentHost
+}
+
+// New builds a PDME over a ship model and the logical failure groups for
+// diagnostic fusion. It registers the report/conclusion classes and
+// subscribes knowledge fusion to report arrivals.
+func New(model *oosm.Model, groups fusion.Groups) (*PDME, error) {
+	if model == nil {
+		return nil, fmt.Errorf("pdme: nil model")
+	}
+	diag, err := fusion.NewDiagnosticFuser(groups)
+	if err != nil {
+		return nil, err
+	}
+	trends, err := trend.NewTracker(256)
+	if err != nil {
+		return nil, err
+	}
+	p := &PDME{
+		model:         model,
+		diag:          diag,
+		prog:          fusion.NewPrognosticFuser(),
+		trends:        trends,
+		conclusionIDs: make(map[string]oosm.ObjectID),
+	}
+	classes := []oosm.Class{
+		{Name: ReportClass, Props: map[string]oosm.PropType{
+			"dc_id":       oosm.PropString,
+			"ks_id":       oosm.PropString,
+			"sensed":      oosm.PropString,
+			"condition":   oosm.PropString,
+			"severity":    oosm.PropFloat,
+			"belief":      oosm.PropFloat,
+			"explanation": oosm.PropString,
+			"recommend":   oosm.PropString,
+			"timestamp":   oosm.PropTime,
+			"prognostics": oosm.PropString, // JSON-encoded §7.3 vector
+		}},
+		{Name: ConclusionClass, Props: map[string]oosm.PropType{
+			"component":    oosm.PropString,
+			"condition":    oosm.PropString,
+			"group":        oosm.PropString,
+			"belief":       oosm.PropFloat,
+			"plausibility": oosm.PropFloat,
+			"unknown":      oosm.PropFloat,
+			"prognostics":  oosm.PropString,
+			"updated_at":   oosm.PropTime,
+		}},
+		{Name: KnowledgeSourceClass, Props: map[string]oosm.PropType{
+			"name":        oosm.PropString,
+			"description": oosm.PropString,
+		}},
+	}
+	for _, c := range classes {
+		if err := model.RegisterClass(c); err != nil {
+			return nil, err
+		}
+	}
+	// §5.1 step 2: new reports in the OOSM wake knowledge fusion.
+	p.sub = model.SubscribeClass(ReportClass, oosm.ObjectCreated, func(e oosm.Event) {
+		// Event handlers must not fail the mutation; fusion errors are
+		// recorded on the conclusion object pathway and surfaced by tests.
+		_ = p.fuseFromModel(e.Object)
+	})
+	return p, nil
+}
+
+// Close cancels the model subscription.
+func (p *PDME) Close() {
+	p.sub.Cancel()
+}
+
+// Model returns the PDME's ship model.
+func (p *PDME) Model() *oosm.Model { return p.model }
+
+// Deliver implements proto.Sink: §5.1 step 1 — post the report into the
+// OOSM. Fusion then runs via the model's event notification.
+func (p *PDME) Deliver(r *proto.Report) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	// Reports about conditions outside every failure group are rejected at
+	// the door so the sender sees the configuration problem.
+	if _, err := p.diag.GroupOf(r.MachineConditionID); err != nil {
+		return err
+	}
+	progJSON, err := json.Marshal(r.Prognostics)
+	if err != nil {
+		return fmt.Errorf("pdme: encode prognostics: %w", err)
+	}
+	_, err = p.model.Create(ReportClass, map[string]any{
+		"dc_id":       r.DCID,
+		"ks_id":       r.KnowledgeSourceID,
+		"sensed":      r.SensedObjectID,
+		"condition":   r.MachineConditionID,
+		"severity":    r.Severity,
+		"belief":      r.Belief,
+		"explanation": r.Explanation,
+		"recommend":   r.Recommendations,
+		"timestamp":   r.Timestamp,
+		"prognostics": string(progJSON),
+	})
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.received++
+	p.mu.Unlock()
+	return nil
+}
+
+// fuseFromModel is §5.1 step 3: read the newly posted report back from the
+// OOSM and run both fusion layers, then post conclusions (step 4).
+func (p *PDME) fuseFromModel(reportID oosm.ObjectID) error {
+	props, err := p.model.Get(reportID)
+	if err != nil {
+		return err
+	}
+	component, _ := props["sensed"].(string)
+	condition, _ := props["condition"].(string)
+	belief, _ := props["belief"].(float64)
+	severity, _ := props["severity"].(float64)
+	ts, _ := props["timestamp"].(time.Time)
+
+	// §10.1 temporal reasoning: record the severity history so developing
+	// faults can be projected forward.
+	if err := p.trends.Observe(component+"|"+condition, ts, severity); err != nil {
+		return err
+	}
+	fusedBelief, err := p.diag.AddReport(component, condition, belief)
+	if err != nil {
+		return err
+	}
+	var vec proto.PrognosticVector
+	if s, ok := props["prognostics"].(string); ok && s != "" && s != "null" {
+		if err := json.Unmarshal([]byte(s), &vec); err != nil {
+			return fmt.Errorf("pdme: decode prognostics: %w", err)
+		}
+	}
+	fusedVec := vec
+	if len(vec) > 0 {
+		fusedVec, err = p.prog.AddReport(component, condition, vec)
+		if err != nil {
+			return err
+		}
+	} else {
+		fusedVec = p.prog.Fused(component, condition)
+	}
+	return p.postConclusion(component, condition, fusedBelief, fusedVec, ts)
+}
+
+// postConclusion writes (or rewrites) the fused conclusion object for a
+// (component, condition) pair.
+func (p *PDME) postConclusion(component, condition string, belief float64, vec proto.PrognosticVector, at time.Time) error {
+	group, err := p.diag.GroupOf(condition)
+	if err != nil {
+		return err
+	}
+	pl, err := p.diag.Plausibility(component, condition)
+	if err != nil {
+		return err
+	}
+	unknown, err := p.diag.Unknown(component, group)
+	if err != nil {
+		return err
+	}
+	vecJSON, err := json.Marshal(vec)
+	if err != nil {
+		return err
+	}
+	props := map[string]any{
+		"component":    component,
+		"condition":    condition,
+		"group":        group,
+		"belief":       belief,
+		"plausibility": pl,
+		"unknown":      unknown,
+		"prognostics":  string(vecJSON),
+		"updated_at":   at,
+	}
+	key := component + "|" + condition
+	p.mu.Lock()
+	id, exists := p.conclusionIDs[key]
+	p.mu.Unlock()
+	if exists {
+		return p.model.SetProps(id, props)
+	}
+	id, err = p.model.Create(ConclusionClass, props)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.conclusionIDs[key] = id
+	p.mu.Unlock()
+	// Link the conclusion to the sensed object when it exists in the model.
+	if objID, err := oosm.ParseObjectID(component); err == nil && p.model.Exists(objID) {
+		if err := p.model.Relate(oosm.RefersTo, id, objID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReceivedReports returns the number of reports accepted.
+func (p *PDME) ReceivedReports() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.received
+}
+
+// Belief returns the fused belief in a condition on a component.
+func (p *PDME) Belief(component, condition string) (float64, error) {
+	return p.diag.Belief(component, condition)
+}
+
+// Unknown returns the residual unknown mass for a component's group.
+func (p *PDME) Unknown(component, group string) (float64, error) {
+	return p.diag.Unknown(component, group)
+}
+
+// FusedPrognostic returns the fused §7.3 vector for a pair.
+func (p *PDME) FusedPrognostic(component, condition string) proto.PrognosticVector {
+	return p.prog.Fused(component, condition)
+}
+
+// MaintenanceItem is one row of the prioritized maintenance list.
+type MaintenanceItem struct {
+	Component string
+	fusion.ConditionBelief
+	// TimeToHalf is the fused time until 50% failure probability (0 and
+	// false when no prognostic exists).
+	TimeToHalf    time.Duration
+	HasPrognostic bool
+}
+
+// PrioritizedList returns fused conclusions across all components ranked
+// most-urgent first: primarily by fused belief, with prognostic urgency
+// (shorter time to 50% failure) breaking ties.
+func (p *PDME) PrioritizedList() []MaintenanceItem {
+	var out []MaintenanceItem
+	const horizon = 2 * 365 * 24 * time.Hour
+	for _, component := range p.diag.Components() {
+		for _, cb := range p.diag.Ranked(component) {
+			item := MaintenanceItem{Component: component, ConditionBelief: cb}
+			if d, ok := p.prog.TimeToFailure(component, cb.Condition, 0.5, horizon); ok {
+				item.TimeToHalf = d
+				item.HasPrognostic = true
+			}
+			out = append(out, item)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Belief != b.Belief {
+			return a.Belief > b.Belief
+		}
+		switch {
+		case a.HasPrognostic && b.HasPrognostic && a.TimeToHalf != b.TimeToHalf:
+			return a.TimeToHalf < b.TimeToHalf
+		case a.HasPrognostic != b.HasPrognostic:
+			return a.HasPrognostic
+		}
+		if a.Component != b.Component {
+			return a.Component < b.Component
+		}
+		return a.Condition < b.Condition
+	})
+	return out
+}
+
+// TrendProjection fits the severity history of a (component, condition)
+// pair and projects when it will reach the severity threshold — the §10.1
+// temporal-reasoning extension ("scrutinize failure histories and provide
+// better projections of future faults as they develop"). It needs at least
+// three reports for the pair.
+func (p *PDME) TrendProjection(component, condition string, threshold float64) (trend.Projection, error) {
+	return p.trends.Project(component+"|"+condition, threshold)
+}
+
+// SeverityHistory returns the recorded severity observations for a pair.
+func (p *PDME) SeverityHistory(component, condition string) []trend.Point {
+	return p.trends.History(component + "|" + condition)
+}
+
+// Serve starts a TCP report server delivering into this PDME and returns
+// the bound address and the server handle for shutdown.
+func (p *PDME) Serve(addr string) (string, *proto.Server, error) {
+	srv := proto.NewServer(p)
+	bound, err := srv.Start(addr)
+	if err != nil {
+		return "", nil, err
+	}
+	return bound, srv, nil
+}

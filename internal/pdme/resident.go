@@ -1,0 +1,86 @@
+package pdme
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/oosm"
+	"repro/internal/proto"
+)
+
+// §5.7: "the PDME has the capability to host prognostic and diagnostic
+// algorithms. Some reasons for placing the algorithms in the PDME rather
+// than the DC include: the algorithm requires data from widely separate
+// parts of the ship, [or] the algorithm can reason from PDME resident
+// components (a model-based diagnostic and prognostic system, for instance,
+// might use only the OOSM)." Phase 1 ran everything in the DCs; this file
+// provides the hosting capability itself.
+
+// ResidentAlgorithm is a PDME-hosted knowledge source: it reads the ship
+// model (and anything reachable from it) and returns zero or more §7.2
+// reports, which the PDME feeds through the same fusion path as DC reports.
+type ResidentAlgorithm func(model *oosm.Model) ([]*proto.Report, error)
+
+type residentEntry struct {
+	name string
+	run  ResidentAlgorithm
+}
+
+type residentHost struct {
+	mu   sync.Mutex
+	algs []residentEntry
+}
+
+// HostResidentAlgorithm registers a PDME-resident algorithm under a unique
+// name.
+func (p *PDME) HostResidentAlgorithm(name string, alg ResidentAlgorithm) error {
+	if name == "" || alg == nil {
+		return fmt.Errorf("pdme: resident algorithm needs a name and a function")
+	}
+	p.resident.mu.Lock()
+	defer p.resident.mu.Unlock()
+	for _, e := range p.resident.algs {
+		if e.name == name {
+			return fmt.Errorf("pdme: resident algorithm %q already hosted", name)
+		}
+	}
+	p.resident.algs = append(p.resident.algs, residentEntry{name: name, run: alg})
+	return nil
+}
+
+// ResidentAlgorithms returns the hosted algorithm names in registration
+// order.
+func (p *PDME) ResidentAlgorithms() []string {
+	p.resident.mu.Lock()
+	defer p.resident.mu.Unlock()
+	out := make([]string, len(p.resident.algs))
+	for i, e := range p.resident.algs {
+		out[i] = e.name
+	}
+	return out
+}
+
+// RunResidentAlgorithms executes every hosted algorithm against the ship
+// model and delivers the reports they produce into fusion. It returns the
+// number of reports delivered; the first algorithm or delivery error aborts
+// the sweep.
+func (p *PDME) RunResidentAlgorithms() (int, error) {
+	p.resident.mu.Lock()
+	algs := make([]residentEntry, len(p.resident.algs))
+	copy(algs, p.resident.algs)
+	p.resident.mu.Unlock()
+	delivered := 0
+	for _, e := range algs {
+		reports, err := e.run(p.model)
+		if err != nil {
+			return delivered, fmt.Errorf("pdme: resident algorithm %q: %w", e.name, err)
+		}
+		for _, r := range reports {
+			if err := p.Deliver(r); err != nil {
+				return delivered, fmt.Errorf("pdme: resident algorithm %q report: %w", e.name, err)
+			}
+			delivered++
+		}
+	}
+	return delivered, nil
+}

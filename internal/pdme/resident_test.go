@@ -1,0 +1,124 @@
+package pdme
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/oosm"
+	"repro/internal/proto"
+)
+
+// TestResidentModelBasedAlgorithm hosts the §5.7 example: "a model-based
+// diagnostic and prognostic system ... might use only the OOSM". The toy
+// algorithm reasons purely over the relationship graph — any motor that is
+// part-of a chiller whose sibling compressor already carries a strong fused
+// oil-whirl conclusion gets a precautionary misalignment check report.
+func TestResidentModelBasedAlgorithm(t *testing.T) {
+	p, ids := shipFixture(t)
+	defer p.Close()
+	at := time.Date(1998, 11, 1, 0, 0, 0, 0, time.UTC)
+
+	// Establish the compressor conclusion via the normal DC path.
+	if err := p.Deliver(report("ks/dli", ids["compressor"].String(), "oil whirl", 0.6, 0.9, at, nil)); err != nil {
+		t.Fatal(err)
+	}
+
+	modelBased := func(model *oosm.Model) ([]*proto.Report, error) {
+		var out []*proto.Report
+		chillers, err := model.Instances("chiller")
+		if err != nil {
+			return nil, err
+		}
+		for _, ch := range chillers {
+			parts, err := model.RelatedTo(ch, oosm.PartOf)
+			if err != nil {
+				return nil, err
+			}
+			troubled := false
+			for _, part := range parts {
+				if b, err := p.Belief(part.String(), "oil whirl"); err == nil && b > 0.7 {
+					troubled = true
+				}
+			}
+			if !troubled {
+				continue
+			}
+			for _, part := range parts {
+				if part.Class != "motor" {
+					continue
+				}
+				out = append(out, &proto.Report{
+					KnowledgeSourceID:  "ks/model-based",
+					SensedObjectID:     part.String(),
+					MachineConditionID: "motor misalignment",
+					Severity:           0.3,
+					Belief:             0.4,
+					Explanation:        "model-based: sibling compressor instability warrants alignment check",
+					Timestamp:          at.Add(time.Minute),
+				})
+			}
+		}
+		return out, nil
+	}
+	if err := p.HostResidentAlgorithm("model-based", modelBased); err != nil {
+		t.Fatal(err)
+	}
+	// Registration validation.
+	if err := p.HostResidentAlgorithm("model-based", modelBased); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if err := p.HostResidentAlgorithm("", modelBased); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := p.HostResidentAlgorithm("x", nil); err == nil {
+		t.Error("nil algorithm accepted")
+	}
+	if names := p.ResidentAlgorithms(); len(names) != 1 || names[0] != "model-based" {
+		t.Errorf("hosted %v", names)
+	}
+
+	n, err := p.RunResidentAlgorithms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("delivered %d resident reports, want 1", n)
+	}
+	b, err := p.Belief(ids["motor"].String(), "motor misalignment")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b <= 0 {
+		t.Error("resident report did not fuse")
+	}
+	// The report is in the OOSM repository like any DC report.
+	reports, err := p.Model().FindByProp(ReportClass, "ks_id", "ks/model-based")
+	if err != nil || len(reports) != 1 {
+		t.Errorf("resident report not in repository: %v %v", reports, err)
+	}
+}
+
+func TestResidentAlgorithmErrorsPropagate(t *testing.T) {
+	p := newTestPDME(t)
+	defer p.Close()
+	if err := p.HostResidentAlgorithm("boom", func(*oosm.Model) ([]*proto.Report, error) {
+		return nil, fmt.Errorf("model unavailable")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RunResidentAlgorithms(); err == nil {
+		t.Fatal("algorithm error should propagate")
+	}
+	// A report that fails validation also surfaces.
+	p2 := newTestPDME(t)
+	defer p2.Close()
+	if err := p2.HostResidentAlgorithm("bad-report", func(*oosm.Model) ([]*proto.Report, error) {
+		return []*proto.Report{{KnowledgeSourceID: "x"}}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p2.RunResidentAlgorithms(); err == nil {
+		t.Fatal("invalid resident report should propagate")
+	}
+}

@@ -1,0 +1,314 @@
+package proto
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// The wire format is a 4-byte big-endian length prefix followed by a JSON
+// body. Each frame carries one envelope. The PDME replies to every report
+// frame with an ack frame, giving DCs at-least-once delivery with
+// application-level confirmation (the ship's network is assumed unreliable;
+// §4.9 calls out communications instability as a deployment concern).
+
+// MaxFrameSize bounds a frame body to keep a corrupted length prefix from
+// allocating unbounded memory.
+const MaxFrameSize = 16 << 20
+
+type envelope struct {
+	Kind   string  `json:"kind"` // "report" | "ack" | "error"
+	Report *Report `json:"report,omitempty"`
+	Error  string  `json:"error,omitempty"`
+}
+
+// writeFrame writes one length-prefixed JSON frame.
+func writeFrame(w io.Writer, env envelope) error {
+	body, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("proto: marshal frame: %w", err)
+	}
+	if len(body) > MaxFrameSize {
+		return fmt.Errorf("proto: frame of %d bytes exceeds limit", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// readFrame reads one length-prefixed JSON frame.
+func readFrame(r io.Reader) (envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return envelope{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return envelope{}, fmt.Errorf("proto: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return envelope{}, err
+	}
+	var env envelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		return envelope{}, fmt.Errorf("proto: unmarshal frame: %w", err)
+	}
+	return env, nil
+}
+
+// Sink consumes validated reports; the PDME implements this interface.
+type Sink interface {
+	Deliver(*Report) error
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(*Report) error
+
+// Deliver calls the function.
+func (f SinkFunc) Deliver(r *Report) error { return f(r) }
+
+// Server accepts report connections and forwards validated reports to a
+// sink. Create with NewServer, then Serve (blocking) or start via Start.
+type Server struct {
+	sink Sink
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer returns a server delivering reports to sink.
+func NewServer(sink Sink) *Server {
+	return &Server{sink: sink, conns: make(map[net.Conn]struct{})}
+}
+
+// Start begins listening on addr ("host:port", empty port for ephemeral) and
+// serving in a background goroutine. It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("proto: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", errors.New("proto: server already closed")
+	}
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.acceptLoop(ln)
+	}()
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		env, err := readFrame(br)
+		if err != nil {
+			return // connection closed or corrupted framing
+		}
+		var reply envelope
+		switch {
+		case env.Kind != "report" || env.Report == nil:
+			reply = envelope{Kind: "error", Error: "expected report frame"}
+		case env.Report.Validate() != nil:
+			reply = envelope{Kind: "error", Error: env.Report.Validate().Error()}
+		default:
+			if err := s.sink.Deliver(env.Report); err != nil {
+				reply = envelope{Kind: "error", Error: err.Error()}
+			} else {
+				reply = envelope{Kind: "ack"}
+			}
+		}
+		if err := writeFrame(bw, reply); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the listener and all active connections, waiting for handler
+// goroutines to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Client is a connection to a report server; safe for concurrent use
+// (requests are serialized on the single connection).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// Dial connects to a report server at addr.
+func Dial(addr string) (*Client, error) {
+	return DialContext(context.Background(), addr)
+}
+
+// DialContext connects to a report server at addr, honouring the context
+// deadline for connection establishment.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("proto: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}, nil
+}
+
+// Send validates and delivers one report, waiting for the server's ack. A
+// server-side delivery failure is returned as an error.
+func (c *Client) Send(r *Report) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.bw, envelope{Kind: "report", Report: r}); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	reply, err := readFrame(c.br)
+	if err != nil {
+		return err
+	}
+	if reply.Kind == "error" {
+		return fmt.Errorf("proto: server rejected report: %s", reply.Error)
+	}
+	if reply.Kind != "ack" {
+		return fmt.Errorf("proto: unexpected reply kind %q", reply.Kind)
+	}
+	return nil
+}
+
+// Deliver implements Sink, so a Client can stand in wherever an in-process
+// sink is expected (e.g. as a DC uplink).
+func (c *Client) Deliver(r *Report) error { return c.Send(r) }
+
+// SendWithRetry sends a report, retrying transient failures with backoff.
+// Validation failures are not retried.
+func (c *Client) SendWithRetry(r *Report, attempts int, backoff time.Duration) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	var last error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		if last = c.Send(r); last == nil {
+			return nil
+		}
+	}
+	return last
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// Bus is an in-process transport implementing the same Sink contract for
+// single-machine deployments (the paper's phase-1 lab setup ran the PDME and
+// DC on one network but the architecture allows colocated operation).
+type Bus struct {
+	mu    sync.RWMutex
+	sinks []Sink
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus { return &Bus{} }
+
+// Attach registers a sink to receive every published report.
+func (b *Bus) Attach(s Sink) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.sinks = append(b.sinks, s)
+}
+
+// Deliver validates the report and forwards it to every attached sink,
+// returning the first error.
+func (b *Bus) Deliver(r *Report) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	b.mu.RLock()
+	sinks := make([]Sink, len(b.sinks))
+	copy(sinks, b.sinks)
+	b.mu.RUnlock()
+	for _, s := range sinks {
+		if err := s.Deliver(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

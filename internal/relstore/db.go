@@ -1,0 +1,203 @@
+package relstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DB is an embedded relational database: a set of typed tables guarded by a
+// single RW mutex, with optional durability (see Open). The zero value is
+// not usable; construct with NewMemory or Open.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*table
+	logger *walLogger // nil for pure in-memory databases
+}
+
+// NewMemory returns a volatile in-memory database.
+func NewMemory() *DB {
+	return &DB{tables: make(map[string]*table)}
+}
+
+// CreateTable creates a table from the schema. It fails if the table exists.
+func (db *DB) CreateTable(s Schema) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, exists := db.tables[s.Name]; exists {
+		return fmt.Errorf("relstore: table %q already exists", s.Name)
+	}
+	db.tables[s.Name] = newTable(s)
+	if db.logger != nil {
+		return db.logger.appendCreateTable(s)
+	}
+	return nil
+}
+
+// EnsureTable creates the table if it does not already exist. If it exists,
+// the existing schema is kept (no migration support).
+func (db *DB) EnsureTable(s Schema) error {
+	db.mu.RLock()
+	_, exists := db.tables[s.Name]
+	db.mu.RUnlock()
+	if exists {
+		return nil
+	}
+	err := db.CreateTable(s)
+	if err != nil && db.HasTable(s.Name) {
+		return nil // lost a benign race with another creator
+	}
+	return err
+}
+
+// HasTable reports whether a table exists.
+func (db *DB) HasTable(name string) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	_, ok := db.tables[name]
+	return ok
+}
+
+// TableNames returns the table names in sorted order.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TableSchema returns the schema of a table.
+func (db *DB) TableSchema(name string) (Schema, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return Schema{}, fmt.Errorf("relstore: no table %q", name)
+	}
+	return t.schema, nil
+}
+
+// Insert adds a row and returns its assigned id.
+func (db *DB) Insert(tableName string, r Row) (int64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return 0, fmt.Errorf("relstore: no table %q", tableName)
+	}
+	id, err := t.insert(r, 0)
+	if err != nil {
+		return 0, err
+	}
+	if db.logger != nil {
+		if err := db.logger.appendInsert(tableName, id, t.rows[id], t.schema); err != nil {
+			// Roll back the in-memory insert so memory and disk agree.
+			_ = t.delete(id)
+			return 0, err
+		}
+	}
+	return id, nil
+}
+
+// Get returns the row with the given id.
+func (db *DB) Get(tableName string, id int64) (Row, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return nil, fmt.Errorf("relstore: no table %q", tableName)
+	}
+	r, ok := t.get(id)
+	if !ok {
+		return nil, fmt.Errorf("relstore: table %q has no row %d", tableName, id)
+	}
+	return r, nil
+}
+
+// Update applies the non-id column changes to the row with the given id.
+func (db *DB) Update(tableName string, id int64, changes Row) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return fmt.Errorf("relstore: no table %q", tableName)
+	}
+	if err := t.update(id, changes); err != nil {
+		return err
+	}
+	if db.logger != nil {
+		return db.logger.appendUpdate(tableName, id, changes, t.schema)
+	}
+	return nil
+}
+
+// Delete removes the row with the given id.
+func (db *DB) Delete(tableName string, id int64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return fmt.Errorf("relstore: no table %q", tableName)
+	}
+	if err := t.delete(id); err != nil {
+		return err
+	}
+	if db.logger != nil {
+		return db.logger.appendDelete(tableName, id)
+	}
+	return nil
+}
+
+// Select returns rows matching the predicate, sorted by id, at most limit of
+// them (limit <= 0 means unlimited). A nil predicate matches all rows.
+func (db *DB) Select(tableName string, p Predicate, limit int) ([]Row, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return nil, fmt.Errorf("relstore: no table %q", tableName)
+	}
+	return t.selectRows(p, limit), nil
+}
+
+// SelectOne returns the first row matching the predicate, or an error when
+// none matches.
+func (db *DB) SelectOne(tableName string, p Predicate) (Row, error) {
+	rows, err := db.Select(tableName, p, 1)
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("relstore: no row in %q matches predicate", tableName)
+	}
+	return rows[0], nil
+}
+
+// Count returns the number of rows matching the predicate.
+func (db *DB) Count(tableName string, p Predicate) (int, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return 0, fmt.Errorf("relstore: no table %q", tableName)
+	}
+	return t.count(p), nil
+}
+
+// Close flushes and closes the underlying log, if any. The database must not
+// be used after Close.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.logger != nil {
+		return db.logger.close()
+	}
+	return nil
+}

@@ -1,0 +1,395 @@
+package relstore
+
+import (
+	"bufio"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// The durability format is a single append-only log file of JSON records,
+// one per line. Reopening a database replays the log. Compact rewrites the
+// log as a snapshot (one create-table plus one insert per live row), which
+// bounds file growth; the paper's DC runs "disconnected from our labs for
+// months at a time", so unattended long-term operation is the design point.
+
+type walRecord struct {
+	Op     string            `json:"op"` // create_table | insert | update | delete
+	Table  string            `json:"table"`
+	ID     int64             `json:"id,omitempty"`
+	Schema *Schema           `json:"schema,omitempty"`
+	Row    map[string]string `json:"row,omitempty"` // column -> encoded value
+}
+
+type walLogger struct {
+	f *os.File
+	w *bufio.Writer
+}
+
+func (l *walLogger) append(rec walRecord) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("relstore: encode wal record: %w", err)
+	}
+	if _, err := l.w.Write(b); err != nil {
+		return err
+	}
+	if err := l.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	return l.w.Flush()
+}
+
+func (l *walLogger) appendCreateTable(s Schema) error {
+	sc := s // copy so the caller's schema cannot alias
+	return l.append(walRecord{Op: "create_table", Table: s.Name, Schema: &sc})
+}
+
+func (l *walLogger) appendInsert(table string, id int64, r Row, s Schema) error {
+	enc, err := encodeRow(r, s)
+	if err != nil {
+		return err
+	}
+	return l.append(walRecord{Op: "insert", Table: table, ID: id, Row: enc})
+}
+
+func (l *walLogger) appendUpdate(table string, id int64, changes Row, s Schema) error {
+	enc, err := encodeRow(changes, s)
+	if err != nil {
+		return err
+	}
+	return l.append(walRecord{Op: "update", Table: table, ID: id, Row: enc})
+}
+
+func (l *walLogger) appendDelete(table string, id int64) error {
+	return l.append(walRecord{Op: "delete", Table: table, ID: id})
+}
+
+func (l *walLogger) close() error {
+	if err := l.w.Flush(); err != nil {
+		_ = l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+// encodeRow converts row values to strings using the schema's column types.
+// nil values encode as the literal "∅" sentinel with prefix handling below.
+func encodeRow(r Row, s Schema) (map[string]string, error) {
+	types := make(map[string]ColumnType, len(s.Columns))
+	for _, c := range s.Columns {
+		types[c.Name] = c.Type
+	}
+	out := make(map[string]string, len(r))
+	for k, v := range r {
+		if k == "id" {
+			continue
+		}
+		t, ok := types[k]
+		if !ok {
+			return nil, fmt.Errorf("relstore: encode: unknown column %q", k)
+		}
+		if v == nil {
+			out[k] = "N"
+			continue
+		}
+		switch t {
+		case Int:
+			out[k] = fmt.Sprintf("V%d", v.(int64))
+		case Float:
+			out[k] = fmt.Sprintf("V%g", v.(float64))
+		case String:
+			out[k] = "V" + v.(string)
+		case Bool:
+			if v.(bool) {
+				out[k] = "Vtrue"
+			} else {
+				out[k] = "Vfalse"
+			}
+		case Time:
+			out[k] = "V" + v.(time.Time).UTC().Format(time.RFC3339Nano)
+		case Bytes:
+			out[k] = "V" + base64.StdEncoding.EncodeToString(v.([]byte))
+		}
+	}
+	return out, nil
+}
+
+// decodeRow reverses encodeRow.
+func decodeRow(enc map[string]string, s Schema) (Row, error) {
+	types := make(map[string]ColumnType, len(s.Columns))
+	for _, c := range s.Columns {
+		types[c.Name] = c.Type
+	}
+	out := make(Row, len(enc))
+	for k, raw := range enc {
+		t, ok := types[k]
+		if !ok {
+			return nil, fmt.Errorf("relstore: decode: unknown column %q", k)
+		}
+		if raw == "N" {
+			out[k] = nil
+			continue
+		}
+		if len(raw) < 1 || raw[0] != 'V' {
+			return nil, fmt.Errorf("relstore: decode: malformed value %q", raw)
+		}
+		body := raw[1:]
+		switch t {
+		case Int:
+			var v int64
+			if _, err := fmt.Sscanf(body, "%d", &v); err != nil {
+				return nil, fmt.Errorf("relstore: decode int %q: %w", body, err)
+			}
+			out[k] = v
+		case Float:
+			var v float64
+			if _, err := fmt.Sscanf(body, "%g", &v); err != nil {
+				return nil, fmt.Errorf("relstore: decode float %q: %w", body, err)
+			}
+			out[k] = v
+		case String:
+			out[k] = body
+		case Bool:
+			out[k] = body == "true"
+		case Time:
+			tv, err := time.Parse(time.RFC3339Nano, body)
+			if err != nil {
+				return nil, fmt.Errorf("relstore: decode time %q: %w", body, err)
+			}
+			out[k] = tv
+		case Bytes:
+			bv, err := base64.StdEncoding.DecodeString(body)
+			if err != nil {
+				return nil, fmt.Errorf("relstore: decode bytes: %w", err)
+			}
+			out[k] = bv
+		}
+	}
+	return out, nil
+}
+
+// Open opens (or creates) a durable database backed by the log file at path.
+// An existing log is replayed into memory before the handle is returned.
+func Open(path string) (*DB, error) {
+	db := NewMemory()
+	if err := replayInto(db, path); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("relstore: create db directory: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("relstore: open log: %w", err)
+	}
+	db.logger = &walLogger{f: f, w: bufio.NewWriter(f)}
+	return db, nil
+}
+
+// replayInto applies every record of the log file at path to db. A missing
+// file is not an error (fresh database).
+func replayInto(db *DB, path string) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("relstore: open log for replay: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	line := 0
+	tornTail := false
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		var rec walRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			// A malformed FINAL line is the signature of a torn write
+			// (power loss mid-append — §4.9's shipboard reality). Recover
+			// to the last complete record; a malformed interior line is
+			// real corruption and is refused.
+			tornTail = true
+			continue
+		}
+		if tornTail {
+			return fmt.Errorf("relstore: log line %d: valid record after malformed line %d (corrupted log)", line, line-1)
+		}
+		if err := db.apply(rec); err != nil {
+			return fmt.Errorf("relstore: log line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil && err != io.EOF {
+		return fmt.Errorf("relstore: read log: %w", err)
+	}
+	if tornTail {
+		// Truncate the torn tail so the next append produces a clean log.
+		if err := truncateToCompleteRecords(path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// truncateToCompleteRecords rewrites the log file keeping only its leading
+// JSON-complete lines.
+func truncateToCompleteRecords(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("relstore: reread log for truncation: %w", err)
+	}
+	keep := 0
+	start := 0
+	for i := 0; i < len(data); i++ {
+		if data[i] != '\n' {
+			continue
+		}
+		var rec walRecord
+		if json.Unmarshal(data[start:i], &rec) != nil {
+			break
+		}
+		keep = i + 1
+		start = i + 1
+	}
+	if keep == len(data) {
+		return nil
+	}
+	if err := os.WriteFile(path+".trunc", data[:keep], 0o644); err != nil {
+		return fmt.Errorf("relstore: write truncated log: %w", err)
+	}
+	if err := os.Rename(path+".trunc", path); err != nil {
+		return fmt.Errorf("relstore: swap truncated log: %w", err)
+	}
+	return nil
+}
+
+// apply replays one log record against the in-memory state (no re-logging).
+func (db *DB) apply(rec walRecord) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	switch rec.Op {
+	case "create_table":
+		if rec.Schema == nil {
+			return fmt.Errorf("create_table without schema")
+		}
+		if err := rec.Schema.Validate(); err != nil {
+			return err
+		}
+		if _, exists := db.tables[rec.Schema.Name]; exists {
+			return fmt.Errorf("table %q already exists", rec.Schema.Name)
+		}
+		db.tables[rec.Schema.Name] = newTable(*rec.Schema)
+		return nil
+	case "insert":
+		t, ok := db.tables[rec.Table]
+		if !ok {
+			return fmt.Errorf("no table %q", rec.Table)
+		}
+		r, err := decodeRow(rec.Row, t.schema)
+		if err != nil {
+			return err
+		}
+		_, err = t.insert(r, rec.ID)
+		return err
+	case "update":
+		t, ok := db.tables[rec.Table]
+		if !ok {
+			return fmt.Errorf("no table %q", rec.Table)
+		}
+		changes, err := decodeRow(rec.Row, t.schema)
+		if err != nil {
+			return err
+		}
+		return t.update(rec.ID, changes)
+	case "delete":
+		t, ok := db.tables[rec.Table]
+		if !ok {
+			return fmt.Errorf("no table %q", rec.Table)
+		}
+		return t.delete(rec.ID)
+	default:
+		return fmt.Errorf("unknown op %q", rec.Op)
+	}
+}
+
+// Compact rewrites the log file as a minimal snapshot of the current state
+// and swaps it in atomically. Only valid for databases created with Open.
+func (db *DB) Compact(path string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.logger == nil {
+		return fmt.Errorf("relstore: Compact on in-memory database")
+	}
+	tmp := path + ".compact"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("relstore: create compact file: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	writeRec := func(rec walRecord) error {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+		return w.WriteByte('\n')
+	}
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := db.tables[name]
+		sc := t.schema
+		if err := writeRec(walRecord{Op: "create_table", Table: name, Schema: &sc}); err != nil {
+			_ = f.Close()
+			return err
+		}
+		ids := make([]int64, 0, len(t.rows))
+		for id := range t.rows {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			enc, err := encodeRow(t.rows[id], t.schema)
+			if err != nil {
+				_ = f.Close()
+				return err
+			}
+			if err := writeRec(walRecord{Op: "insert", Table: name, ID: id, Row: enc}); err != nil {
+				_ = f.Close()
+				return err
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	// Swap: close old log, rename, reopen for append.
+	if err := db.logger.close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("relstore: swap compacted log: %w", err)
+	}
+	nf, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("relstore: reopen log after compact: %w", err)
+	}
+	db.logger = &walLogger{f: nf, w: bufio.NewWriter(nf)}
+	return nil
+}

@@ -1,0 +1,548 @@
+package relstore
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func machineSchema() Schema {
+	return Schema{
+		Name: "machines",
+		Columns: []Column{
+			{Name: "name", Type: String, Indexed: true},
+			{Name: "kind", Type: String},
+			{Name: "power_kw", Type: Float},
+			{Name: "installed", Type: Time},
+			{Name: "active", Type: Bool},
+			{Name: "hours", Type: Int},
+			{Name: "notes", Type: String, Nullable: true},
+			{Name: "blob", Type: Bytes, Nullable: true},
+		},
+	}
+}
+
+func sampleRow(i int) Row {
+	return Row{
+		"name":      fmt.Sprintf("machine-%d", i),
+		"kind":      "chiller",
+		"power_kw":  float64(i) * 1.5,
+		"installed": time.Date(1998, 8, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(i) * time.Hour),
+		"active":    i%2 == 0,
+		"hours":     int64(i * 100),
+	}
+}
+
+func TestSchemaValidation(t *testing.T) {
+	bad := []Schema{
+		{Name: ""},
+		{Name: "t"},
+		{Name: "t", Columns: []Column{{Name: "", Type: Int}}},
+		{Name: "t", Columns: []Column{{Name: "a", Type: Int}, {Name: "a", Type: Int}}},
+		{Name: "t", Columns: []Column{{Name: "id", Type: Int}}},
+		{Name: "t", Columns: []Column{{Name: "a", Type: ColumnType(99)}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	if err := machineSchema().Validate(); err != nil {
+		t.Errorf("good schema rejected: %v", err)
+	}
+}
+
+func TestColumnTypeString(t *testing.T) {
+	want := map[ColumnType]string{Int: "INTEGER", Float: "REAL", String: "TEXT",
+		Bool: "BOOLEAN", Time: "TIMESTAMP", Bytes: "BLOB", ColumnType(9): "UNKNOWN"}
+	for ct, s := range want {
+		if ct.String() != s {
+			t.Errorf("%d: %q != %q", ct, ct.String(), s)
+		}
+	}
+}
+
+func TestCRUD(t *testing.T) {
+	db := NewMemory()
+	if err := db.CreateTable(machineSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(machineSchema()); err == nil {
+		t.Error("duplicate table should error")
+	}
+	id, err := db.Insert("machines", sampleRow(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 {
+		t.Errorf("first id %d", id)
+	}
+	got, err := db.Get("machines", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["name"] != "machine-1" || got.ID() != 1 {
+		t.Errorf("row %v", got)
+	}
+	if err := db.Update("machines", id, Row{"hours": int64(999)}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = db.Get("machines", id)
+	if got["hours"] != int64(999) || got["name"] != "machine-1" {
+		t.Errorf("update lost data: %v", got)
+	}
+	if err := db.Delete("machines", id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get("machines", id); err == nil {
+		t.Error("get after delete should error")
+	}
+	if err := db.Delete("machines", id); err == nil {
+		t.Error("double delete should error")
+	}
+	if err := db.Update("machines", 42, Row{"hours": int64(1)}); err == nil {
+		t.Error("update missing row should error")
+	}
+	// Unknown-table errors.
+	if _, err := db.Insert("nope", sampleRow(1)); err == nil {
+		t.Error("insert into missing table")
+	}
+	if _, err := db.Get("nope", 1); err == nil {
+		t.Error("get from missing table")
+	}
+	if _, err := db.Select("nope", nil, 0); err == nil {
+		t.Error("select from missing table")
+	}
+	if _, err := db.Count("nope", nil); err == nil {
+		t.Error("count missing table")
+	}
+	if err := db.Update("nope", 1, nil); err == nil {
+		t.Error("update missing table")
+	}
+	if err := db.Delete("nope", 1); err == nil {
+		t.Error("delete missing table")
+	}
+}
+
+func TestTypeEnforcement(t *testing.T) {
+	db := NewMemory()
+	if err := db.CreateTable(machineSchema()); err != nil {
+		t.Fatal(err)
+	}
+	r := sampleRow(1)
+	r["hours"] = "not an int"
+	if _, err := db.Insert("machines", r); err == nil {
+		t.Error("wrong type should be rejected")
+	}
+	r = sampleRow(1)
+	r["ghost"] = 1
+	if _, err := db.Insert("machines", r); err == nil {
+		t.Error("unknown column should be rejected")
+	}
+	r = sampleRow(1)
+	r["id"] = int64(5)
+	if _, err := db.Insert("machines", r); err == nil {
+		t.Error("explicit id should be rejected")
+	}
+	r = sampleRow(1)
+	delete(r, "name")
+	if _, err := db.Insert("machines", r); err == nil {
+		t.Error("missing non-nullable column should be rejected")
+	}
+	r = sampleRow(1)
+	r["notes"] = nil // nullable: fine
+	if _, err := db.Insert("machines", r); err != nil {
+		t.Errorf("nullable nil rejected: %v", err)
+	}
+	r = sampleRow(2)
+	r["name"] = nil // non-nullable nil
+	if _, err := db.Insert("machines", r); err != nil {
+		// expected
+	} else {
+		t.Error("nil in non-nullable column should be rejected")
+	}
+}
+
+func TestSelectAndPredicates(t *testing.T) {
+	db := NewMemory()
+	if err := db.CreateTable(machineSchema()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 20; i++ {
+		if _, err := db.Insert("machines", sampleRow(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all, err := db.Select("machines", nil, 0)
+	if err != nil || len(all) != 20 {
+		t.Fatalf("select all: %d rows err %v", len(all), err)
+	}
+	// Sorted by id.
+	for i := 1; i < len(all); i++ {
+		if all[i].ID() <= all[i-1].ID() {
+			t.Fatal("rows not sorted by id")
+		}
+	}
+	// Indexed equality.
+	rows, err := db.Select("machines", Eq("name", "machine-7"), 0)
+	if err != nil || len(rows) != 1 || rows[0]["hours"] != int64(700) {
+		t.Fatalf("indexed eq: %v err %v", rows, err)
+	}
+	// Limit.
+	rows, _ = db.Select("machines", nil, 5)
+	if len(rows) != 5 {
+		t.Errorf("limit: %d", len(rows))
+	}
+	// And with index hint plus residual condition.
+	rows, _ = db.Select("machines", And(Eq("name", "machine-8"), GtFloat("power_kw", 100)), 0)
+	if len(rows) != 0 {
+		t.Errorf("and residual: %v", rows)
+	}
+	rows, _ = db.Select("machines", And(Eq("name", "machine-8"), GtFloat("power_kw", 1)), 0)
+	if len(rows) != 1 {
+		t.Errorf("and match: %v", rows)
+	}
+	// Or / Not / range predicates.
+	rows, _ = db.Select("machines", Or(Eq("name", "machine-1"), Eq("name", "machine-2")), 0)
+	if len(rows) != 2 {
+		t.Errorf("or: %d", len(rows))
+	}
+	n, _ := db.Count("machines", Not(Eq("kind", "chiller")))
+	if n != 0 {
+		t.Errorf("not: %d", n)
+	}
+	n, _ = db.Count("machines", GtInt("hours", 1500))
+	if n != 5 {
+		t.Errorf("gtint: %d", n)
+	}
+	n, _ = db.Count("machines", LtFloat("power_kw", 3.1))
+	if n != 2 {
+		t.Errorf("ltfloat: %d", n)
+	}
+	cut := time.Date(1998, 8, 1, 10, 30, 0, 0, time.UTC)
+	n, _ = db.Count("machines", After("installed", cut))
+	if n != 10 {
+		t.Errorf("after: %d", n)
+	}
+	n, _ = db.Count("machines", Before("installed", cut))
+	if n != 10 {
+		t.Errorf("before: %d", n)
+	}
+	// SelectOne.
+	one, err := db.SelectOne("machines", Eq("name", "machine-3"))
+	if err != nil || one["hours"] != int64(300) {
+		t.Errorf("selectone: %v %v", one, err)
+	}
+	if _, err := db.SelectOne("machines", Eq("name", "nope")); err == nil {
+		t.Error("selectone miss should error")
+	}
+	// Returned rows are clones: mutating them must not affect the store.
+	one["hours"] = int64(-1)
+	again, _ := db.SelectOne("machines", Eq("name", "machine-3"))
+	if again["hours"] != int64(300) {
+		t.Error("row mutation leaked into store")
+	}
+}
+
+func TestIndexMaintenance(t *testing.T) {
+	db := NewMemory()
+	if err := db.CreateTable(machineSchema()); err != nil {
+		t.Fatal(err)
+	}
+	id, _ := db.Insert("machines", sampleRow(1))
+	// Rename; old index entry must be gone, new one live.
+	if err := db.Update("machines", id, Row{"name": "renamed"}); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := db.Select("machines", Eq("name", "machine-1"), 0)
+	if len(rows) != 0 {
+		t.Error("stale index entry after update")
+	}
+	rows, _ = db.Select("machines", Eq("name", "renamed"), 0)
+	if len(rows) != 1 {
+		t.Error("missing index entry after update")
+	}
+	if err := db.Delete("machines", id); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ = db.Select("machines", Eq("name", "renamed"), 0)
+	if len(rows) != 0 {
+		t.Error("stale index entry after delete")
+	}
+}
+
+func TestEnsureTableAndNames(t *testing.T) {
+	db := NewMemory()
+	if err := db.EnsureTable(machineSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.EnsureTable(machineSchema()); err != nil {
+		t.Fatalf("second ensure: %v", err)
+	}
+	if !db.HasTable("machines") || db.HasTable("nope") {
+		t.Error("HasTable wrong")
+	}
+	if names := db.TableNames(); len(names) != 1 || names[0] != "machines" {
+		t.Errorf("names %v", names)
+	}
+	s, err := db.TableSchema("machines")
+	if err != nil || s.Name != "machines" {
+		t.Errorf("schema %v err %v", s, err)
+	}
+	if _, err := db.TableSchema("nope"); err == nil {
+		t.Error("schema of missing table")
+	}
+}
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dc", "dc.db")
+	db, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(machineSchema()); err != nil {
+		t.Fatal(err)
+	}
+	var ids []int64
+	for i := 1; i <= 10; i++ {
+		r := sampleRow(i)
+		if i == 3 {
+			r["notes"] = "needs bearing check"
+			r["blob"] = []byte{1, 2, 3, 255}
+		}
+		id, err := db.Insert("machines", r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := db.Update("machines", ids[0], Row{"hours": int64(12345)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete("machines", ids[9]); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	n, _ := re.Count("machines", nil)
+	if n != 9 {
+		t.Fatalf("replayed %d rows, want 9", n)
+	}
+	r, err := re.Get("machines", ids[0])
+	if err != nil || r["hours"] != int64(12345) {
+		t.Errorf("replayed update lost: %v err %v", r, err)
+	}
+	r, _ = re.Get("machines", ids[2])
+	if r["notes"] != "needs bearing check" {
+		t.Errorf("string round trip: %v", r["notes"])
+	}
+	if b, ok := r["blob"].([]byte); !ok || len(b) != 4 || b[3] != 255 {
+		t.Errorf("bytes round trip: %v", r["blob"])
+	}
+	it, ok := r["installed"].(time.Time)
+	if !ok || !it.Equal(time.Date(1998, 8, 1, 3, 0, 0, 0, time.UTC)) {
+		t.Errorf("time round trip: %v", r["installed"])
+	}
+	// New ids continue past the replayed maximum.
+	id, err := re.Insert("machines", sampleRow(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id <= ids[8] {
+		t.Errorf("id %d not past replayed max", id)
+	}
+}
+
+func TestCompact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dc.db")
+	db, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(machineSchema()); err != nil {
+		t.Fatal(err)
+	}
+	// Generate churn: many updates that compaction should collapse.
+	id, _ := db.Insert("machines", sampleRow(1))
+	for i := 0; i < 500; i++ {
+		if err := db.Update("machines", id, Row{"hours": int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Compact(path); err != nil {
+		t.Fatal(err)
+	}
+	// Post-compact writes still work.
+	if _, err := db.Insert("machines", sampleRow(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	n, _ := re.Count("machines", nil)
+	if n != 2 {
+		t.Fatalf("after compact+reopen: %d rows", n)
+	}
+	r, _ := re.Get("machines", id)
+	if r["hours"] != int64(499) {
+		t.Errorf("compacted state lost final update: %v", r["hours"])
+	}
+	if err := NewMemory().Compact(path); err == nil {
+		t.Error("compact on memory db should error")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	db := NewMemory()
+	if err := db.CreateTable(machineSchema()); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := db.Insert("machines", sampleRow(g*1000+i)); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := db.Select("machines", Eq("kind", "chiller"), 10); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	n, _ := db.Count("machines", nil)
+	if n != 400 {
+		t.Fatalf("concurrent inserts: %d rows, want 400", n)
+	}
+	// All ids unique.
+	rows, _ := db.Select("machines", nil, 0)
+	seen := map[int64]bool{}
+	for _, r := range rows {
+		if seen[r.ID()] {
+			t.Fatalf("duplicate id %d", r.ID())
+		}
+		seen[r.ID()] = true
+	}
+}
+
+func TestEncodeDecodeRowProperty(t *testing.T) {
+	// Property: decodeRow(encodeRow(r)) == r for random rows.
+	s := machineSchema()
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := Row{
+			"name":      fmt.Sprintf("m-%d", rng.Int63()),
+			"kind":      "k",
+			"power_kw":  rng.NormFloat64() * 1e6,
+			"installed": time.Unix(rng.Int63n(1e9), rng.Int63n(1e9)).UTC(),
+			"active":    rng.Intn(2) == 0,
+			"hours":     rng.Int63() - rng.Int63(),
+		}
+		if rng.Intn(2) == 0 {
+			r["notes"] = nil
+		} else {
+			b := make([]byte, rng.Intn(32))
+			rng.Read(b)
+			r["blob"] = b
+			r["notes"] = string(b) // arbitrary-ish text
+		}
+		enc, err := encodeRow(r, s)
+		if err != nil {
+			return false
+		}
+		dec, err := decodeRow(enc, s)
+		if err != nil {
+			return false
+		}
+		for k, v := range r {
+			if !valuesEqual(dec[k], v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsertMemory(b *testing.B) {
+	db := NewMemory()
+	if err := db.CreateTable(machineSchema()); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Insert("machines", sampleRow(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIndexedLookup(b *testing.B) {
+	db := NewMemory()
+	if err := db.CreateTable(machineSchema()); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		if _, err := db.Insert("machines", sampleRow(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := db.Select("machines", Eq("name", "machine-5000"), 0)
+		if err != nil || len(rows) != 1 {
+			b.Fatalf("lookup failed: %v %v", rows, err)
+		}
+	}
+}
+
+func BenchmarkInsertDurable(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "bench.db")
+	db, err := Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.CreateTable(machineSchema()); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Insert("machines", sampleRow(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

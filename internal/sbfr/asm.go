@@ -1,0 +1,570 @@
+package sbfr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// The SBFR assembly language. One source file declares one or more machines:
+//
+//	# comment
+//	machine Spike
+//	  locals 1
+//	  state Wait
+//	    when delta.current > 0.5 goto PossibleSpike1
+//	  state PossibleSpike1
+//	    when delta.current < -0.5 && elapsed <= 4 goto PossibleSpike2
+//	    when elapsed > 4 goto Wait
+//	  state PossibleSpike2
+//	    when elapsed <= 4 && delta.current < 0.2 && delta.current > -0.2 \
+//	      do status.self = status.self | 1 goto Spike
+//	  state Spike
+//	    when status.self == 0 goto Wait
+//
+// Expressions read: `in.<channel>` (sensor value), `delta.<channel>`
+// (change since previous tick), `elapsed` (ticks in current state),
+// `local.<n>`, `status.<machine>` or `status.self`. Operators:
+// `&& || ! < > <= >= == != + - * |` and parentheses. Actions assign an
+// expression to `local.<n>`, `status.<machine>`, or `status.self`,
+// separated by `;`. The first state declared is the initial state.
+
+// Env resolves channel and machine names during assembly.
+type Env struct {
+	// Channels maps sensor channel names to indices.
+	Channels map[string]int
+	// Machines maps machine names to system indices.
+	Machines map[string]int
+}
+
+// AssembleSystem compiles all machines in source against the given channel
+// list. Machine indices are assigned in declaration order, so forward
+// status.<name> references work.
+func AssembleSystem(source string, channels []string) ([]*Program, error) {
+	env := Env{Channels: map[string]int{}, Machines: map[string]int{}}
+	for i, c := range channels {
+		if _, dup := env.Channels[c]; dup {
+			return nil, fmt.Errorf("sbfr: duplicate channel %q", c)
+		}
+		env.Channels[c] = i
+	}
+	decls, err := splitMachines(source)
+	if err != nil {
+		return nil, err
+	}
+	for i, d := range decls {
+		if _, dup := env.Machines[d.name]; dup {
+			return nil, fmt.Errorf("sbfr: duplicate machine %q", d.name)
+		}
+		env.Machines[d.name] = i
+	}
+	progs := make([]*Program, 0, len(decls))
+	for i, d := range decls {
+		p, err := compileMachine(d, env)
+		if err != nil {
+			return nil, err
+		}
+		p.SelfIndex = i
+		progs = append(progs, p)
+	}
+	return progs, nil
+}
+
+type machineDecl struct {
+	name  string
+	lines []srcLine
+}
+
+type srcLine struct {
+	num  int
+	text string
+}
+
+// splitMachines separates the source into per-machine line groups, handling
+// comments and backslash line continuation.
+func splitMachines(source string) ([]machineDecl, error) {
+	var decls []machineDecl
+	var cur *machineDecl
+	raw := strings.Split(source, "\n")
+	for i := 0; i < len(raw); i++ {
+		lineNum := i + 1
+		text := raw[i]
+		// Line continuation.
+		for strings.HasSuffix(strings.TrimRight(text, " \t"), "\\") && i+1 < len(raw) {
+			text = strings.TrimSuffix(strings.TrimRight(text, " \t"), "\\")
+			i++
+			text += " " + raw[i]
+		}
+		if j := strings.Index(text, "#"); j >= 0 {
+			text = text[:j]
+		}
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		if fields[0] == "machine" {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("sbfr: line %d: machine needs exactly one name", lineNum)
+			}
+			decls = append(decls, machineDecl{name: fields[1]})
+			cur = &decls[len(decls)-1]
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("sbfr: line %d: statement outside machine block", lineNum)
+		}
+		cur.lines = append(cur.lines, srcLine{num: lineNum, text: text})
+	}
+	if len(decls) == 0 {
+		return nil, fmt.Errorf("sbfr: no machines in source")
+	}
+	return decls, nil
+}
+
+type transDecl struct {
+	line    int
+	cond    string
+	actions []string
+	target  string
+}
+
+type stateDecl struct {
+	name  string
+	trans []transDecl
+}
+
+func compileMachine(d machineDecl, env Env) (*Program, error) {
+	numLocals := 0
+	var states []stateDecl
+	for _, ln := range d.lines {
+		fields := strings.Fields(ln.text)
+		switch fields[0] {
+		case "locals":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("sbfr: line %d: locals needs a count", ln.num)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 || n > 255 {
+				return nil, fmt.Errorf("sbfr: line %d: bad locals count %q", ln.num, fields[1])
+			}
+			numLocals = n
+		case "state":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("sbfr: line %d: state needs exactly one name", ln.num)
+			}
+			name := strings.TrimSuffix(fields[1], ":")
+			for _, s := range states {
+				if s.name == name {
+					return nil, fmt.Errorf("sbfr: line %d: duplicate state %q", ln.num, name)
+				}
+			}
+			states = append(states, stateDecl{name: name})
+		case "when":
+			if len(states) == 0 {
+				return nil, fmt.Errorf("sbfr: line %d: transition outside state", ln.num)
+			}
+			td, err := parseTransition(ln)
+			if err != nil {
+				return nil, err
+			}
+			st := &states[len(states)-1]
+			st.trans = append(st.trans, td)
+		default:
+			return nil, fmt.Errorf("sbfr: line %d: unknown statement %q", ln.num, fields[0])
+		}
+	}
+	if len(states) == 0 {
+		return nil, fmt.Errorf("sbfr: machine %q has no states", d.name)
+	}
+	if len(states) > 255 {
+		return nil, fmt.Errorf("sbfr: machine %q has too many states", d.name)
+	}
+	stateIdx := map[string]int{}
+	names := make([]string, len(states))
+	for i, s := range states {
+		stateIdx[s.name] = i
+		names[i] = s.name
+	}
+
+	code := []byte{byte(numLocals), byte(len(states))}
+	for _, s := range states {
+		if len(s.trans) > 255 {
+			return nil, fmt.Errorf("sbfr: state %q has too many transitions", s.name)
+		}
+		code = append(code, byte(len(s.trans)))
+		for _, tr := range s.trans {
+			target, ok := stateIdx[tr.target]
+			if !ok {
+				return nil, fmt.Errorf("sbfr: line %d: unknown target state %q", tr.line, tr.target)
+			}
+			if len(tr.actions) > 255 {
+				return nil, fmt.Errorf("sbfr: line %d: too many actions", tr.line)
+			}
+			code = append(code, byte(target), byte(len(tr.actions)))
+			condCode, err := compileExpr(tr.cond, env, numLocals)
+			if err != nil {
+				return nil, fmt.Errorf("sbfr: line %d: condition: %w", tr.line, err)
+			}
+			code = append(code, condCode...)
+			for _, a := range tr.actions {
+				actCode, err := compileAction(a, env, numLocals)
+				if err != nil {
+					return nil, fmt.Errorf("sbfr: line %d: action %q: %w", tr.line, a, err)
+				}
+				code = append(code, actCode...)
+			}
+		}
+	}
+	return &Program{Name: d.name, StateNames: names, Code: code}, nil
+}
+
+// parseTransition splits "when COND [do A; B] goto STATE".
+func parseTransition(ln srcLine) (transDecl, error) {
+	body := strings.TrimSpace(strings.TrimPrefix(ln.text, "when"))
+	gi := strings.LastIndex(body, "goto ")
+	if gi < 0 {
+		return transDecl{}, fmt.Errorf("sbfr: line %d: transition missing goto", ln.num)
+	}
+	target := strings.TrimSpace(body[gi+len("goto "):])
+	if target == "" || strings.ContainsAny(target, " \t") {
+		return transDecl{}, fmt.Errorf("sbfr: line %d: bad goto target %q", ln.num, target)
+	}
+	head := strings.TrimSpace(body[:gi])
+	td := transDecl{line: ln.num, target: target}
+	if di := strings.Index(head, " do "); di >= 0 {
+		td.cond = strings.TrimSpace(head[:di])
+		for _, a := range strings.Split(head[di+4:], ";") {
+			a = strings.TrimSpace(a)
+			if a != "" {
+				td.actions = append(td.actions, a)
+			}
+		}
+	} else {
+		td.cond = head
+	}
+	if td.cond == "" {
+		return transDecl{}, fmt.Errorf("sbfr: line %d: empty condition", ln.num)
+	}
+	return td, nil
+}
+
+// compileAction compiles "target = expr" into action bytecode.
+func compileAction(src string, env Env, numLocals int) ([]byte, error) {
+	i := strings.Index(src, "=")
+	if i < 0 {
+		return nil, fmt.Errorf("action missing '='")
+	}
+	// Guard against == being mistaken for assignment.
+	if i+1 < len(src) && src[i+1] == '=' {
+		return nil, fmt.Errorf("action left side cannot contain ==")
+	}
+	lhs := strings.TrimSpace(src[:i])
+	rhs := strings.TrimSpace(src[i+1:])
+	var head []byte
+	switch {
+	case strings.HasPrefix(lhs, "local."):
+		n, err := strconv.Atoi(lhs[len("local."):])
+		if err != nil || n < 0 || n > 255 {
+			return nil, fmt.Errorf("bad local target %q", lhs)
+		}
+		if n >= numLocals {
+			return nil, fmt.Errorf("local %d exceeds declared locals %d", n, numLocals)
+		}
+		head = []byte{targetLocal, byte(n)}
+	case lhs == "status.self":
+		head = []byte{targetSelfStatus, 0}
+	case strings.HasPrefix(lhs, "status."):
+		name := lhs[len("status."):]
+		idx, ok := env.Machines[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown machine %q in status target", name)
+		}
+		head = []byte{targetStatus, byte(idx)}
+	default:
+		return nil, fmt.Errorf("bad action target %q", lhs)
+	}
+	expr, err := compileExpr(rhs, env, numLocals)
+	if err != nil {
+		return nil, err
+	}
+	return append(head, expr...), nil
+}
+
+// ---- expression compiler (recursive descent to postfix bytecode) ----
+
+type exprParser struct {
+	toks      []string
+	pos       int
+	env       Env
+	numLocals int
+	out       []byte
+}
+
+func compileExpr(src string, env Env, numLocals int) ([]byte, error) {
+	toks, err := tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &exprParser{toks: toks, env: env, numLocals: numLocals}
+	if err := p.orExpr(); err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("unexpected token %q", p.toks[p.pos])
+	}
+	return append(p.out, opEnd), nil
+}
+
+func tokenize(src string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case strings.ContainsRune("()", rune(c)):
+			toks = append(toks, string(c))
+			i++
+		case c == '&' || c == '|':
+			if i+1 < len(src) && src[i+1] == c {
+				toks = append(toks, string(c)+string(c))
+				i += 2
+			} else if c == '|' {
+				toks = append(toks, "|")
+				i++
+			} else {
+				return nil, fmt.Errorf("stray '&'")
+			}
+		case c == '<' || c == '>' || c == '=' || c == '!':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, string(c)+"=")
+				i += 2
+			} else if c == '=' {
+				return nil, fmt.Errorf("single '=' in expression (use ==)")
+			} else {
+				toks = append(toks, string(c))
+				i++
+			}
+		case c == '+' || c == '*':
+			toks = append(toks, string(c))
+			i++
+		case c == '-':
+			toks = append(toks, "-")
+			i++
+		case c >= '0' && c <= '9' || c == '.':
+			j := i
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.') {
+				j++
+			}
+			toks = append(toks, src[i:j])
+			i = j
+		case isIdentChar(c):
+			j := i
+			for j < len(src) && (isIdentChar(src[j]) || src[j] == '.' || src[j] >= '0' && src[j] <= '9') {
+				j++
+			}
+			toks = append(toks, src[i:j])
+			i = j
+		default:
+			return nil, fmt.Errorf("unexpected character %q", string(c))
+		}
+	}
+	return toks, nil
+}
+
+func isIdentChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func (p *exprParser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *exprParser) emit(ops ...byte) { p.out = append(p.out, ops...) }
+
+func (p *exprParser) emitConst(v float64) {
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], math.Float32bits(float32(v)))
+	p.emit(opConst, buf[0], buf[1], buf[2], buf[3])
+}
+
+func (p *exprParser) orExpr() error {
+	if err := p.andExpr(); err != nil {
+		return err
+	}
+	for p.peek() == "||" {
+		p.pos++
+		if err := p.andExpr(); err != nil {
+			return err
+		}
+		p.emit(opOr)
+	}
+	return nil
+}
+
+func (p *exprParser) andExpr() error {
+	if err := p.cmpExpr(); err != nil {
+		return err
+	}
+	for p.peek() == "&&" {
+		p.pos++
+		if err := p.cmpExpr(); err != nil {
+			return err
+		}
+		p.emit(opAnd)
+	}
+	return nil
+}
+
+var cmpOps = map[string]byte{">": opGT, "<": opLT, ">=": opGE, "<=": opLE, "==": opEQ, "!=": opNE}
+
+func (p *exprParser) cmpExpr() error {
+	if err := p.addExpr(); err != nil {
+		return err
+	}
+	if op, ok := cmpOps[p.peek()]; ok {
+		p.pos++
+		if err := p.addExpr(); err != nil {
+			return err
+		}
+		p.emit(op)
+	}
+	return nil
+}
+
+func (p *exprParser) addExpr() error {
+	if err := p.mulExpr(); err != nil {
+		return err
+	}
+	for {
+		switch p.peek() {
+		case "+":
+			p.pos++
+			if err := p.mulExpr(); err != nil {
+				return err
+			}
+			p.emit(opAdd)
+		case "-":
+			p.pos++
+			if err := p.mulExpr(); err != nil {
+				return err
+			}
+			p.emit(opSub)
+		case "|":
+			p.pos++
+			if err := p.mulExpr(); err != nil {
+				return err
+			}
+			p.emit(opBitOr)
+		default:
+			return nil
+		}
+	}
+}
+
+func (p *exprParser) mulExpr() error {
+	if err := p.unary(); err != nil {
+		return err
+	}
+	for p.peek() == "*" {
+		p.pos++
+		if err := p.unary(); err != nil {
+			return err
+		}
+		p.emit(opMul)
+	}
+	return nil
+}
+
+func (p *exprParser) unary() error {
+	switch p.peek() {
+	case "!":
+		p.pos++
+		if err := p.unary(); err != nil {
+			return err
+		}
+		p.emit(opNot)
+		return nil
+	case "-":
+		p.pos++
+		if err := p.unary(); err != nil {
+			return err
+		}
+		p.emitConst(-1)
+		p.emit(opMul)
+		return nil
+	}
+	return p.primary()
+}
+
+func (p *exprParser) primary() error {
+	tok := p.peek()
+	if tok == "" {
+		return fmt.Errorf("unexpected end of expression")
+	}
+	if tok == "(" {
+		p.pos++
+		if err := p.orExpr(); err != nil {
+			return err
+		}
+		if p.peek() != ")" {
+			return fmt.Errorf("missing ')'")
+		}
+		p.pos++
+		return nil
+	}
+	if tok[0] >= '0' && tok[0] <= '9' || tok[0] == '.' {
+		v, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return fmt.Errorf("bad number %q", tok)
+		}
+		p.pos++
+		p.emitConst(v)
+		return nil
+	}
+	p.pos++
+	switch {
+	case tok == "elapsed":
+		p.emit(opElapsed)
+	case tok == "status.self":
+		p.emit(opSelfStatus)
+	case strings.HasPrefix(tok, "in."):
+		idx, ok := p.env.Channels[tok[3:]]
+		if !ok {
+			return fmt.Errorf("unknown channel %q", tok[3:])
+		}
+		p.emit(opSensor, byte(idx))
+	case strings.HasPrefix(tok, "delta."):
+		idx, ok := p.env.Channels[tok[6:]]
+		if !ok {
+			return fmt.Errorf("unknown channel %q", tok[6:])
+		}
+		p.emit(opDelta, byte(idx))
+	case strings.HasPrefix(tok, "local."):
+		n, err := strconv.Atoi(tok[6:])
+		if err != nil || n < 0 || n > 255 {
+			return fmt.Errorf("bad local reference %q", tok)
+		}
+		if n >= p.numLocals {
+			return fmt.Errorf("local %d exceeds declared locals %d", n, p.numLocals)
+		}
+		p.emit(opLocal, byte(n))
+	case strings.HasPrefix(tok, "status."):
+		name := tok[7:]
+		idx, ok := p.env.Machines[name]
+		if !ok {
+			return fmt.Errorf("unknown machine %q", name)
+		}
+		p.emit(opStatus, byte(idx))
+	default:
+		return fmt.Errorf("unknown identifier %q", tok)
+	}
+	return nil
+}

@@ -1,0 +1,208 @@
+package sbfr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Disassemble renders a compiled program as human-readable pseudo-assembly,
+// one line per transition, for the sbfrc tool and debugging. Channel and
+// machine names are resolved through env when provided (nil env prints raw
+// indices).
+func Disassemble(p *Program, env *Env) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "machine %s  # %d bytes, %d states\n",
+		p.Name, p.Size(), p.NumStates())
+	if p.NumLocals() > 0 {
+		fmt.Fprintf(&b, "  locals %d\n", p.NumLocals())
+	}
+	code := p.Code
+	off := 2
+	for s := 0; s < p.NumStates(); s++ {
+		fmt.Fprintf(&b, "  state %s\n", p.StateNames[s])
+		if off >= len(code) {
+			return "", fmt.Errorf("sbfr: truncated state %d", s)
+		}
+		nTrans := int(code[off])
+		off++
+		for t := 0; t < nTrans; t++ {
+			if off+2 > len(code) {
+				return "", fmt.Errorf("sbfr: truncated transition")
+			}
+			target := int(code[off])
+			nActions := int(code[off+1])
+			off += 2
+			cond, next, err := disasmExpr(code, off, env)
+			if err != nil {
+				return "", err
+			}
+			off = next
+			var actions []string
+			for a := 0; a < nActions; a++ {
+				kind := code[off]
+				idx := int(code[off+1])
+				off += 2
+				expr, next, err := disasmExpr(code, off, env)
+				if err != nil {
+					return "", err
+				}
+				off = next
+				var lhs string
+				switch kind {
+				case targetLocal:
+					lhs = fmt.Sprintf("local.%d", idx)
+				case targetSelfStatus:
+					lhs = "status.self"
+				case targetStatus:
+					lhs = fmt.Sprintf("status.%s", machineName(env, idx))
+				default:
+					return "", fmt.Errorf("sbfr: unknown action target %d", kind)
+				}
+				actions = append(actions, lhs+" = "+expr)
+			}
+			line := "    when " + cond
+			if len(actions) > 0 {
+				line += " do " + strings.Join(actions, "; ")
+			}
+			if target >= len(p.StateNames) {
+				return "", fmt.Errorf("sbfr: transition target %d out of range", target)
+			}
+			line += " goto " + p.StateNames[target]
+			b.WriteString(line + "\n")
+		}
+	}
+	return b.String(), nil
+}
+
+func machineName(env *Env, idx int) string {
+	if env != nil {
+		for name, i := range env.Machines {
+			if i == idx {
+				return name
+			}
+		}
+	}
+	return fmt.Sprintf("%d", idx)
+}
+
+func channelName(env *Env, idx int) string {
+	if env != nil {
+		for name, i := range env.Channels {
+			if i == idx {
+				return name
+			}
+		}
+	}
+	return fmt.Sprintf("%d", idx)
+}
+
+// disasmExpr decompiles a postfix expression back to infix source form.
+func disasmExpr(code []byte, off int, env *Env) (string, int, error) {
+	var stack []string
+	push := func(s string) { stack = append(stack, s) }
+	pop2 := func() (string, string, error) {
+		if len(stack) < 2 {
+			return "", "", fmt.Errorf("sbfr: disasm stack underflow")
+		}
+		a, b := stack[len(stack)-2], stack[len(stack)-1]
+		stack = stack[:len(stack)-2]
+		return a, b, nil
+	}
+	binop := func(op string) error {
+		a, b, err := pop2()
+		if err != nil {
+			return err
+		}
+		push("(" + a + " " + op + " " + b + ")")
+		return nil
+	}
+	for off < len(code) {
+		op := code[off]
+		off++
+		switch op {
+		case opEnd:
+			if len(stack) != 1 {
+				return "", off, fmt.Errorf("sbfr: disasm leaves %d values", len(stack))
+			}
+			return stack[0], off, nil
+		case opConst:
+			bits := binary.BigEndian.Uint32(code[off : off+4])
+			off += 4
+			push(fmt.Sprintf("%g", math.Float32frombits(bits)))
+		case opSensor:
+			push("in." + channelName(env, int(code[off])))
+			off++
+		case opDelta:
+			push("delta." + channelName(env, int(code[off])))
+			off++
+		case opLocal:
+			push(fmt.Sprintf("local.%d", code[off]))
+			off++
+		case opStatus:
+			push("status." + machineName(env, int(code[off])))
+			off++
+		case opElapsed:
+			push("elapsed")
+		case opSelfStatus:
+			push("status.self")
+		case opNot:
+			if len(stack) < 1 {
+				return "", off, fmt.Errorf("sbfr: disasm stack underflow")
+			}
+			stack[len(stack)-1] = "!" + stack[len(stack)-1]
+		case opAdd:
+			if err := binop("+"); err != nil {
+				return "", off, err
+			}
+		case opSub:
+			if err := binop("-"); err != nil {
+				return "", off, err
+			}
+		case opMul:
+			if err := binop("*"); err != nil {
+				return "", off, err
+			}
+		case opGT:
+			if err := binop(">"); err != nil {
+				return "", off, err
+			}
+		case opLT:
+			if err := binop("<"); err != nil {
+				return "", off, err
+			}
+		case opGE:
+			if err := binop(">="); err != nil {
+				return "", off, err
+			}
+		case opLE:
+			if err := binop("<="); err != nil {
+				return "", off, err
+			}
+		case opEQ:
+			if err := binop("=="); err != nil {
+				return "", off, err
+			}
+		case opNE:
+			if err := binop("!="); err != nil {
+				return "", off, err
+			}
+		case opAnd:
+			if err := binop("&&"); err != nil {
+				return "", off, err
+			}
+		case opOr:
+			if err := binop("||"); err != nil {
+				return "", off, err
+			}
+		case opBitOr:
+			if err := binop("|"); err != nil {
+				return "", off, err
+			}
+		default:
+			return "", off, fmt.Errorf("sbfr: disasm unknown opcode 0x%02x", op)
+		}
+	}
+	return "", off, fmt.Errorf("sbfr: disasm ran off end")
+}

@@ -1,0 +1,130 @@
+package sbfr
+
+import (
+	"testing"
+
+	"repro/internal/ema"
+)
+
+// runEMA drives the Figure 3 system over a simulated EMA scenario and
+// returns whether stiction was flagged and the final spike count.
+func runEMA(t *testing.T, events []ema.Event, ticks int) (bool, float64) {
+	t.Helper()
+	sys, err := NewEMASystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := ema.NewSimulator(ema.DefaultConfig(), events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flagged := false
+	for i := 0; i < ticks; i++ {
+		s := sim.Step()
+		if err := sys.Cycle([]float64{s.Current, s.CPOS}); err != nil {
+			t.Fatal(err)
+		}
+		if st, _ := sys.Status("Stiction"); st != 0 {
+			flagged = true
+		}
+	}
+	count, _ := sys.LocalOf("Stiction", 0)
+	return flagged, count
+}
+
+// TestFigure3StictionDetection reproduces the E3 experiment inline: more
+// than four uncommanded spikes flag stiction.
+func TestFigure3StictionDetection(t *testing.T) {
+	events := ema.StictionScenario(10, 6, 20)
+	flagged, _ := runEMA(t, events, 200)
+	if !flagged {
+		t.Fatal("six uncommanded spikes should flag stiction")
+	}
+}
+
+func TestFigure3HealthyCommandsNotFlagged(t *testing.T) {
+	// Many commanded moves: spikes are all associated with CPOS changes, so
+	// no stiction must be flagged.
+	events := ema.HealthyScenario(10, 12, 20)
+	flagged, count := runEMA(t, events, 300)
+	if flagged {
+		t.Fatalf("commanded moves flagged as stiction (count=%g)", count)
+	}
+	if count > 0 {
+		t.Errorf("commanded spikes were counted: %g", count)
+	}
+}
+
+func TestFigure3FewSpikesBelowThreshold(t *testing.T) {
+	// Exactly four uncommanded spikes: the paper's threshold is "greater
+	// than 4", so four must not flag.
+	events := ema.StictionScenario(10, 4, 20)
+	flagged, count := runEMA(t, events, 200)
+	if flagged {
+		t.Fatal("four spikes must not flag (threshold is >4)")
+	}
+	if count != 4 {
+		t.Errorf("counted %g spikes, want 4", count)
+	}
+}
+
+func TestFigure3MixedWorkload(t *testing.T) {
+	// Commanded moves interleaved with enough stiction spikes to flag.
+	// Spikes are scheduled clear of the recent-command windows: a stiction
+	// spike inside a command window is (correctly) attributed to the move.
+	events := ema.MergeEvents(
+		ema.HealthyScenario(10, 5, 50),
+		ema.StictionScenario(30, 6, 50),
+	)
+	flagged, _ := runEMA(t, events, 400)
+	if !flagged {
+		t.Fatal("mixed workload with 6 stiction spikes should flag")
+	}
+}
+
+func TestFigure3ResetHandshake(t *testing.T) {
+	// After the PDME acknowledges (resets status), the machine returns to
+	// Wait with a cleared count and can flag again.
+	sys, err := NewEMASystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive := func(events []ema.Event, ticks int, seed int64) bool {
+		cfg := ema.DefaultConfig()
+		cfg.Seed = seed
+		sim, err := ema.NewSimulator(cfg, events)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flagged := false
+		for i := 0; i < ticks; i++ {
+			s := sim.Step()
+			if err := sys.Cycle([]float64{s.Current, s.CPOS}); err != nil {
+				t.Fatal(err)
+			}
+			if st, _ := sys.Status("Stiction"); st != 0 {
+				flagged = true
+			}
+		}
+		return flagged
+	}
+	if !drive(ema.StictionScenario(10, 6, 20), 200, 1) {
+		t.Fatal("first episode should flag")
+	}
+	// Acknowledge.
+	if err := sys.SetStatus("Stiction", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Cycle([]float64{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := sys.StateOf("Stiction"); st != "Wait" {
+		t.Fatalf("state after ack: %s", st)
+	}
+	if c, _ := sys.LocalOf("Stiction", 0); c != 0 {
+		t.Fatalf("count after ack: %g", c)
+	}
+	if !drive(ema.StictionScenario(5, 6, 20), 200, 2) {
+		t.Fatal("second episode should flag again")
+	}
+}

@@ -1,0 +1,57 @@
+package sbfr
+
+// Figure 3 of the paper: the two-machine system "used to predict a seize-up
+// failure mode in an electro-mechanical actuator (EMA)". Machine 0 (Spike)
+// "recognizes spikes in the drive motor current"; Machine 1 (Stiction)
+// "counts the spikes that are not associated with a commanded position
+// change (CPOS). When the count is greater than 4, a stiction condition is
+// flagged, and higher level software (e.g., the PDME) can conclude that a
+// seize-up failure is imminent."
+//
+// The reconstruction below preserves the published structure: the spike
+// machine has four states (Wait, PossibleSpike1, PossibleSpike2, Spike) and
+// seven transitions with ΔT time constraints so it is "relatively noise
+// free"; the stiction machine has two states (Wait, Stiction). Uncommanded
+// spikes are distinguished from commanded ones with a recent-command window
+// (local.1), since a commanded move's current spike trails the CPOS change
+// by a few ticks.
+//
+// EMAChannels are the sensor channels the system consumes: drive motor
+// current and commanded position.
+var EMAChannels = []string{"current", "cpos"}
+
+// EMASource is the SBFR assembly for the Figure 3 system. Thresholds assume
+// a normalized current channel where the quiescent level is ~1.0 and spikes
+// rise by >0.5 within a tick.
+const EMASource = `
+# Figure 3, Machine 0: current spike recognizer.
+machine Spike
+  state Wait
+    when delta.current > 0.5 goto PossibleSpike1
+  state PossibleSpike1
+    when delta.current < -0.5 && elapsed <= 4 do status.self = status.self | 1 goto Spike
+    when delta.current > 0.5 && elapsed <= 4 goto PossibleSpike2
+    when elapsed > 4 goto Wait
+  state PossibleSpike2
+    when delta.current < -0.5 && elapsed <= 4 do status.self = status.self | 1 goto Spike
+    when elapsed > 4 goto Wait
+  state Spike
+    when status.self == 0 goto Wait
+
+# Figure 3, Machine 1: stiction counter.
+machine Stiction
+  locals 2
+  state Wait
+    when delta.cpos != 0 do local.1 = 8 goto Wait
+    when status.Spike != 0 && local.1 > 0 do status.Spike = 0; local.1 = local.1 - 1 goto Wait
+    when status.Spike != 0 do status.Spike = 0; local.0 = local.0 + 1 goto Wait
+    when local.0 > 4 do status.self = status.self | 1 goto Stiction
+    when local.1 > 0 do local.1 = local.1 - 1 goto Wait
+  state Stiction
+    when status.self == 0 do local.0 = 0 goto Wait
+`
+
+// NewEMASystem assembles the Figure 3 system.
+func NewEMASystem() (*System, error) {
+	return NewSystemFromSource(EMASource, EMAChannels)
+}

@@ -1,0 +1,217 @@
+// Package trend implements the temporal-reasoning extension of §10.1:
+// "temporal reasoning components could be implemented to scrutinize failure
+// histories and provide better projections of future faults as they
+// develop." It fits robust linear trends (Theil-Sen, with ordinary least
+// squares available for comparison) to severity histories and projects the
+// crossing time of a severity threshold — e.g. when a developing fault will
+// reach the Extreme grade.
+package trend
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Point is one observation of a tracked quantity.
+type Point struct {
+	At    time.Time
+	Value float64
+}
+
+// Fit is a linear trend y = Intercept + Slope·t, with t in seconds from the
+// first observation.
+type Fit struct {
+	// Slope is the value change per second.
+	Slope float64
+	// Intercept is the value at the first observation's time.
+	Intercept float64
+	// Origin anchors t=0.
+	Origin time.Time
+	// N is the number of points fitted.
+	N int
+	// Residual is the mean absolute residual, a fit-quality indicator.
+	Residual float64
+}
+
+// ValueAt evaluates the fitted line at a time.
+func (f Fit) ValueAt(at time.Time) float64 {
+	return f.Intercept + f.Slope*at.Sub(f.Origin).Seconds()
+}
+
+// CrossingTime returns when the fitted line reaches the threshold. It
+// returns ok=false for flat or receding trends or when the crossing is in
+// the past relative to the fit origin... callers compare with their notion
+// of "now".
+func (f Fit) CrossingTime(threshold float64) (time.Time, bool) {
+	if f.Slope <= 0 {
+		return time.Time{}, false
+	}
+	dt := (threshold - f.Intercept) / f.Slope
+	if dt < 0 {
+		return time.Time{}, false
+	}
+	return f.Origin.Add(time.Duration(dt * float64(time.Second))), true
+}
+
+// TheilSen fits a robust line: slope = median of pairwise slopes, intercept
+// = median of (y - slope·t). It tolerates a minority of outlier
+// observations (sensor glitches, transient load artifacts) that would drag
+// an OLS fit. Needs at least 3 points with distinct times.
+func TheilSen(points []Point) (Fit, error) {
+	if len(points) < 3 {
+		return Fit{}, fmt.Errorf("trend: need at least 3 points, have %d", len(points))
+	}
+	pts := append([]Point(nil), points...)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].At.Before(pts[j].At) })
+	origin := pts[0].At
+	ts := make([]float64, len(pts))
+	for i, p := range pts {
+		ts[i] = p.At.Sub(origin).Seconds()
+	}
+	var slopes []float64
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			if ts[j] == ts[i] {
+				continue
+			}
+			slopes = append(slopes, (pts[j].Value-pts[i].Value)/(ts[j]-ts[i]))
+		}
+	}
+	if len(slopes) == 0 {
+		return Fit{}, fmt.Errorf("trend: all observations share one timestamp")
+	}
+	slope := median(slopes)
+	inters := make([]float64, len(pts))
+	for i, p := range pts {
+		inters[i] = p.Value - slope*ts[i]
+	}
+	intercept := median(inters)
+	fit := Fit{Slope: slope, Intercept: intercept, Origin: origin, N: len(pts)}
+	var absSum float64
+	for i, p := range pts {
+		absSum += math.Abs(p.Value - (intercept + slope*ts[i]))
+	}
+	fit.Residual = absSum / float64(len(pts))
+	return fit, nil
+}
+
+// OLS fits an ordinary least squares line, for comparison with TheilSen.
+func OLS(points []Point) (Fit, error) {
+	if len(points) < 3 {
+		return Fit{}, fmt.Errorf("trend: need at least 3 points, have %d", len(points))
+	}
+	pts := append([]Point(nil), points...)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].At.Before(pts[j].At) })
+	origin := pts[0].At
+	var sumT, sumY, sumTT, sumTY float64
+	for _, p := range pts {
+		t := p.At.Sub(origin).Seconds()
+		sumT += t
+		sumY += p.Value
+		sumTT += t * t
+		sumTY += t * p.Value
+	}
+	n := float64(len(pts))
+	den := n*sumTT - sumT*sumT
+	if den == 0 {
+		return Fit{}, fmt.Errorf("trend: all observations share one timestamp")
+	}
+	slope := (n*sumTY - sumT*sumY) / den
+	intercept := (sumY - slope*sumT) / n
+	fit := Fit{Slope: slope, Intercept: intercept, Origin: origin, N: len(pts)}
+	var absSum float64
+	for _, p := range pts {
+		t := p.At.Sub(origin).Seconds()
+		absSum += math.Abs(p.Value - (intercept + slope*t))
+	}
+	fit.Residual = absSum / n
+	return fit, nil
+}
+
+func median(xs []float64) float64 {
+	tmp := append([]float64(nil), xs...)
+	sort.Float64s(tmp)
+	n := len(tmp)
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	return (tmp[n/2-1] + tmp[n/2]) / 2
+}
+
+// Tracker accumulates bounded per-key histories and projects threshold
+// crossings. Safe for concurrent use.
+type Tracker struct {
+	mu      sync.Mutex
+	maxKeep int
+	series  map[string][]Point
+}
+
+// NewTracker keeps at most maxKeep points per key (older points roll off).
+func NewTracker(maxKeep int) (*Tracker, error) {
+	if maxKeep < 3 {
+		return nil, fmt.Errorf("trend: maxKeep %d too small to fit", maxKeep)
+	}
+	return &Tracker{maxKeep: maxKeep, series: make(map[string][]Point)}, nil
+}
+
+// Observe appends an observation for a key.
+func (tr *Tracker) Observe(key string, at time.Time, value float64) error {
+	if key == "" {
+		return fmt.Errorf("trend: empty key")
+	}
+	if at.IsZero() || math.IsNaN(value) || math.IsInf(value, 0) {
+		return fmt.Errorf("trend: invalid observation")
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	s := append(tr.series[key], Point{At: at, Value: value})
+	if len(s) > tr.maxKeep {
+		s = s[len(s)-tr.maxKeep:]
+	}
+	tr.series[key] = s
+	return nil
+}
+
+// History returns a copy of a key's observations.
+func (tr *Tracker) History(key string) []Point {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return append([]Point(nil), tr.series[key]...)
+}
+
+// Projection is a threshold-crossing forecast.
+type Projection struct {
+	Fit Fit
+	// Crossing is when the trend reaches the threshold.
+	Crossing time.Time
+	// Reaches is false for flat/receding trends.
+	Reaches bool
+}
+
+// Project fits the key's history (Theil-Sen) and projects when it reaches
+// threshold.
+func (tr *Tracker) Project(key string, threshold float64) (Projection, error) {
+	history := tr.History(key)
+	fit, err := TheilSen(history)
+	if err != nil {
+		return Projection{}, err
+	}
+	p := Projection{Fit: fit}
+	p.Crossing, p.Reaches = fit.CrossingTime(threshold)
+	return p, nil
+}
+
+// Keys returns the tracked keys in sorted order.
+func (tr *Tracker) Keys() []string {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make([]string, 0, len(tr.series))
+	for k := range tr.series {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,218 @@
+package vibration
+
+import (
+	"math"
+
+	"repro/internal/chiller"
+)
+
+// Context carries the process parameters a rule may condition on — §6.1's
+// "analyzed in conjunction with process parameters such as load or bearing
+// temperatures".
+type Context struct {
+	// Load is the plant load fraction in [0,1] (vane position is the §6.1
+	// load indicator).
+	Load float64
+	// Process is the full scalar telemetry snapshot.
+	Process chiller.ProcessState
+}
+
+// Rule is one frame-based diagnostic rule: it scores a severity in [0,1]
+// for one machine condition from the features of its primary measurement
+// point plus process context.
+type Rule struct {
+	// Condition is the machine condition this rule diagnoses; it matches
+	// chiller.Fault.String() so ground truth can be compared directly.
+	Condition string
+	// Point is the measurement point the rule reads.
+	Point chiller.MeasurementPoint
+	// Believability is the §6.1 per-diagnosis accuracy factor, "based on
+	// [the] statistical database that demonstrates the individual accuracy
+	// of each diagnosis by tracking how often each was reversed or modified
+	// by a human analyst".
+	Believability float64
+	// Score maps features+context to severity in [0,1]; 0 means no call.
+	Score func(f *Features, ctx *Context) float64
+	// Explanation and Recommendation fill the report text fields.
+	Explanation    string
+	Recommendation string
+}
+
+// ramp maps x linearly from [lo,hi] onto [0,1], clamped.
+func ramp(x, lo, hi float64) float64 {
+	if hi <= lo {
+		return 0
+	}
+	v := (x - lo) / (hi - lo)
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// StandardRules returns the reconstruction of the DLI rulebook for the
+// centrifugal chiller train. Amplitude thresholds are calibrated against
+// the plant simulator's healthy baselines (≈0.05 g residual 1×) and
+// full-severity signatures; believability factors encode that some
+// diagnoses (imbalance, electrical) are historically more reliable than
+// subtle ones (inner race, gear wear).
+func StandardRules() []Rule {
+	return []Rule{
+		{
+			Condition:     chiller.MotorImbalance.String(),
+			Point:         chiller.MotorDE,
+			Believability: 0.95,
+			Score: func(f *Features, ctx *Context) float64 {
+				one := f.MotorOrders[0]
+				two := f.MotorOrders[1]
+				// Imbalance is 1×-dominant; a high 2× points elsewhere.
+				if two > 0.6*one {
+					return 0
+				}
+				return ramp(one, 0.12, 1.0)
+			},
+			Explanation:    "elevated 1x radial vibration at motor bearings, 1x-dominant pattern",
+			Recommendation: "field balance motor rotor at next availability",
+		},
+		{
+			Condition:     chiller.MotorMisalignment.String(),
+			Point:         chiller.MotorDE,
+			Believability: 0.90,
+			Score: func(f *Features, ctx *Context) float64 {
+				one := f.MotorOrders[0]
+				two := f.MotorOrders[1]
+				if two < 0.5*one || two < 0.08 {
+					return 0
+				}
+				return ramp(two, 0.08, 0.78)
+			},
+			Explanation:    "elevated 2x vibration with 2x/1x ratio above 0.5 across the coupling",
+			Recommendation: "check coupling and realign motor to gearbox",
+		},
+		{
+			Condition:     chiller.MotorBearingOuter.String(),
+			Point:         chiller.MotorDE,
+			Believability: 0.88,
+			Score: func(f *Features, ctx *Context) float64 {
+				s := ramp(f.MotorBPFO, 0.03, 0.33)
+				// Impulsive waveform corroborates a rolling element defect.
+				if f.Kurtosis > 3.5 {
+					s = math.Min(1, s*1.25)
+				}
+				return s
+			},
+			Explanation:    "ball pass frequency (outer race) tone family with impulsive time waveform",
+			Recommendation: "schedule motor drive-end bearing replacement; increase monitoring interval",
+		},
+		{
+			Condition:     chiller.MotorBearingInner.String(),
+			Point:         chiller.MotorNDE,
+			Believability: 0.80,
+			Score: func(f *Features, ctx *Context) float64 {
+				s := ramp(f.MotorBPFI, 0.025, 0.28)
+				if f.Kurtosis > 3.5 {
+					s = math.Min(1, s*1.25)
+				}
+				return s
+			},
+			Explanation:    "ball pass frequency (inner race) tones modulated at shaft speed",
+			Recommendation: "schedule motor non-drive-end bearing replacement",
+		},
+		{
+			Condition:     chiller.MotorRotorBar.String(),
+			Point:         chiller.MotorNDE,
+			Believability: 0.85,
+			Score: func(f *Features, ctx *Context) float64 {
+				// Load sensitization per §6.1: the sidebands scale with
+				// load, so de-bias by the expected load gain and do not
+				// call the fault at all at very light load where the
+				// signature is unreliable.
+				if ctx.Load < 0.2 {
+					return 0
+				}
+				loadGain := 0.15 + 0.85*ctx.Load
+				return ramp(f.PolePassSidebands/loadGain, 0.08, 0.72)
+			},
+			Explanation:    "pole-pass sidebands around line frequency, scaling with load",
+			Recommendation: "perform current signature analysis; inspect rotor bars at overhaul",
+		},
+		{
+			Condition:     chiller.StatorElectrical.String(),
+			Point:         chiller.MotorNDE,
+			Believability: 0.92,
+			Score: func(f *Features, ctx *Context) float64 {
+				return ramp(f.TwoXLine, 0.07, 0.68)
+			},
+			Explanation:    "elevated vibration at twice line frequency indicating electromagnetic unbalance",
+			Recommendation: "megger stator windings and check phase balance",
+		},
+		{
+			Condition:     chiller.GearToothWear.String(),
+			Point:         chiller.GearBox,
+			Believability: 0.78,
+			Score: func(f *Features, ctx *Context) float64 {
+				// Mesh amplitude rises with load even when healthy;
+				// normalize against the load-dependent baseline.
+				baseline := 0.07 * (0.5 + 0.5*ctx.Load)
+				s := ramp(f.GearMesh[0]-baseline, 0.05, 0.45)
+				if f.GearMeshSidebands > 0.1 {
+					s = math.Min(1, s*1.2)
+				}
+				return s
+			},
+			Explanation:    "elevated gear mesh harmonics with shaft-speed sidebands",
+			Recommendation: "sample gear oil for wear metals; inspect tooth contact pattern",
+		},
+		{
+			Condition:     chiller.BearingLooseness.String(),
+			Point:         chiller.Compressor,
+			Believability: 0.82,
+			Score: func(f *Features, ctx *Context) float64 {
+				// §6.1's own example: "the DLI expert system rule for
+				// bearing looseness can be sensitized to available load
+				// indicators (such as pre-rotation vane position) in order
+				// to ensure that a false positive bearing looseness call is
+				// not made when the compressor enters a low load period."
+				harmonics := 0.0
+				for k := 1; k < 8; k++ {
+					harmonics += f.CompOrders[k]
+				}
+				looseGain := 1.4 - 0.8*ctx.Load
+				s := ramp(harmonics/looseGain, 0.12, 0.62)
+				if f.HalfCompOrder > 0.05 {
+					s = math.Min(1, s*1.2) // subharmonic confirms
+				}
+				return s
+			},
+			Explanation:    "harmonic series of running speed with subharmonics, normalized for load",
+			Recommendation: "check compressor bearing housing bolts and fits",
+		},
+		{
+			Condition:     chiller.OilWhirl.String(),
+			Point:         chiller.Compressor,
+			Believability: 0.87,
+			Score: func(f *Features, ctx *Context) float64 {
+				return ramp(f.SubSyncComp, 0.06, 0.55)
+			},
+			Explanation:    "subsynchronous vibration at 0.38-0.48x compressor speed",
+			Recommendation: "check oil temperature and pressure; consider bearing redesign if persistent",
+		},
+		{
+			Condition:     chiller.CompressorBearingOuter.String(),
+			Point:         chiller.Compressor,
+			Believability: 0.86,
+			Score: func(f *Features, ctx *Context) float64 {
+				s := ramp(f.CompBPFO, 0.025, 0.28)
+				if f.Kurtosis > 3.5 {
+					s = math.Min(1, s*1.25)
+				}
+				return s
+			},
+			Explanation:    "compressor bearing outer race tone family with impacts",
+			Recommendation: "schedule compressor bearing replacement",
+		},
+	}
+}

@@ -1,0 +1,241 @@
+// Package wavelet implements the discrete wavelet transform substrate for
+// the Wavelet Neural Network diagnostics of §6.2. The WNN "belongs to a new
+// class of neural networks with such unique capabilities as multi-resolution
+// and localization"; this package supplies the multi-resolution analysis:
+// Haar and Daubechies-4 DWT/IDWT, multi-level decomposition, and wavelet
+// energy maps used as classifier features for transitory phenomena.
+package wavelet
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind selects the wavelet family.
+type Kind int
+
+const (
+	// Haar is the 2-tap Haar wavelet: maximal time localization, used for
+	// sharp transients (spikes, impacts).
+	Haar Kind = iota
+	// Daubechies4 is the 4-tap Daubechies wavelet (db2 in some namings),
+	// smoother basis better suited to oscillatory transients.
+	Daubechies4
+)
+
+// String returns the wavelet family name.
+func (k Kind) String() string {
+	switch k {
+	case Haar:
+		return "haar"
+	case Daubechies4:
+		return "daubechies4"
+	default:
+		return "unknown"
+	}
+}
+
+// filters returns the low-pass (scaling) decomposition filter for k. The
+// high-pass filter is derived by the quadrature mirror relation.
+func (k Kind) filters() ([]float64, error) {
+	switch k {
+	case Haar:
+		s := 1 / math.Sqrt2
+		return []float64{s, s}, nil
+	case Daubechies4:
+		r3 := math.Sqrt(3)
+		den := 4 * math.Sqrt2
+		return []float64{
+			(1 + r3) / den,
+			(3 + r3) / den,
+			(3 - r3) / den,
+			(1 - r3) / den,
+		}, nil
+	default:
+		return nil, fmt.Errorf("wavelet: unknown kind %d", k)
+	}
+}
+
+// highPass derives the wavelet (detail) filter from a scaling filter by the
+// alternating-sign quadrature mirror construction.
+func highPass(low []float64) []float64 {
+	n := len(low)
+	h := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sign := 1.0
+		if i%2 == 1 {
+			sign = -1
+		}
+		h[i] = sign * low[n-1-i]
+	}
+	return h
+}
+
+// Transform performs one level of the DWT on x (length must be even and
+// >= filter length), returning approximation and detail coefficients, each
+// of length len(x)/2. Circular (periodic) boundary handling is used so the
+// transform is exactly invertible.
+func Transform(k Kind, x []float64) (approx, detail []float64, err error) {
+	low, err := k.filters()
+	if err != nil {
+		return nil, nil, err
+	}
+	n := len(x)
+	if n < len(low) {
+		return nil, nil, fmt.Errorf("wavelet: frame length %d shorter than filter %d", n, len(low))
+	}
+	if n%2 != 0 {
+		return nil, nil, fmt.Errorf("wavelet: frame length %d is odd", n)
+	}
+	high := highPass(low)
+	half := n / 2
+	approx = make([]float64, half)
+	detail = make([]float64, half)
+	for i := 0; i < half; i++ {
+		var a, d float64
+		for j := 0; j < len(low); j++ {
+			v := x[(2*i+j)%n]
+			a += low[j] * v
+			d += high[j] * v
+		}
+		approx[i] = a
+		detail[i] = d
+	}
+	return approx, detail, nil
+}
+
+// Inverse reconstructs the signal from one level of approximation and detail
+// coefficients produced by Transform with the same kind.
+func Inverse(k Kind, approx, detail []float64) ([]float64, error) {
+	if len(approx) != len(detail) {
+		return nil, fmt.Errorf("wavelet: approx length %d != detail length %d", len(approx), len(detail))
+	}
+	low, err := k.filters()
+	if err != nil {
+		return nil, err
+	}
+	high := highPass(low)
+	half := len(approx)
+	n := half * 2
+	out := make([]float64, n)
+	for i := 0; i < half; i++ {
+		for j := 0; j < len(low); j++ {
+			idx := (2*i + j) % n
+			out[idx] += low[j]*approx[i] + high[j]*detail[i]
+		}
+	}
+	return out, nil
+}
+
+// Decomposition is a multi-level DWT of a frame: Details[l] holds the detail
+// coefficients of level l+1 (finest first) and Approx the final
+// approximation.
+type Decomposition struct {
+	Kind    Kind
+	Details [][]float64
+	Approx  []float64
+}
+
+// Decompose performs a levels-deep multi-resolution analysis of x.
+// If levels <= 0 the maximum usable depth for the frame length is used.
+func Decompose(k Kind, x []float64, levels int) (*Decomposition, error) {
+	low, err := k.filters()
+	if err != nil {
+		return nil, err
+	}
+	maxLevels := 0
+	for n := len(x); n >= 2*len(low) || (n >= len(low) && n%2 == 0 && maxLevels == 0); n /= 2 {
+		if n%2 != 0 {
+			break
+		}
+		maxLevels++
+		if n/2 < len(low) {
+			break
+		}
+	}
+	if levels <= 0 || levels > maxLevels {
+		levels = maxLevels
+	}
+	if levels == 0 {
+		return nil, fmt.Errorf("wavelet: frame of length %d too short for %v", len(x), k)
+	}
+	d := &Decomposition{Kind: k}
+	cur := append([]float64(nil), x...)
+	for l := 0; l < levels; l++ {
+		a, det, err := Transform(k, cur)
+		if err != nil {
+			return nil, err
+		}
+		d.Details = append(d.Details, det)
+		cur = a
+	}
+	d.Approx = cur
+	return d, nil
+}
+
+// Reconstruct inverts a multi-level decomposition back to the original frame.
+func (d *Decomposition) Reconstruct() ([]float64, error) {
+	cur := append([]float64(nil), d.Approx...)
+	for l := len(d.Details) - 1; l >= 0; l-- {
+		next, err := Inverse(d.Kind, cur, d.Details[l])
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Levels returns the decomposition depth.
+func (d *Decomposition) Levels() int { return len(d.Details) }
+
+// EnergyMap returns the relative energy in each detail band plus the final
+// approximation band, normalized to sum to 1 (the "wavelet map" feature of
+// §6.2). Index 0 is the finest detail band; the last entry is the
+// approximation. A zero-energy frame returns all zeros.
+func (d *Decomposition) EnergyMap() []float64 {
+	out := make([]float64, len(d.Details)+1)
+	var total float64
+	for i, det := range d.Details {
+		var e float64
+		for _, v := range det {
+			e += v * v
+		}
+		out[i] = e
+		total += e
+	}
+	var e float64
+	for _, v := range d.Approx {
+		e += v * v
+	}
+	out[len(out)-1] = e
+	total += e
+	if total == 0 {
+		return out
+	}
+	for i := range out {
+		out[i] /= total
+	}
+	return out
+}
+
+// BandRMS returns the RMS of each detail band plus the approximation band,
+// finest detail first — an absolute-scale companion to EnergyMap.
+func (d *Decomposition) BandRMS() []float64 {
+	out := make([]float64, len(d.Details)+1)
+	rms := func(x []float64) float64 {
+		if len(x) == 0 {
+			return 0
+		}
+		var s float64
+		for _, v := range x {
+			s += v * v
+		}
+		return math.Sqrt(s / float64(len(x)))
+	}
+	for i, det := range d.Details {
+		out[i] = rms(det)
+	}
+	out[len(out)-1] = rms(d.Approx)
+	return out
+}

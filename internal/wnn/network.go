@@ -1,0 +1,274 @@
+package wnn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Network is a wavelet neural network classifier: an input standardization
+// layer, one hidden layer of wavelon units with Mexican-hat activation
+// ψ(u) = (1-u²)·exp(-u²/2), and a softmax output layer. The localized,
+// zero-mean wavelet activation gives the multi-resolution behaviour of
+// §6.2; everything else is a standard feed-forward classifier trained by
+// SGD with cross-entropy loss.
+type Network struct {
+	inDim, hidden, classes int
+
+	// Standardization (fit on the training set).
+	mean, std []float64
+
+	// w1[h][i], b1[h]: input -> wavelon pre-activation.
+	w1 [][]float64
+	b1 []float64
+	// w2[c][h], b2[c]: wavelon -> class logits.
+	w2 [][]float64
+	b2 []float64
+
+	rng *rand.Rand
+}
+
+// NewNetwork builds an untrained network.
+func NewNetwork(inputDim, hidden, classes int, seed int64) (*Network, error) {
+	if inputDim < 1 || hidden < 1 || classes < 2 {
+		return nil, fmt.Errorf("wnn: invalid dimensions %d/%d/%d", inputDim, hidden, classes)
+	}
+	n := &Network{
+		inDim: inputDim, hidden: hidden, classes: classes,
+		mean: make([]float64, inputDim),
+		std:  make([]float64, inputDim),
+		b1:   make([]float64, hidden),
+		b2:   make([]float64, classes),
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+	for i := range n.std {
+		n.std[i] = 1
+	}
+	scale1 := 1 / math.Sqrt(float64(inputDim))
+	n.w1 = make([][]float64, hidden)
+	for h := range n.w1 {
+		n.w1[h] = make([]float64, inputDim)
+		for i := range n.w1[h] {
+			n.w1[h][i] = n.rng.NormFloat64() * scale1
+		}
+		n.b1[h] = n.rng.NormFloat64() * 0.5
+	}
+	scale2 := 1 / math.Sqrt(float64(hidden))
+	n.w2 = make([][]float64, classes)
+	for c := range n.w2 {
+		n.w2[c] = make([]float64, hidden)
+		for h := range n.w2[c] {
+			n.w2[c][h] = n.rng.NormFloat64() * scale2
+		}
+	}
+	return n, nil
+}
+
+// mexicanHat is the wavelon activation and its derivative.
+func mexicanHat(u float64) (float64, float64) {
+	e := math.Exp(-u * u / 2)
+	psi := (1 - u*u) * e
+	dpsi := (u*u*u - 3*u) * e
+	return psi, dpsi
+}
+
+// standardize maps x into z-score space using the fitted statistics.
+func (n *Network) standardize(x []float64) []float64 {
+	z := make([]float64, len(x))
+	for i := range x {
+		z[i] = (x[i] - n.mean[i]) / n.std[i]
+	}
+	return z
+}
+
+// fitScaler computes per-feature mean and std over the training set.
+func (n *Network) fitScaler(samples [][]float64) {
+	m := len(samples)
+	for i := 0; i < n.inDim; i++ {
+		var sum float64
+		for _, s := range samples {
+			sum += s[i]
+		}
+		mu := sum / float64(m)
+		var varsum float64
+		for _, s := range samples {
+			d := s[i] - mu
+			varsum += d * d
+		}
+		sd := math.Sqrt(varsum / float64(m))
+		if sd < 1e-9 {
+			sd = 1
+		}
+		n.mean[i] = mu
+		n.std[i] = sd
+	}
+}
+
+// forward computes hidden activations, their derivatives, and class
+// probabilities for a standardized input.
+func (n *Network) forward(z []float64) (hid, dhid, probs []float64) {
+	hid = make([]float64, n.hidden)
+	dhid = make([]float64, n.hidden)
+	for h := 0; h < n.hidden; h++ {
+		u := n.b1[h]
+		w := n.w1[h]
+		for i, zi := range z {
+			u += w[i] * zi
+		}
+		hid[h], dhid[h] = mexicanHat(u)
+	}
+	logits := make([]float64, n.classes)
+	maxLogit := math.Inf(-1)
+	for c := 0; c < n.classes; c++ {
+		v := n.b2[c]
+		w := n.w2[c]
+		for h, a := range hid {
+			v += w[h] * a
+		}
+		logits[c] = v
+		if v > maxLogit {
+			maxLogit = v
+		}
+	}
+	probs = make([]float64, n.classes)
+	var sum float64
+	for c, v := range logits {
+		p := math.Exp(v - maxLogit)
+		probs[c] = p
+		sum += p
+	}
+	for c := range probs {
+		probs[c] /= sum
+	}
+	return hid, dhid, probs
+}
+
+// TrainOptions configures SGD.
+type TrainOptions struct {
+	// Epochs is the number of full passes over the training set.
+	Epochs int
+	// LearningRate is the SGD step size.
+	LearningRate float64
+	// L2 is the weight decay coefficient.
+	L2 float64
+}
+
+// DefaultTrainOptions returns a configuration adequate for the diagnostic
+// corpora in this repository.
+func DefaultTrainOptions() TrainOptions {
+	return TrainOptions{Epochs: 60, LearningRate: 0.02, L2: 1e-4}
+}
+
+// Train fits the network on samples with integer class labels. It fits the
+// input scaler, then runs SGD with per-epoch shuffling, and returns the
+// mean cross-entropy of the final epoch.
+func (n *Network) Train(samples [][]float64, labels []int, opt TrainOptions) (float64, error) {
+	if len(samples) == 0 || len(samples) != len(labels) {
+		return 0, fmt.Errorf("wnn: %d samples, %d labels", len(samples), len(labels))
+	}
+	for i, s := range samples {
+		if len(s) != n.inDim {
+			return 0, fmt.Errorf("wnn: sample %d has dim %d, want %d", i, len(s), n.inDim)
+		}
+		if labels[i] < 0 || labels[i] >= n.classes {
+			return 0, fmt.Errorf("wnn: label %d out of range", labels[i])
+		}
+	}
+	if opt.Epochs < 1 || opt.LearningRate <= 0 {
+		return 0, fmt.Errorf("wnn: invalid training options %+v", opt)
+	}
+	n.fitScaler(samples)
+	zs := make([][]float64, len(samples))
+	for i, s := range samples {
+		zs[i] = n.standardize(s)
+	}
+	order := make([]int, len(samples))
+	for i := range order {
+		order[i] = i
+	}
+	var epochLoss float64
+	for e := 0; e < opt.Epochs; e++ {
+		n.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		epochLoss = 0
+		for _, idx := range order {
+			z := zs[idx]
+			y := labels[idx]
+			hid, dhid, probs := n.forward(z)
+			epochLoss += -math.Log(math.Max(probs[y], 1e-12))
+			// Output layer gradient: dL/dlogit_c = p_c - 1{c==y}.
+			dlogit := make([]float64, n.classes)
+			for c := range dlogit {
+				dlogit[c] = probs[c]
+				if c == y {
+					dlogit[c] -= 1
+				}
+			}
+			// Hidden gradient.
+			dhidden := make([]float64, n.hidden)
+			for c := 0; c < n.classes; c++ {
+				g := dlogit[c]
+				w := n.w2[c]
+				for h := 0; h < n.hidden; h++ {
+					dhidden[h] += g * w[h]
+				}
+			}
+			lr := opt.LearningRate
+			// Update output layer.
+			for c := 0; c < n.classes; c++ {
+				g := dlogit[c]
+				w := n.w2[c]
+				for h := 0; h < n.hidden; h++ {
+					w[h] -= lr * (g*hid[h] + opt.L2*w[h])
+				}
+				n.b2[c] -= lr * g
+			}
+			// Update wavelon layer through the activation derivative.
+			for h := 0; h < n.hidden; h++ {
+				g := dhidden[h] * dhid[h]
+				if g == 0 {
+					continue
+				}
+				w := n.w1[h]
+				for i, zi := range z {
+					w[i] -= lr * (g*zi + opt.L2*w[i])
+				}
+				n.b1[h] -= lr * g
+			}
+		}
+		epochLoss /= float64(len(samples))
+	}
+	return epochLoss, nil
+}
+
+// Predict returns the most probable class and the full probability vector.
+func (n *Network) Predict(x []float64) (int, []float64, error) {
+	if len(x) != n.inDim {
+		return 0, nil, fmt.Errorf("wnn: input dim %d, want %d", len(x), n.inDim)
+	}
+	_, _, probs := n.forward(n.standardize(x))
+	best := 0
+	for c, p := range probs {
+		if p > probs[best] {
+			best = c
+		}
+	}
+	return best, probs, nil
+}
+
+// Accuracy evaluates top-1 accuracy over a labelled set.
+func (n *Network) Accuracy(samples [][]float64, labels []int) (float64, error) {
+	if len(samples) == 0 || len(samples) != len(labels) {
+		return 0, fmt.Errorf("wnn: %d samples, %d labels", len(samples), len(labels))
+	}
+	correct := 0
+	for i, s := range samples {
+		c, _, err := n.Predict(s)
+		if err != nil {
+			return 0, err
+		}
+		if c == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(samples)), nil
+}

@@ -1,0 +1,319 @@
+// Package mpros is the public API of the MPROS reproduction: the Machinery
+// Prognostic and Diagnostic System of "Condition-Based Maintenance:
+// Algorithms and Applications for Embedded High Performance Computing"
+// (Bennett & Hadden, IPPS/SPDP Workshops 1999).
+//
+// The package assembles the internal subsystems — the chiller plant
+// simulator, the Data Concentrator with its analyzer suite (DLI-style
+// vibration rulebook, fuzzy process diagnostics, SBFR), the report
+// protocol, and the PDME with its Object-Oriented Ship Model and
+// Dempster-Shafer / conservative-envelope knowledge fusion — into ready-to-
+// run deployments. Examples under examples/ and the mprosbench experiment
+// harness drive everything through this facade.
+package mpros
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/chiller"
+	"repro/internal/dc"
+	"repro/internal/fusion"
+	"repro/internal/oosm"
+	"repro/internal/pdme"
+	"repro/internal/proto"
+	"repro/internal/relstore"
+)
+
+// Re-exported core types, so facade users need no internal imports.
+type (
+	// Report is the §7.2 failure prediction report.
+	Report = proto.Report
+	// PrognosticVector is the §7.3 (probability, time) list.
+	PrognosticVector = proto.PrognosticVector
+	// PrognosticPoint is one prognostic pair.
+	PrognosticPoint = proto.PrognosticPoint
+	// SeverityGrade is the Slight/Moderate/Serious/Extreme scale.
+	SeverityGrade = proto.SeverityGrade
+	// Fault enumerates the twelve FMEA failure modes of the chiller model.
+	Fault = chiller.Fault
+	// MaintenanceItem is one row of the PDME's prioritized list.
+	MaintenanceItem = pdme.MaintenanceItem
+	// Groups maps logical failure groups to condition names.
+	Groups = fusion.Groups
+)
+
+// Severity grade constants.
+const (
+	SeverityNone     = proto.SeverityNone
+	SeveritySlight   = proto.SeveritySlight
+	SeverityModerate = proto.SeverityModerate
+	SeveritySerious  = proto.SeveritySerious
+	SeverityExtreme  = proto.SeverityExtreme
+)
+
+// ChillerGroups returns the logical failure groups (§5.3) for the
+// centrifugal chiller's twelve FMEA failure modes.
+func ChillerGroups() Groups {
+	g := Groups{}
+	for name, faults := range chiller.FaultGroups() {
+		for _, f := range faults {
+			g[name] = append(g[name], f.String())
+		}
+	}
+	return g
+}
+
+// StationConfig configures a single-chiller monitoring station: one
+// simulated plant, one Data Concentrator, one PDME, connected in-process.
+type StationConfig struct {
+	// Seed drives the plant's reproducible randomness.
+	Seed int64
+	// DBPath persists the DC database and ship model; empty runs in memory.
+	DBPath string
+	// VibrationInterval and ProcessInterval override the DC test schedule
+	// (zero keeps the defaults: 4h vibration, 30m process).
+	VibrationInterval time.Duration
+	ProcessInterval   time.Duration
+	// Start is the initial virtual time (zero: 1998-08-01, when the paper's
+	// PDME first ran).
+	Start time.Time
+	// EnableSBFR activates the DC's SBFR process monitor as a third
+	// knowledge source (§5.8). The fourth source, the WNN classifier, is
+	// attached separately via Station.DC.AttachWNN because its training is
+	// expensive (see wnn.NewChillerClassifier).
+	EnableSBFR bool
+}
+
+// Station is a complete single-machine MPROS deployment.
+type Station struct {
+	// Plant is the simulated chiller.
+	Plant *chiller.Plant
+	// DC is the data concentrator instrumenting it.
+	DC *dc.DC
+	// PDME is the monitoring engine fusing the DC's reports.
+	PDME *pdme.PDME
+	// Machine is the OOSM id of the monitored chiller.
+	Machine oosm.ObjectID
+
+	db *relstore.DB
+}
+
+// NewStation assembles a station.
+func NewStation(cfg StationConfig) (*Station, error) {
+	plantCfg := chiller.DefaultConfig()
+	plantCfg.Seed = cfg.Seed
+	plant, err := chiller.New(plantCfg)
+	if err != nil {
+		return nil, err
+	}
+	var db *relstore.DB
+	if cfg.DBPath == "" {
+		db = relstore.NewMemory()
+	} else {
+		db, err = relstore.Open(cfg.DBPath)
+		if err != nil {
+			return nil, err
+		}
+	}
+	model, err := oosm.NewModel(db)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := pdme.New(model, ChillerGroups())
+	if err != nil {
+		return nil, err
+	}
+	// Model the monitored machine itself.
+	if err := model.RegisterClass(oosm.Class{
+		Name: "chiller",
+		Props: map[string]oosm.PropType{
+			"name":         oosm.PropString,
+			"manufacturer": oosm.PropString,
+		},
+	}); err != nil {
+		return nil, err
+	}
+	machine, err := model.Create("chiller", map[string]any{
+		"name": "A/C Chiller 1", "manufacturer": "Carrier",
+	})
+	if err != nil {
+		return nil, err
+	}
+	dcCfg := dc.DefaultConfig("dc-1", machine.String())
+	dcCfg.EnableSBFR = cfg.EnableSBFR
+	if cfg.VibrationInterval > 0 {
+		dcCfg.VibrationInterval = cfg.VibrationInterval
+	}
+	if cfg.ProcessInterval > 0 {
+		dcCfg.ProcessInterval = cfg.ProcessInterval
+	}
+	if !cfg.Start.IsZero() {
+		dcCfg.Start = cfg.Start
+	}
+	conc, err := dc.New(dcCfg, plant, db, engine)
+	if err != nil {
+		return nil, err
+	}
+	return &Station{Plant: plant, DC: conc, PDME: engine, Machine: machine, db: db}, nil
+}
+
+// InjectFault sets a failure mode's severity on the plant.
+func (s *Station) InjectFault(f Fault, severity float64) error {
+	return s.Plant.SetFault(f, severity)
+}
+
+// SetLoad sets the plant load fraction.
+func (s *Station) SetLoad(frac float64) error { return s.Plant.SetLoad(frac) }
+
+// Advance runs the station's virtual clock forward, executing scheduled
+// tests and fusing the resulting reports.
+func (s *Station) Advance(d time.Duration) error { return s.DC.RunFor(d) }
+
+// Belief returns the PDME's fused belief in a fault on the machine.
+func (s *Station) Belief(f Fault) (float64, error) {
+	return s.PDME.Belief(s.Machine.String(), f.String())
+}
+
+// FusedPrognostic returns the fused failure-probability vector for a fault.
+func (s *Station) FusedPrognostic(f Fault) PrognosticVector {
+	return s.PDME.FusedPrognostic(s.Machine.String(), f.String())
+}
+
+// PrioritizedList returns the fused maintenance list.
+func (s *Station) PrioritizedList() []MaintenanceItem { return s.PDME.PrioritizedList() }
+
+// Browser renders the Figure 2-style machine display.
+func (s *Station) Browser() (string, error) {
+	return s.PDME.RenderBrowser(s.Machine.String())
+}
+
+// Close releases the PDME subscription and the backing database.
+func (s *Station) Close() error {
+	s.PDME.Close()
+	return s.db.Close()
+}
+
+// FleetConfig configures a multi-DC deployment reporting to one PDME over
+// TCP — the paper's distributed architecture: "Conclusions reached by these
+// algorithms are then sent over the ship's network to a centrally located
+// machine" (§1.1).
+type FleetConfig struct {
+	// DCCount is the number of data concentrators (one chiller each).
+	DCCount int
+	// SeedBase offsets each plant's random seed.
+	SeedBase int64
+	// Addr is the PDME listen address ("127.0.0.1:0" for tests).
+	Addr string
+}
+
+// Fleet is a PDME plus several networked DCs.
+type Fleet struct {
+	// PDME is the central engine.
+	PDME *pdme.PDME
+	// Addr is the PDME's bound TCP address.
+	Addr string
+	// Stations hold each DC and its plant; their uplinks dial Addr.
+	Stations []*FleetStation
+
+	server *proto.Server
+	db     *relstore.DB
+}
+
+// FleetStation is one DC of a fleet.
+type FleetStation struct {
+	Plant   *chiller.Plant
+	DC      *dc.DC
+	Machine oosm.ObjectID
+	client  *proto.Client
+}
+
+// NewFleet assembles and starts a fleet.
+func NewFleet(cfg FleetConfig) (*Fleet, error) {
+	if cfg.DCCount < 1 {
+		return nil, fmt.Errorf("mpros: fleet needs at least one DC")
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	db := relstore.NewMemory()
+	model, err := oosm.NewModel(db)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := pdme.New(model, ChillerGroups())
+	if err != nil {
+		return nil, err
+	}
+	if err := model.RegisterClass(oosm.Class{
+		Name:  "chiller",
+		Props: map[string]oosm.PropType{"name": oosm.PropString},
+	}); err != nil {
+		return nil, err
+	}
+	addr, server, err := engine.Serve(cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	f := &Fleet{PDME: engine, Addr: addr, server: server, db: db}
+	for i := 0; i < cfg.DCCount; i++ {
+		plantCfg := chiller.DefaultConfig()
+		plantCfg.Seed = cfg.SeedBase + int64(i)
+		plant, err := chiller.New(plantCfg)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		machine, err := model.Create("chiller", map[string]any{
+			"name": fmt.Sprintf("A/C Chiller %d", i+1),
+		})
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		client, err := proto.Dial(addr)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		dcCfg := dc.DefaultConfig(fmt.Sprintf("dc-%d", i+1), machine.String())
+		conc, err := dc.New(dcCfg, plant, relstore.NewMemory(), client)
+		if err != nil {
+			client.Close()
+			f.Close()
+			return nil, err
+		}
+		f.Stations = append(f.Stations, &FleetStation{
+			Plant: plant, DC: conc, Machine: machine, client: client,
+		})
+	}
+	return f, nil
+}
+
+// Advance runs every DC's virtual clock forward by d.
+func (f *Fleet) Advance(d time.Duration) error {
+	for _, s := range f.Stations {
+		if err := s.DC.RunFor(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close shuts down clients, the server, and the PDME.
+func (f *Fleet) Close() error {
+	for _, s := range f.Stations {
+		if s.client != nil {
+			s.client.Close()
+		}
+	}
+	var err error
+	if f.server != nil {
+		err = f.server.Close()
+	}
+	f.PDME.Close()
+	if dbErr := f.db.Close(); err == nil {
+		err = dbErr
+	}
+	return err
+}

@@ -1,0 +1,144 @@
+package mpros
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/chiller"
+)
+
+func TestChillerGroupsCoverAllFaults(t *testing.T) {
+	g := ChillerGroups()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, conds := range g {
+		total += len(conds)
+	}
+	if total != chiller.NumFaults {
+		t.Errorf("groups cover %d of %d faults", total, chiller.NumFaults)
+	}
+}
+
+func TestStationEndToEnd(t *testing.T) {
+	s, err := NewStation(StationConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Healthy day: no conclusions.
+	if err := s.Advance(24 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if items := s.PrioritizedList(); len(items) != 0 {
+		t.Fatalf("healthy station produced conclusions: %+v", items)
+	}
+	// Inject a fault and run another day.
+	if err := s.InjectFault(chiller.MotorImbalance, 0.75); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Advance(24 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Belief(chiller.MotorImbalance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b < 0.9 {
+		t.Errorf("fused belief %g after a day of reinforcing reports", b)
+	}
+	items := s.PrioritizedList()
+	if len(items) == 0 || items[0].Condition != chiller.MotorImbalance.String() {
+		t.Fatalf("prioritized list: %+v", items)
+	}
+	if !items[0].HasPrognostic {
+		t.Error("top item missing prognostic")
+	}
+	if v := s.FusedPrognostic(chiller.MotorImbalance); len(v) == 0 {
+		t.Error("no fused prognostic vector")
+	}
+	view, err := s.Browser()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(view, chiller.MotorImbalance.String()) {
+		t.Errorf("browser view missing condition:\n%s", view)
+	}
+}
+
+func TestStationPersistence(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/station.db"
+	s, err := NewStation(StationConfig{Seed: 6, DBPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.InjectFault(chiller.StatorElectrical, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Advance(8 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	reports, err := s.DC.StoredReports("")
+	if err != nil || len(reports) == 0 {
+		t.Fatalf("stored reports %d err %v", len(reports), err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: the DC database (and model tables) replay from the log.
+	s2, err := NewStation(StationConfig{Seed: 6, DBPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	reports2, err := s2.DC.StoredReports("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports2) < len(reports) {
+		t.Errorf("replayed %d reports, had %d", len(reports2), len(reports))
+	}
+}
+
+func TestFleetOverTCP(t *testing.T) {
+	f, err := NewFleet(FleetConfig{DCCount: 3, SeedBase: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	// Different fault on each chiller.
+	faults := []chiller.Fault{chiller.MotorImbalance, chiller.GearToothWear, chiller.OilWhirl}
+	for i, st := range f.Stations {
+		if err := st.Plant.SetFault(faults[i], 0.8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Advance(12 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if f.PDME.ReceivedReports() == 0 {
+		t.Fatal("PDME received nothing over TCP")
+	}
+	for i, st := range f.Stations {
+		b, err := f.PDME.Belief(st.Machine.String(), faults[i].String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b < 0.8 {
+			t.Errorf("station %d: fused belief %g for %v", i, b, faults[i])
+		}
+		// Cross-machine independence: chiller 1's fault is not believed on
+		// chiller 2.
+		other := f.Stations[(i+1)%len(f.Stations)]
+		ob, _ := f.PDME.Belief(other.Machine.String(), faults[i].String())
+		if ob >= b {
+			t.Errorf("fault %v leaked to another machine: %g vs %g", faults[i], ob, b)
+		}
+	}
+	if _, err := NewFleet(FleetConfig{DCCount: 0}); err == nil {
+		t.Error("zero DC fleet should error")
+	}
+}
