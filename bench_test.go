@@ -75,6 +75,10 @@ func BenchmarkE11EventLatency(b *testing.B) { benchExperiment(b, "E11") }
 // comparison.
 func BenchmarkE12HazardRefinement(b *testing.B) { benchExperiment(b, "E12") }
 
+// BenchmarkE13HistorianIngest regenerates the historian ingest-throughput
+// and query-latency table (≥1M samples/s; 24h@1Hz rollup query <5ms).
+func BenchmarkE13HistorianIngest(b *testing.B) { benchExperiment(b, "E13") }
+
 // BenchmarkStationDay runs a faulty station through one virtual day of
 // scheduled monitoring (vibration tests + process scans + fusion).
 func BenchmarkStationDay(b *testing.B) {

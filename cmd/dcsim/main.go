@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/chiller"
 	"repro/internal/dc"
+	"repro/internal/historian"
 	"repro/internal/proto"
 	"repro/internal/relstore"
 )
@@ -35,6 +36,7 @@ func main() {
 	hours := flag.Float64("hours", 24, "virtual hours to simulate")
 	speedup := flag.Float64("speedup", 0, "virtual-to-wall speedup (0: as fast as possible)")
 	dbPath := flag.String("db", "", "DC database path (empty: in-memory)")
+	histDir := flag.String("historian-dir", "", "acquisition historian directory (empty: in-memory); readable later with examples/historian-replay")
 	seed := flag.Int64("seed", 1, "plant randomness seed")
 	flag.Parse()
 
@@ -70,7 +72,14 @@ func main() {
 	}
 	defer client.Close()
 
-	conc, err := dc.New(dc.DefaultConfig(*id, *machine), plant, db, client)
+	hist, err := historian.Open(historian.Options{Dir: *histDir})
+	if err != nil {
+		fatal(err)
+	}
+	defer hist.Close()
+	dcCfg := dc.DefaultConfig(*id, *machine)
+	dcCfg.Historian = hist
+	conc, err := dc.New(dcCfg, plant, db, client)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,5 +1,5 @@
 // Command mprosbench regenerates every experiment in the DESIGN.md
-// per-experiment index (E1–E12): the paper's worked examples, Figure 3
+// per-experiment index (E1–E13): the paper's worked examples, Figure 3
 // behaviour, footprint/cycle bounds, accuracy claims, and the ablations.
 //
 // Usage:
@@ -8,9 +8,11 @@
 //	mprosbench -exp E1,E4     # run selected experiments
 //	mprosbench -seed 7        # change the workload seed
 //	mprosbench -list          # list experiment ids and titles
+//	mprosbench -json          # emit one JSON object per experiment
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,10 +21,23 @@ import (
 	"repro/internal/experiments"
 )
 
+// jsonResult is the machine-readable form of one experiment, mirroring
+// experiments.Result with stable lowercase keys for downstream tooling.
+type jsonResult struct {
+	ID         string     `json:"id"`
+	Title      string     `json:"title"`
+	PaperClaim string     `json:"paper_claim,omitempty"`
+	Header     []string   `json:"header"`
+	Rows       [][]string `json:"rows"`
+	Notes      []string   `json:"notes,omitempty"`
+	Seed       int64      `json:"seed"`
+}
+
 func main() {
 	expFlag := flag.String("exp", "", "comma-separated experiment ids (default: all)")
 	seed := flag.Int64("seed", 1, "workload seed for randomized experiments")
 	list := flag.Bool("list", false, "list experiments and exit")
+	jsonOut := flag.Bool("json", false, "emit one JSON object per experiment instead of tables")
 	flag.Parse()
 
 	registry := experiments.Registry()
@@ -51,11 +66,22 @@ func main() {
 		ids = selected
 	}
 	failed := false
+	enc := json.NewEncoder(os.Stdout)
 	for _, id := range ids {
 		res, err := registry[id](*seed)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
 			failed = true
+			continue
+		}
+		if *jsonOut {
+			if err := enc.Encode(jsonResult{
+				ID: res.ID, Title: res.Title, PaperClaim: res.PaperClaim,
+				Header: res.Header, Rows: res.Rows, Notes: res.Notes, Seed: *seed,
+			}); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+				failed = true
+			}
 			continue
 		}
 		fmt.Println(res.Render())

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	pdmed -listen 127.0.0.1:7011 -db /var/lib/mpros/ship.db -status 10s
+//	pdmed -listen 127.0.0.1:7011 -db /var/lib/mpros/ship.db \
+//	      -historian-dir /var/lib/mpros/hist -status 10s
 //
 // Point one or more dcsim instances (or any §7-speaking client) at the
 // listen address.
@@ -18,6 +19,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/historian"
 	"repro/internal/oosm"
 	"repro/internal/pdme"
 	"repro/internal/relstore"
@@ -28,6 +30,7 @@ import (
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7011", "TCP listen address for DC reports")
 	dbPath := flag.String("db", "", "ship model database path (empty: in-memory)")
+	histDir := flag.String("historian-dir", "", "severity/lifetime historian directory (empty: in-memory)")
 	statusEvery := flag.Duration("status", 15*time.Second, "prioritized-list print interval (0 disables)")
 	flag.Parse()
 
@@ -42,11 +45,16 @@ func main() {
 		}
 	}
 	defer db.Close()
+	hist, err := historian.Open(historian.Options{Dir: *histDir})
+	if err != nil {
+		fatal(err)
+	}
+	defer hist.Close()
 	model, err := oosm.NewModel(db)
 	if err != nil {
 		fatal(err)
 	}
-	engine, err := pdme.New(model, mpros.ChillerGroups())
+	engine, err := pdme.NewWithHistorian(model, mpros.ChillerGroups(), hist)
 	if err != nil {
 		fatal(err)
 	}
@@ -56,7 +64,8 @@ func main() {
 		fatal(err)
 	}
 	defer server.Close()
-	fmt.Printf("pdmed: listening on %s (db=%s)\n", addr, orMemory(*dbPath))
+	fmt.Printf("pdmed: listening on %s (db=%s, historian=%s)\n",
+		addr, orMemory(*dbPath), orMemory(*histDir))
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/chiller"
 	"repro/internal/fuzzy"
+	"repro/internal/historian"
 	"repro/internal/proto"
 	"repro/internal/relstore"
 	"repro/internal/sbfr"
@@ -42,9 +43,19 @@ type Config struct {
 	// variables") as a third knowledge source.
 	EnableSBFR bool
 	// SBFRInterval is the process-channel sampling period for the SBFR
-	// monitor (default 5 minutes when enabled).
+	// monitor. New normalizes zero/negative to DefaultSBFRInterval.
 	SBFRInterval time.Duration
+	// Historian receives every acquisition's feature scalars, process-scan
+	// vector, and SBFR status transition. Nil means the DC opens a private
+	// in-memory store (use dc.Historian() to query it).
+	Historian *historian.Store
+	// HistorianRetention bounds per-channel history age (0 = keep all).
+	HistorianRetention time.Duration
 }
+
+// DefaultSBFRInterval is the documented SBFR process-channel sampling
+// period — the single place the 5-minute default lives.
+const DefaultSBFRInterval = 5 * time.Minute
 
 // DefaultConfig returns lab-prototype settings: vibration tests every four
 // hours, process scans every thirty minutes.
@@ -55,6 +66,7 @@ func DefaultConfig(id, objectID string) Config {
 		FrameLen:          16384,
 		VibrationInterval: 4 * time.Hour,
 		ProcessInterval:   30 * time.Minute,
+		SBFRInterval:      DefaultSBFRInterval,
 		CallThreshold:     0.15,
 		Start:             time.Date(1998, 8, 1, 0, 0, 0, 0, time.UTC),
 	}
@@ -76,8 +88,17 @@ type DC struct {
 	// wnnClf is the optional wavelet neural network source (AttachWNN).
 	wnnClf *wnn.ChillerClassifier
 
+	// hist is the acquisition historian; ownHist marks a private in-memory
+	// store the DC must close itself.
+	hist    *historian.Store
+	ownHist bool
+	// sbfrStatus remembers each SBFR machine's last recorded status so only
+	// transitions are appended.
+	sbfrStatus map[string]float64
+
 	reportsSent  int
 	reportErrors int
+	sbfrScans    int
 }
 
 const (
@@ -101,19 +122,34 @@ func New(cfg Config, src Source, db *relstore.DB, uplink proto.Sink) (*DC, error
 	if src == nil || db == nil || uplink == nil {
 		return nil, fmt.Errorf("dc: nil source, db, or uplink")
 	}
+	if cfg.SBFRInterval <= 0 {
+		cfg.SBFRInterval = DefaultSBFRInterval
+	}
 	fz, err := fuzzy.NewChillerDiagnostics()
 	if err != nil {
 		return nil, err
 	}
 	d := &DC{
-		cfg:    cfg,
-		src:    src,
-		db:     db,
-		uplink: uplink,
-		vib:    vibration.NewEngine(src.Config(), cfg.CallThreshold),
-		fz:     fz,
-		mux:    NewMux(),
-		sched:  NewScheduler(cfg.Start),
+		cfg:        cfg,
+		src:        src,
+		db:         db,
+		uplink:     uplink,
+		vib:        vibration.NewEngine(src.Config(), cfg.CallThreshold),
+		fz:         fz,
+		mux:        NewMux(),
+		sched:      NewScheduler(cfg.Start),
+		hist:       cfg.Historian,
+		sbfrStatus: make(map[string]float64),
+	}
+	if d.hist == nil {
+		d.hist, err = historian.Open(historian.Options{})
+		if err != nil {
+			return nil, err
+		}
+		d.ownHist = true
+	}
+	if err := d.ensureHistorianChannels(); err != nil {
+		return nil, err
 	}
 	if err := db.EnsureTable(relstore.Schema{
 		Name: measurementsTable,
@@ -155,12 +191,8 @@ func New(cfg Config, src Source, db *relstore.DB, uplink proto.Sink) (*DC, error
 		if err != nil {
 			return nil, err
 		}
-		interval := cfg.SBFRInterval
-		if interval <= 0 {
-			interval = 5 * time.Minute
-		}
 		if err := d.sched.Schedule(&Task{
-			Name: "sbfr-scan", Interval: interval, Run: d.RunSBFRScan,
+			Name: "sbfr-scan", Interval: cfg.SBFRInterval, Run: d.RunSBFRScan,
 		}, 0); err != nil {
 			return nil, err
 		}
@@ -225,6 +257,9 @@ func (d *DC) RunVibrationTest(now time.Time) error {
 			return err
 		}
 		features[pt] = f
+		if err := d.recordVibrationFeatures(pt, f, now); err != nil {
+			return err
+		}
 		if d.wnnClf != nil {
 			cls, err := d.wnnClf.Classify(frame, pt)
 			if err != nil {
@@ -281,7 +316,11 @@ func (d *DC) RunVibrationTest(now time.Time) error {
 
 // RunProcessScan performs the fuzzy process-parameter diagnosis.
 func (d *DC) RunProcessScan(now time.Time) error {
-	results, err := d.fz.Diagnose(d.src.ProcessState(), d.cfg.CallThreshold)
+	ps := d.src.ProcessState()
+	if err := d.recordProcessScan(ps, now); err != nil {
+		return err
+	}
+	results, err := d.fz.Diagnose(ps, d.cfg.CallThreshold)
 	if err != nil {
 		return err
 	}
@@ -314,6 +353,21 @@ func (d *DC) emit(r *proto.Report, now time.Time) error {
 		"delivered": delivered,
 	})
 	return err
+}
+
+// Historian exposes the DC's acquisition history store.
+func (d *DC) Historian() *historian.Store { return d.hist }
+
+// SBFRScans returns how many SBFR scan cycles have executed.
+func (d *DC) SBFRScans() int { return d.sbfrScans }
+
+// Close releases DC-owned resources: the private historian, if the DC
+// opened one. Caller-supplied historians are the caller's to close.
+func (d *DC) Close() error {
+	if d.ownHist {
+		return d.hist.Close()
+	}
+	return nil
 }
 
 // ReportsSent returns how many reports were delivered upstream.

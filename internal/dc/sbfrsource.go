@@ -81,6 +81,7 @@ func (d *DC) RunSBFRScan(now time.Time) error {
 	if d.sbfrSys == nil {
 		return fmt.Errorf("dc: SBFR monitor not enabled")
 	}
+	d.sbfrScans++
 	ps := d.src.ProcessState()
 	if err := d.sbfrSys.Cycle([]float64{ps.OilPressurePSI, ps.EvapPressurePSI}); err != nil {
 		return err
@@ -88,6 +89,9 @@ func (d *DC) RunSBFRScan(now time.Time) error {
 	for _, name := range d.sbfrSys.MachineNames() {
 		status, err := d.sbfrSys.Status(name)
 		if err != nil {
+			return err
+		}
+		if err := d.recordSBFRStatus(name, status, now); err != nil {
 			return err
 		}
 		if status == 0 {

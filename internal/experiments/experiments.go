@@ -13,7 +13,7 @@ import (
 
 // Result is one experiment's regenerated table.
 type Result struct {
-	// ID is the experiment id from DESIGN.md (E1..E12).
+	// ID is the experiment id from DESIGN.md (E1..E13).
 	ID string
 	// Title summarizes what is reproduced.
 	Title string
@@ -82,6 +82,7 @@ func Registry() map[string]Runner {
 		"E10": E10Figure2Browser,
 		"E11": E11EventLatency,
 		"E12": E12HazardRefinement,
+		"E13": E13HistorianThroughput,
 	}
 }
 

@@ -29,8 +29,8 @@ func TestAllExperimentsRun(t *testing.T) {
 			}
 		})
 	}
-	if len(IDs()) != 12 {
-		t.Errorf("registry has %d experiments, want 12", len(IDs()))
+	if len(IDs()) != 13 {
+		t.Errorf("registry has %d experiments, want 13", len(IDs()))
 	}
 }
 

@@ -1,0 +1,217 @@
+package historian
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func fillChannel(t *testing.T, dir string, n int) string {
+	t.Helper()
+	s := mustOpen(t, dir)
+	ensure(t, s, ChannelConfig{Name: "vib/motor/rms", HeadCap: 32})
+	for i := 0; i < n; i++ {
+		if err := s.Append("vib/motor/rms", t0.Add(time.Duration(i)*time.Second), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(dir, encodeChannelFile("vib/motor/rms"))
+}
+
+func TestReopenRecoversAllSamples(t *testing.T) {
+	dir := t.TempDir()
+	fillChannel(t, dir, 100)
+	s := mustOpen(t, dir)
+	defer s.Close()
+	if !s.HasChannel("vib/motor/rms") {
+		t.Fatalf("channel not recovered; have %v", s.Channels())
+	}
+	got, err := s.QueryAll("vib/motor/rms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("recovered %d samples, want 100", len(got))
+	}
+	for i, smp := range got {
+		if smp.Value != float64(i) {
+			t.Fatalf("sample %d = %g", i, smp.Value)
+		}
+	}
+	// Appends continue after recovery and survive another cycle.
+	if err := s.Append("vib/motor/rms", t0.Add(200*time.Second), 200); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir)
+	defer s2.Close()
+	got, _ = s2.QueryAll("vib/motor/rms")
+	if len(got) != 101 {
+		t.Fatalf("after append+reopen: %d samples", len(got))
+	}
+}
+
+// TestEnsureAfterRecoveryRebuildsTiers: tier configuration is not stored
+// in segment files; re-ensuring the channel rebuilds rollups from the
+// recovered raw data.
+func TestEnsureAfterRecoveryRebuildsTiers(t *testing.T) {
+	dir := t.TempDir()
+	fillChannel(t, dir, 120)
+	s := mustOpen(t, dir)
+	defer s.Close()
+	ensure(t, s, ChannelConfig{Name: "vib/motor/rms", Tiers: []time.Duration{time.Minute}})
+	rolls, err := s.QueryRollup("vib/motor/rms", time.Minute, time.Time{}, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rolls) != 2 || rolls[0].Count != 60 || rolls[0].Min != 0 || rolls[0].Max != 59 {
+		t.Fatalf("rebuilt rollups %+v", rolls)
+	}
+}
+
+// TestTornTailTruncated mirrors relstore's crash test: a partial final
+// block (power loss mid-append) is silently truncated to the last complete
+// record boundary and the store reopens clean.
+func TestTornTailTruncated(t *testing.T) {
+	for _, cut := range []int{1, 7, 8, 20, recordSize*5 + 11} {
+		dir := t.TempDir()
+		path := fillChannel(t, dir, 96) // 3 full blocks of 32
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Simulate a torn append: a prefix of a fourth block.
+		torn := make([]byte, 0, len(data)+cut)
+		torn = append(torn, data...)
+		block := make([]byte, 0, blockFrame+32*recordSize)
+		block = binary.LittleEndian.AppendUint32(block, blockMagic)
+		block = binary.LittleEndian.AppendUint32(block, 32)
+		for len(block) < blockFrame+32*recordSize {
+			block = append(block, 0xAB)
+		}
+		if cut > len(block) {
+			t.Fatalf("cut %d exceeds block", cut)
+		}
+		torn = append(torn, block[:cut]...)
+		if err := os.WriteFile(path, torn, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s := mustOpen(t, dir)
+		got, err := s.QueryAll("vib/motor/rms")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 96 {
+			t.Fatalf("cut=%d: recovered %d samples, want the 96 complete ones", cut, len(got))
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// The truncation is physical: the file is back to its clean size.
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Size() != int64(len(data)) {
+			t.Fatalf("cut=%d: file size %d after recovery, want %d", cut, info.Size(), len(data))
+		}
+	}
+}
+
+// TestInteriorCorruptionRefused: a flipped bit inside a non-final block is
+// real corruption, not a torn tail, and must fail loudly (relstore's
+// "valid record after malformed line" rule).
+func TestInteriorCorruptionRefused(t *testing.T) {
+	dir := t.TempDir()
+	path := fillChannel(t, dir, 96)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte in the first block (well past the header).
+	hdr := len(fileMagic) + 2 + len("vib/motor/rms")
+	data[hdr+blockFrame] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: dir}); err == nil {
+		t.Fatal("interior corruption accepted")
+	}
+}
+
+// TestCorruptFinalBlockRefused: a full-length final block with a bad CRC
+// cannot come from a torn append (the CRC is written in the same single
+// write), so it too is refused.
+func TestCorruptFinalBlockRefused(t *testing.T) {
+	dir := t.TempDir()
+	path := fillChannel(t, dir, 96)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-5] ^= 0x01 // inside the last block's payload
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: dir}); err == nil {
+		t.Fatal("corrupt final block accepted")
+	}
+}
+
+func TestBadHeaderRefused(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x"+segmentExt)
+	if err := os.WriteFile(path, []byte("NOTMAGIC\x00\x00"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: dir}); err == nil {
+		t.Fatal("bad header accepted")
+	}
+}
+
+func TestChannelFileNameEncoding(t *testing.T) {
+	names := []string{
+		"vib/motor drive end/rms",
+		"proc/evap_pressure",
+		"severity/chiller|1%weird",
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		f := encodeChannelFile(n)
+		if seen[f] {
+			t.Fatalf("collision on %q", f)
+		}
+		seen[f] = true
+		for _, c := range f {
+			if c == '/' || c == 0 {
+				t.Fatalf("unsafe char in %q", f)
+			}
+		}
+	}
+	// Round trip through a real store.
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	for _, n := range names {
+		ensure(t, s, ChannelConfig{Name: n})
+		if err := s.Append(n, t0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir)
+	defer s2.Close()
+	for _, n := range names {
+		if !s2.HasChannel(n) {
+			t.Fatalf("channel %q lost in round trip; have %v", n, s2.Channels())
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package historian
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Rollup is one downsampled bucket of a tier: the min/max envelope and the
+// mean of every raw sample whose timestamp falls in [Start, Start+Dur).
+type Rollup struct {
+	Start time.Time
+	Dur   time.Duration
+	Min   float64
+	Max   float64
+	Sum   float64
+	Count int
+}
+
+// Mean returns the bucket average.
+func (r Rollup) Mean() float64 {
+	if r.Count == 0 {
+		return 0
+	}
+	return r.Sum / float64(r.Count)
+}
+
+// End returns the exclusive bucket end.
+func (r Rollup) End() time.Time { return r.Start.Add(r.Dur) }
+
+// tier maintains one rollup resolution incrementally. Buckets are keyed by
+// their start nanos; a sorted key cache is rebuilt lazily on query, so the
+// append path stays a map upsert.
+type tier struct {
+	dur     time.Duration
+	buckets map[int64]*Rollup
+	sorted  []int64 // ascending bucket starts; nil when dirty
+}
+
+func newTier(d time.Duration) *tier {
+	return &tier{dur: d, buckets: make(map[int64]*Rollup)}
+}
+
+// bucketStart floors t to the tier grid (correct for pre-epoch times too).
+func (t *tier) bucketStart(at time.Time) int64 {
+	n := at.UnixNano()
+	d := int64(t.dur)
+	q := n / d
+	if n%d < 0 {
+		q--
+	}
+	return q * d
+}
+
+func (t *tier) add(s Sample) {
+	key := t.bucketStart(s.At)
+	b, ok := t.buckets[key]
+	if !ok {
+		t.buckets[key] = &Rollup{
+			Start: time.Unix(0, key).UTC(), Dur: t.dur,
+			Min: s.Value, Max: s.Value, Sum: s.Value, Count: 1,
+		}
+		t.sorted = nil
+		return
+	}
+	if s.Value < b.Min {
+		b.Min = s.Value
+	}
+	if s.Value > b.Max {
+		b.Max = s.Value
+	}
+	b.Sum += s.Value
+	b.Count++
+}
+
+// trim drops buckets that end at or before the cutoff.
+func (t *tier) trim(cutoff time.Time) {
+	for key, b := range t.buckets {
+		if !b.End().After(cutoff) {
+			delete(t.buckets, key)
+			t.sorted = nil
+		}
+	}
+}
+
+// query returns copies of the buckets overlapping [from, to] in start
+// order (zero bounds are open).
+func (t *tier) query(from, to time.Time) []Rollup {
+	if t.sorted == nil {
+		t.sorted = make([]int64, 0, len(t.buckets))
+		for key := range t.buckets {
+			t.sorted = append(t.sorted, key)
+		}
+		sort.Slice(t.sorted, func(i, j int) bool { return t.sorted[i] < t.sorted[j] })
+	}
+	var out []Rollup
+	for _, key := range t.sorted {
+		b := t.buckets[key]
+		if !from.IsZero() && !b.End().After(from) {
+			continue
+		}
+		if !to.IsZero() && b.Start.After(to) {
+			break
+		}
+		out = append(out, *b)
+	}
+	return out
+}
+
+// QueryRollup returns the rollup buckets of one maintained tier
+// overlapping [from, to] (zero bounds are open), oldest first. The tier
+// duration must match one configured via EnsureChannel exactly.
+func (s *Store) QueryRollup(name string, dur time.Duration, from, to time.Time) ([]Rollup, error) {
+	ch, err := s.channel(name)
+	if err != nil {
+		return nil, err
+	}
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	t := ch.tierFor(dur)
+	if t == nil {
+		return nil, fmt.Errorf("historian: channel %q has no %v tier (have %v)",
+			name, dur, ch.cfg.Tiers)
+	}
+	return t.query(from, to), nil
+}

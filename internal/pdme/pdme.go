@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/fusion"
+	"repro/internal/historian"
 	"repro/internal/oosm"
 	"repro/internal/proto"
 	"repro/internal/trend"
@@ -43,10 +44,15 @@ const (
 
 // PDME is the monitoring engine.
 type PDME struct {
-	model  *oosm.Model
-	diag   *fusion.DiagnosticFuser
-	prog   *fusion.PrognosticFuser
-	trends *trend.Tracker
+	model *oosm.Model
+	diag  *fusion.DiagnosticFuser
+	prog  *fusion.PrognosticFuser
+	// hist is the degradation historian (§4.6 data management): fused
+	// severities and lifetime archives land here, and the §10.1 consumers
+	// (trend projection, hazard refinement) query it back.
+	hist *historian.Store
+	// ownHist marks a store the PDME created itself (closed on Close).
+	ownHist bool
 
 	mu sync.Mutex
 	// conclusionIDs maps component|condition to the OOSM conclusion object,
@@ -59,9 +65,18 @@ type PDME struct {
 }
 
 // New builds a PDME over a ship model and the logical failure groups for
-// diagnostic fusion. It registers the report/conclusion classes and
-// subscribes knowledge fusion to report arrivals.
+// diagnostic fusion, backed by a private in-memory historian. It registers
+// the report/conclusion classes and subscribes knowledge fusion to report
+// arrivals.
 func New(model *oosm.Model, groups fusion.Groups) (*PDME, error) {
+	return NewWithHistorian(model, groups, nil)
+}
+
+// NewWithHistorian builds a PDME whose severity histories and lifetime
+// archives live in the given historian store (nil: a private in-memory
+// store) — pass a disk-backed store for the shipboard configuration, where
+// degradation history must survive restarts.
+func NewWithHistorian(model *oosm.Model, groups fusion.Groups, hist *historian.Store) (*PDME, error) {
 	if model == nil {
 		return nil, fmt.Errorf("pdme: nil model")
 	}
@@ -69,15 +84,19 @@ func New(model *oosm.Model, groups fusion.Groups) (*PDME, error) {
 	if err != nil {
 		return nil, err
 	}
-	trends, err := trend.NewTracker(256)
-	if err != nil {
-		return nil, err
+	ownHist := hist == nil
+	if hist == nil {
+		hist, err = historian.Open(historian.Options{})
+		if err != nil {
+			return nil, err
+		}
 	}
 	p := &PDME{
 		model:         model,
 		diag:          diag,
 		prog:          fusion.NewPrognosticFuser(),
-		trends:        trends,
+		hist:          hist,
+		ownHist:       ownHist,
 		conclusionIDs: make(map[string]oosm.ObjectID),
 	}
 	classes := []oosm.Class{
@@ -122,10 +141,17 @@ func New(model *oosm.Model, groups fusion.Groups) (*PDME, error) {
 	return p, nil
 }
 
-// Close cancels the model subscription.
+// Close cancels the model subscription and, when the PDME owns its
+// historian (New rather than NewWithHistorian), closes it.
 func (p *PDME) Close() {
 	p.sub.Cancel()
+	if p.ownHist {
+		_ = p.hist.Close()
+	}
 }
+
+// Historian exposes the degradation history store.
+func (p *PDME) Historian() *historian.Store { return p.hist }
 
 // Model returns the PDME's ship model.
 func (p *PDME) Model() *oosm.Model { return p.model }
@@ -179,9 +205,10 @@ func (p *PDME) fuseFromModel(reportID oosm.ObjectID) error {
 	severity, _ := props["severity"].(float64)
 	ts, _ := props["timestamp"].(time.Time)
 
-	// §10.1 temporal reasoning: record the severity history so developing
-	// faults can be projected forward.
-	if err := p.trends.Observe(component+"|"+condition, ts, severity); err != nil {
+	// §10.1 temporal reasoning: record the severity history in the
+	// historian so developing faults can be projected forward (and, on
+	// disk-backed stores, survive a PDME restart).
+	if err := p.observeSeverity(component, condition, ts, severity); err != nil {
 		return err
 	}
 	fusedBelief, err := p.diag.AddReport(component, condition, belief)
@@ -326,17 +353,27 @@ func (p *PDME) PrioritizedList() []MaintenanceItem {
 }
 
 // TrendProjection fits the severity history of a (component, condition)
-// pair and projects when it will reach the severity threshold — the §10.1
-// temporal-reasoning extension ("scrutinize failure histories and provide
-// better projections of future faults as they develop"). It needs at least
-// three reports for the pair.
+// pair — queried back from the historian — and projects when it will reach
+// the severity threshold: the §10.1 temporal-reasoning extension
+// ("scrutinize failure histories and provide better projections of future
+// faults as they develop"). It needs at least three reports for the pair.
 func (p *PDME) TrendProjection(component, condition string, threshold float64) (trend.Projection, error) {
-	return p.trends.Project(component+"|"+condition, threshold)
+	return trend.ProjectPoints(p.SeverityHistory(component, condition), threshold)
 }
 
-// SeverityHistory returns the recorded severity observations for a pair.
+// SeverityHistory returns the recorded severity observations for a pair in
+// time order (historian queries sort, whatever the arrival order was).
 func (p *PDME) SeverityHistory(component, condition string) []trend.Point {
-	return p.trends.History(component + "|" + condition)
+	it, err := p.hist.Query(severityChannel(component, condition), time.Time{}, time.Time{})
+	if err != nil {
+		return nil // channel not yet created: no reports for the pair
+	}
+	points := make([]trend.Point, 0, it.Remaining())
+	for it.Next() {
+		s := it.At()
+		points = append(points, trend.Point{At: s.At, Value: s.Value})
+	}
+	return points
 }
 
 // Serve starts a TCP report server delivering into this PDME and returns

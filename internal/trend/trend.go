@@ -194,8 +194,14 @@ type Projection struct {
 // Project fits the key's history (Theil-Sen) and projects when it reaches
 // threshold.
 func (tr *Tracker) Project(key string, threshold float64) (Projection, error) {
-	history := tr.History(key)
-	fit, err := TheilSen(history)
+	return ProjectPoints(tr.History(key), threshold)
+}
+
+// ProjectPoints fits a Theil-Sen trend to an arbitrary point series
+// (dense, sparse, or downsampled — e.g. historian rollup means) and
+// projects the threshold crossing.
+func ProjectPoints(points []Point, threshold float64) (Projection, error) {
+	fit, err := TheilSen(points)
 	if err != nil {
 		return Projection{}, err
 	}

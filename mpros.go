@@ -19,6 +19,7 @@ import (
 	"repro/internal/chiller"
 	"repro/internal/dc"
 	"repro/internal/fusion"
+	"repro/internal/historian"
 	"repro/internal/oosm"
 	"repro/internal/pdme"
 	"repro/internal/proto"
@@ -83,6 +84,11 @@ type StationConfig struct {
 	// attached separately via Station.DC.AttachWNN because its training is
 	// expensive (see wnn.NewChillerClassifier).
 	EnableSBFR bool
+	// HistorianDir persists the station's time-series historian on disk;
+	// empty runs it in memory. The DC and PDME share one store: DC
+	// acquisitions and PDME severity histories land in the same archive,
+	// and replay tools (examples/historian-replay) read it back.
+	HistorianDir string
 }
 
 // Station is a complete single-machine MPROS deployment.
@@ -95,6 +101,9 @@ type Station struct {
 	PDME *pdme.PDME
 	// Machine is the OOSM id of the monitored chiller.
 	Machine oosm.ObjectID
+	// Historian is the shared time-series store (DC acquisitions + PDME
+	// severity/lifetime archives).
+	Historian *historian.Store
 
 	db *relstore.DB
 }
@@ -116,11 +125,16 @@ func NewStation(cfg StationConfig) (*Station, error) {
 			return nil, err
 		}
 	}
+	hist, err := historian.Open(historian.Options{Dir: cfg.HistorianDir})
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
 	model, err := oosm.NewModel(db)
 	if err != nil {
 		return nil, err
 	}
-	engine, err := pdme.New(model, ChillerGroups())
+	engine, err := pdme.NewWithHistorian(model, ChillerGroups(), hist)
 	if err != nil {
 		return nil, err
 	}
@@ -142,6 +156,7 @@ func NewStation(cfg StationConfig) (*Station, error) {
 	}
 	dcCfg := dc.DefaultConfig("dc-1", machine.String())
 	dcCfg.EnableSBFR = cfg.EnableSBFR
+	dcCfg.Historian = hist
 	if cfg.VibrationInterval > 0 {
 		dcCfg.VibrationInterval = cfg.VibrationInterval
 	}
@@ -155,7 +170,8 @@ func NewStation(cfg StationConfig) (*Station, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Station{Plant: plant, DC: conc, PDME: engine, Machine: machine, db: db}, nil
+	return &Station{Plant: plant, DC: conc, PDME: engine, Machine: machine,
+		Historian: hist, db: db}, nil
 }
 
 // InjectFault sets a failure mode's severity on the plant.
@@ -188,10 +204,15 @@ func (s *Station) Browser() (string, error) {
 	return s.PDME.RenderBrowser(s.Machine.String())
 }
 
-// Close releases the PDME subscription and the backing database.
+// Close releases the PDME subscription, the shared historian, and the
+// backing database.
 func (s *Station) Close() error {
 	s.PDME.Close()
-	return s.db.Close()
+	err := s.Historian.Close()
+	if dbErr := s.db.Close(); err == nil {
+		err = dbErr
+	}
+	return err
 }
 
 // FleetConfig configures a multi-DC deployment reporting to one PDME over
