@@ -23,8 +23,8 @@ import (
 	"repro/internal/chiller"
 	"repro/internal/dc"
 	"repro/internal/historian"
-	"repro/internal/proto"
 	"repro/internal/relstore"
+	"repro/internal/uplink"
 )
 
 func main() {
@@ -38,6 +38,11 @@ func main() {
 	dbPath := flag.String("db", "", "DC database path (empty: in-memory)")
 	histDir := flag.String("historian-dir", "", "acquisition historian directory (empty: in-memory); readable later with examples/historian-replay")
 	seed := flag.Int64("seed", 1, "plant randomness seed")
+	spoolDir := flag.String("spool-dir", "", "store-and-forward spool directory; reports queued while the PDME is unreachable survive a dcsim restart (empty: in-memory spool)")
+	spoolCap := flag.Int("spool-cap", 0, "max spooled reports before oldest-first drop (0: default)")
+	dialTimeout := flag.Duration("dial-timeout", 0, "per-dial deadline (0: default)")
+	sendTimeout := flag.Duration("send-timeout", 0, "per-send deadline (0: default)")
+	flushTimeout := flag.Duration("flush-timeout", time.Minute, "final spool drain deadline at exit")
 	flag.Parse()
 
 	plantCfg := chiller.DefaultConfig()
@@ -66,11 +71,21 @@ func main() {
 		}
 	}
 	defer db.Close()
-	client, err := proto.Dial(*pdmeAddr)
+	// The uplink dials lazily and spools while the PDME is unreachable, so
+	// dcsim starts (and keeps monitoring) even when pdmed is down.
+	up, err := uplink.New(uplink.Config{
+		Addr:        *pdmeAddr,
+		DCID:        *id,
+		SpoolDir:    *spoolDir,
+		SpoolCap:    *spoolCap,
+		DialTimeout: *dialTimeout,
+		SendTimeout: *sendTimeout,
+		Seed:        *seed,
+	})
 	if err != nil {
-		fatal(fmt.Errorf("dial PDME: %w", err))
+		fatal(err)
 	}
-	defer client.Close()
+	defer up.Close()
 
 	hist, err := historian.Open(historian.Options{Dir: *histDir})
 	if err != nil {
@@ -79,7 +94,7 @@ func main() {
 	defer hist.Close()
 	dcCfg := dc.DefaultConfig(*id, *machine)
 	dcCfg.Historian = hist
-	conc, err := dc.New(dcCfg, plant, db, client)
+	conc, err := dc.New(dcCfg, plant, db, up)
 	if err != nil {
 		fatal(err)
 	}
@@ -106,9 +121,17 @@ func main() {
 		if *speedup > 0 {
 			time.Sleep(time.Duration(step * float64(time.Hour) / *speedup))
 		}
-		fmt.Printf("  t+%5.1fh  reports sent=%d errors=%d active faults=%v\n",
-			done+step, conc.ReportsSent(), conc.ReportErrors(), faultSummary(plant))
+		c := up.Counters()
+		fmt.Printf("  t+%5.1fh  uplink sent=%d acked=%d retried=%d spooled=%d replayed=%d dropped=%d dup=%d pending=%d active faults=%v\n",
+			done+step, c.Sent, c.Acked, c.Retried, c.Spooled, c.Replayed,
+			c.Dropped, c.DedupAcks, up.Pending(), faultSummary(plant))
 	}
+	if err := up.Flush(*flushTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "dcsim:", err, "(spooled reports persist for the next run)")
+	}
+	c := up.Counters()
+	fmt.Printf("dcsim %s: done — sent=%d acked=%d retried=%d spooled=%d replayed=%d dropped=%d dup=%d\n",
+		*id, c.Sent, c.Acked, c.Retried, c.Spooled, c.Replayed, c.Dropped, c.DedupAcks)
 }
 
 func applyFaults(plant *chiller.Plant, spec string) error {

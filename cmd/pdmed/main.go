@@ -22,6 +22,7 @@ import (
 	"repro/internal/historian"
 	"repro/internal/oosm"
 	"repro/internal/pdme"
+	"repro/internal/proto"
 	"repro/internal/relstore"
 
 	mpros "repro"
@@ -32,6 +33,7 @@ func main() {
 	dbPath := flag.String("db", "", "ship model database path (empty: in-memory)")
 	histDir := flag.String("historian-dir", "", "severity/lifetime historian directory (empty: in-memory)")
 	statusEvery := flag.Duration("status", 15*time.Second, "prioritized-list print interval (0 disables)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "per-connection read/write deadline (0: protocol default); dead peers are cut loose after this")
 	flag.Parse()
 
 	var db *relstore.DB
@@ -59,7 +61,11 @@ func main() {
 		fatal(err)
 	}
 	defer engine.Close()
-	addr, server, err := engine.Serve(*listen)
+	idle := proto.DefaultIdleTimeout
+	if *idleTimeout > 0 {
+		idle = *idleTimeout
+	}
+	addr, server, err := engine.ServeWithIdleTimeout(*listen, idle)
 	if err != nil {
 		fatal(err)
 	}
@@ -89,8 +95,8 @@ func main() {
 
 func printStatus(engine *pdme.PDME) {
 	items := engine.PrioritizedList()
-	fmt.Printf("--- %s | %d reports received | %d open conclusions ---\n",
-		time.Now().Format(time.RFC3339), engine.ReceivedReports(), len(items))
+	fmt.Printf("--- %s | %d reports received | %d duplicates suppressed | %d open conclusions ---\n",
+		time.Now().Format(time.RFC3339), engine.ReceivedReports(), engine.DedupHits(), len(items))
 	for i, it := range items {
 		if i >= 10 {
 			fmt.Printf("  ... %d more\n", len(items)-10)

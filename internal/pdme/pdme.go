@@ -62,6 +62,10 @@ type PDME struct {
 	sub           *oosm.Subscription
 	// resident hosts §5.7 PDME-resident algorithms.
 	resident residentHost
+	// dedup suppresses at-least-once redelivery from DC uplinks. It lives
+	// on the PDME (not the server) so suppression survives a report-server
+	// Close/Serve bounce — evidence is never double-counted across restarts.
+	dedup *proto.Dedup
 }
 
 // New builds a PDME over a ship model and the logical failure groups for
@@ -98,6 +102,7 @@ func NewWithHistorian(model *oosm.Model, groups fusion.Groups, hist *historian.S
 		hist:          hist,
 		ownHist:       ownHist,
 		conclusionIDs: make(map[string]oosm.ObjectID),
+		dedup:         proto.NewDedup(0),
 	}
 	classes := []oosm.Class{
 		{Name: ReportClass, Props: map[string]oosm.PropType{
@@ -377,12 +382,25 @@ func (p *PDME) SeverityHistory(component, condition string) []trend.Point {
 }
 
 // Serve starts a TCP report server delivering into this PDME and returns
-// the bound address and the server handle for shutdown.
+// the bound address and the server handle for shutdown. Every Serve shares
+// the PDME's dedup window, so sequence-tagged reports redelivered across a
+// server restart are acked without a second fusion.
 func (p *PDME) Serve(addr string) (string, *proto.Server, error) {
+	return p.ServeWithIdleTimeout(addr, proto.DefaultIdleTimeout)
+}
+
+// ServeWithIdleTimeout is Serve with an explicit per-connection idle
+// deadline (0 disables deadlines) for deployments whose DCs report rarely.
+func (p *PDME) ServeWithIdleTimeout(addr string, idle time.Duration) (string, *proto.Server, error) {
 	srv := proto.NewServer(p)
+	srv.SetDedup(p.dedup)
+	srv.SetIdleTimeout(idle)
 	bound, err := srv.Start(addr)
 	if err != nil {
 		return "", nil, err
 	}
 	return bound, srv, nil
 }
+
+// DedupHits returns how many redelivered reports were suppressed.
+func (p *PDME) DedupHits() int64 { return p.dedup.Hits() }

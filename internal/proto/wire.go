@@ -27,6 +27,19 @@ type envelope struct {
 	Kind   string  `json:"kind"` // "report" | "ack" | "error"
 	Report *Report `json:"report,omitempty"`
 	Error  string  `json:"error,omitempty"`
+	// DCID and Seq tag a report frame with a per-DC monotonic delivery id so
+	// the receiving side can deduplicate at-least-once redelivery (a resend
+	// after a lost ack). Seq 0 means untagged (legacy senders). Boot
+	// identifies the sender incarnation that assigned Seq: a sender whose
+	// sequence state did not survive a restart (volatile spool) starts a new
+	// boot, and the receiver resets that DC's window instead of mistaking the
+	// restarted sequence numbers for duplicates.
+	DCID string `json:"dc,omitempty"`
+	Boot uint64 `json:"boot,omitempty"`
+	Seq  uint64 `json:"seq,omitempty"`
+	// Dup marks an ack for a report the server had already fused; the sender
+	// can retire it from its spool without the sink seeing it twice.
+	Dup bool `json:"dup,omitempty"`
 }
 
 // writeFrame writes one length-prefixed JSON frame.
@@ -79,10 +92,22 @@ type SinkFunc func(*Report) error
 // Deliver calls the function.
 func (f SinkFunc) Deliver(r *Report) error { return f(r) }
 
+// DefaultIdleTimeout is the server's per-connection read/write deadline: a
+// peer that neither completes a frame nor drains a reply within this window
+// is presumed dead and its handler goroutine released (shipboard networks
+// drop links without FINs; without deadlines a dead peer pins a goroutine
+// and its half-written frame forever).
+const DefaultIdleTimeout = 2 * time.Minute
+
 // Server accepts report connections and forwards validated reports to a
 // sink. Create with NewServer, then Serve (blocking) or start via Start.
 type Server struct {
 	sink Sink
+	// dedup, when set, suppresses redelivered report frames (same DC id and
+	// sequence) with a duplicate ack instead of a second sink delivery.
+	dedup *Dedup
+	// idleTimeout bounds each read/write on a connection (0 disables).
+	idleTimeout time.Duration
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -93,8 +118,18 @@ type Server struct {
 
 // NewServer returns a server delivering reports to sink.
 func NewServer(sink Sink) *Server {
-	return &Server{sink: sink, conns: make(map[net.Conn]struct{})}
+	return &Server{sink: sink, conns: make(map[net.Conn]struct{}),
+		idleTimeout: DefaultIdleTimeout}
 }
+
+// SetIdleTimeout overrides the per-connection read/write deadline; 0
+// disables deadlines. Call before Start.
+func (s *Server) SetIdleTimeout(d time.Duration) { s.idleTimeout = d }
+
+// SetDedup installs a duplicate-suppression window shared across all
+// connections (and, if reused across Start cycles, across server restarts).
+// Call before Start.
+func (s *Server) SetDedup(d *Dedup) { s.dedup = d }
 
 // Start begins listening on addr ("host:port", empty port for ephemeral) and
 // serving in a background goroutine. It returns the bound address.
@@ -151,22 +186,16 @@ func (s *Server) handle(conn net.Conn) {
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
 	for {
+		if s.idleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.idleTimeout))
+		}
 		env, err := readFrame(br)
 		if err != nil {
-			return // connection closed or corrupted framing
+			return // connection closed, idle, or corrupted framing
 		}
-		var reply envelope
-		switch {
-		case env.Kind != "report" || env.Report == nil:
-			reply = envelope{Kind: "error", Error: "expected report frame"}
-		case env.Report.Validate() != nil:
-			reply = envelope{Kind: "error", Error: env.Report.Validate().Error()}
-		default:
-			if err := s.sink.Deliver(env.Report); err != nil {
-				reply = envelope{Kind: "error", Error: err.Error()}
-			} else {
-				reply = envelope{Kind: "ack"}
-			}
+		reply := s.process(env)
+		if s.idleTimeout > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(s.idleTimeout))
 		}
 		if err := writeFrame(bw, reply); err != nil {
 			return
@@ -175,6 +204,34 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// process turns one inbound envelope into its reply, applying validation,
+// dedup, and sink delivery.
+func (s *Server) process(env envelope) envelope {
+	if env.Kind != "report" || env.Report == nil {
+		return envelope{Kind: "error", Error: "expected report frame"}
+	}
+	if err := env.Report.Validate(); err != nil {
+		return envelope{Kind: "error", Error: err.Error()}
+	}
+	dcid := env.DCID
+	if dcid == "" {
+		dcid = env.Report.DCID
+	}
+	tagged := s.dedup != nil && env.Seq > 0
+	if tagged && s.dedup.Seen(dcid, env.Boot, env.Seq) {
+		return envelope{Kind: "ack", Dup: true}
+	}
+	if err := s.sink.Deliver(env.Report); err != nil {
+		return envelope{Kind: "error", Error: err.Error()}
+	}
+	// Record the sequence only after the sink accepted the report, so a
+	// failed delivery can be retried without the window swallowing it.
+	if tagged {
+		s.dedup.Mark(dcid, env.Boot, env.Seq)
+	}
+	return envelope{Kind: "ack"}
 }
 
 // Close stops the listener and all active connections, waiting for handler
@@ -195,9 +252,18 @@ func (s *Server) Close() error {
 	return err
 }
 
+// ErrRejected wraps application-level refusals: the server read the frame
+// and answered with an error envelope (validation failure, unknown
+// condition, sink error). Transport errors never wrap it, so callers can
+// tell "the link is down — redial" from "the report is unacceptable".
+var ErrRejected = errors.New("proto: server rejected report")
+
 // Client is a connection to a report server; safe for concurrent use
 // (requests are serialized on the single connection).
 type Client struct {
+	addr    string
+	timeout time.Duration
+
 	mu   sync.Mutex
 	conn net.Conn
 	br   *bufio.Reader
@@ -212,39 +278,97 @@ func Dial(addr string) (*Client, error) {
 // DialContext connects to a report server at addr, honouring the context
 // deadline for connection establishment.
 func DialContext(ctx context.Context, addr string) (*Client, error) {
-	var d net.Dialer
-	conn, err := d.DialContext(ctx, "tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("proto: dial %s: %w", addr, err)
+	c := &Client{addr: addr}
+	if err := c.Redial(ctx); err != nil {
+		return nil, err
 	}
-	return &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}, nil
+	return c, nil
+}
+
+// SetTimeout bounds each subsequent send (write + ack read) with a
+// connection deadline; 0 (the default) disables per-send deadlines.
+func (c *Client) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.timeout = d
+}
+
+// Redial replaces the client's connection with a fresh dial to the original
+// address, honouring the context deadline. The old connection (if any) is
+// closed. On dial failure the previous connection is left in place.
+func (c *Client) Redial(ctx context.Context) error {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		return fmt.Errorf("proto: dial %s: %w", c.addr, err)
+	}
+	c.mu.Lock()
+	old := c.conn
+	c.conn = conn
+	c.br = bufio.NewReader(conn)
+	c.bw = bufio.NewWriter(conn)
+	c.mu.Unlock()
+	if old != nil {
+		_ = old.Close()
+	}
+	return nil
+}
+
+// exchange writes one envelope and reads the reply under the client lock,
+// applying the per-send deadline when configured.
+func (c *Client) exchange(env envelope) (envelope, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return envelope{}, errors.New("proto: client closed")
+	}
+	if c.timeout > 0 {
+		_ = c.conn.SetDeadline(time.Now().Add(c.timeout))
+	}
+	if err := writeFrame(c.bw, env); err != nil {
+		return envelope{}, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return envelope{}, err
+	}
+	return readFrame(c.br)
+}
+
+// send performs one tagged or untagged report exchange.
+func (c *Client) send(env envelope) (dup bool, err error) {
+	reply, err := c.exchange(env)
+	if err != nil {
+		return false, err
+	}
+	switch reply.Kind {
+	case "ack":
+		return reply.Dup, nil
+	case "error":
+		return false, fmt.Errorf("%w: %s", ErrRejected, reply.Error)
+	default:
+		return false, fmt.Errorf("proto: unexpected reply kind %q", reply.Kind)
+	}
 }
 
 // Send validates and delivers one report, waiting for the server's ack. A
-// server-side delivery failure is returned as an error.
+// server-side delivery failure is returned as an error wrapping ErrRejected.
 func (c *Client) Send(r *Report) error {
 	if err := r.Validate(); err != nil {
 		return err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := writeFrame(c.bw, envelope{Kind: "report", Report: r}); err != nil {
-		return err
+	_, err := c.send(envelope{Kind: "report", Report: r})
+	return err
+}
+
+// SendTagged delivers a report stamped with the DC's boot incarnation and
+// monotonic sequence number, enabling server-side dedup of at-least-once
+// redelivery. It returns whether the server acked it as an already-seen
+// duplicate.
+func (c *Client) SendTagged(r *Report, boot, seq uint64) (dup bool, err error) {
+	if err := r.Validate(); err != nil {
+		return false, err
 	}
-	if err := c.bw.Flush(); err != nil {
-		return err
-	}
-	reply, err := readFrame(c.br)
-	if err != nil {
-		return err
-	}
-	if reply.Kind == "error" {
-		return fmt.Errorf("proto: server rejected report: %s", reply.Error)
-	}
-	if reply.Kind != "ack" {
-		return fmt.Errorf("proto: unexpected reply kind %q", reply.Kind)
-	}
-	return nil
+	return c.send(envelope{Kind: "report", Report: r, DCID: r.DCID, Boot: boot, Seq: seq})
 }
 
 // Deliver implements Sink, so a Client can stand in wherever an in-process
@@ -252,7 +376,10 @@ func (c *Client) Send(r *Report) error {
 func (c *Client) Deliver(r *Report) error { return c.Send(r) }
 
 // SendWithRetry sends a report, retrying transient failures with backoff.
-// Validation failures are not retried.
+// Validation failures are not retried. A transport failure leaves the old
+// connection dead, so the client redials before each retry; application
+// rejections retry on the same connection (the link is fine — the sink may
+// recover). Prefer the uplink package for spooled, deduplicated delivery.
 func (c *Client) SendWithRetry(r *Report, attempts int, backoff time.Duration) error {
 	if err := r.Validate(); err != nil {
 		return err
@@ -262,6 +389,12 @@ func (c *Client) SendWithRetry(r *Report, attempts int, backoff time.Duration) e
 		if i > 0 {
 			time.Sleep(backoff)
 			backoff *= 2
+			if !errors.Is(last, ErrRejected) {
+				if err := c.Redial(context.Background()); err != nil {
+					last = err
+					continue
+				}
+			}
 		}
 		if last = c.Send(r); last == nil {
 			return nil
@@ -274,7 +407,12 @@ func (c *Client) SendWithRetry(r *Report, attempts int, backoff time.Duration) e
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.conn.Close()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
 }
 
 // Bus is an in-process transport implementing the same Sink contract for
@@ -295,8 +433,9 @@ func (b *Bus) Attach(s Sink) {
 	b.sinks = append(b.sinks, s)
 }
 
-// Deliver validates the report and forwards it to every attached sink,
-// returning the first error.
+// Deliver validates the report and forwards it to every attached sink. One
+// failing sink no longer starves the rest: every sink sees the report, and
+// the joined errors of all failures are returned.
 func (b *Bus) Deliver(r *Report) error {
 	if err := r.Validate(); err != nil {
 		return err
@@ -305,10 +444,11 @@ func (b *Bus) Deliver(r *Report) error {
 	sinks := make([]Sink, len(b.sinks))
 	copy(sinks, b.sinks)
 	b.mu.RUnlock()
+	var errs []error
 	for _, s := range sinks {
 		if err := s.Deliver(r); err != nil {
-			return err
+			errs = append(errs, err)
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }

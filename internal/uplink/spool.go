@@ -1,0 +1,432 @@
+package uplink
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/proto"
+)
+
+// Spool file format (one file per uplink, append-only):
+//
+//	header: magic "MPROSUP2" | u64 boot | u16 dcidLen | dcid bytes
+//	records: u32 recMagic | u8 type | u64 seq | u32 bodyLen | body | u32 crc
+//
+// All integers little-endian; the CRC covers type..body. Record types:
+//
+//	recReport  — body is the JSON report; the sequence is its delivery id
+//	recAck     — the report with this sequence was acked by the PDME
+//	recDrop    — the report was dropped by the capacity policy (still final)
+//	recSeqMark — sequence watermark written on compaction so monotonic ids
+//	             survive a rewrite that leaves no report records behind
+//
+// Every record is appended in a single write, so recovery follows the
+// historian segment idiom exactly: an incomplete final record is a torn
+// tail (truncate and continue); a complete record with a bad magic or CRC
+// is interior corruption (refuse the file).
+//
+// The boot id names the sequence-counter incarnation on the wire (see
+// proto.Dedup): a persistent spool keeps it for the file's lifetime, so
+// replayed sequences stay deduplicable across DC restarts; an in-memory
+// spool draws a fresh one per process, telling the PDME its restarted
+// counter is not a replay.
+const (
+	spoolMagic  = "MPROSUP2"
+	recMagic    = uint32(0x5B001ED0)
+	recFrame    = 4 + 1 + 8 + 4 + 4 // magic + type + seq + len + crc
+	maxBodySize = 1 << 20
+
+	recReport  = byte(1)
+	recAck     = byte(2)
+	recDrop    = byte(3)
+	recSeqMark = byte(4)
+
+	// compactEvery bounds resolved (acked/dropped) records retained in the
+	// file before it is rewritten with only pending reports.
+	compactEvery = 512
+)
+
+// pendingRec is one spooled report awaiting ack.
+type pendingRec struct {
+	seq    uint64
+	report *proto.Report
+	// attempts counts sends tried so far; recovered marks a report replayed
+	// from disk after a process restart. Both feed the Replayed counter.
+	attempts  int
+	recovered bool
+}
+
+// spool is the uplink's store-and-forward queue: every outbound report is
+// appended before the first send attempt (write-ahead), and retired by an
+// ack record once the PDME confirms it, so anything in flight when the DC
+// process dies replays on the next start. With an empty dir the spool is a
+// volatile in-memory queue with the same interface.
+type spool struct {
+	path string   // "" for in-memory
+	f    *os.File // nil for in-memory
+	cap  int
+	boot uint64 // sequence-counter incarnation announced on the wire
+
+	nextSeq  uint64
+	pending  []*pendingRec // oldest first
+	resolved int           // resolved records in the file since last compact
+}
+
+// newBootID draws a random boot incarnation id; zero is reserved for
+// untagged frames.
+func newBootID() (uint64, error) {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return 0, fmt.Errorf("uplink: draw boot id: %w", err)
+	}
+	id := binary.LittleEndian.Uint64(b[:])
+	if id == 0 {
+		id = 1
+	}
+	return id, nil
+}
+
+// encodeSpoolFile maps a DC id to a filesystem-safe spool file name (same
+// escaping as the historian's channel files).
+func encodeSpoolFile(dcid string) string {
+	var b strings.Builder
+	for i := 0; i < len(dcid); i++ {
+		c := dcid[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+			b.WriteByte(c)
+		default:
+			fmt.Fprintf(&b, "%%%02X", c)
+		}
+	}
+	return b.String() + ".spool"
+}
+
+// openSpool opens (recovering) or creates the spool for dcid under dir.
+// An empty dir yields an in-memory spool.
+func openSpool(dir, dcid string, capacity int) (*spool, error) {
+	if capacity <= 0 {
+		capacity = DefaultSpoolCap
+	}
+	s := &spool{cap: capacity, nextSeq: 1}
+	if dir == "" {
+		boot, err := newBootID()
+		if err != nil {
+			return nil, err
+		}
+		s.boot = boot
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("uplink: create spool dir: %w", err)
+	}
+	s.path = filepath.Join(dir, encodeSpoolFile(dcid))
+	if err := s.recover(dcid); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(s.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("uplink: open spool: %w", err)
+	}
+	s.f = f
+	if info, err := f.Stat(); err == nil && info.Size() == 0 {
+		if s.boot, err = newBootID(); err != nil {
+			_ = f.Close()
+			return nil, err
+		}
+		if err := s.writeHeader(dcid); err != nil {
+			_ = f.Close()
+			return nil, err
+		}
+	}
+	// Start compacted: resolved records recovered from a previous run carry
+	// no information once pending is rebuilt.
+	if s.resolved > 0 {
+		if err := s.compact(dcid); err != nil {
+			_ = s.f.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (s *spool) writeHeader(dcid string) error {
+	hdr := make([]byte, 0, len(spoolMagic)+8+2+len(dcid))
+	hdr = append(hdr, spoolMagic...)
+	hdr = binary.LittleEndian.AppendUint64(hdr, s.boot)
+	hdr = binary.LittleEndian.AppendUint16(hdr, uint16(len(dcid)))
+	hdr = append(hdr, dcid...)
+	if _, err := s.f.Write(hdr); err != nil {
+		return fmt.Errorf("uplink: write spool header: %w", err)
+	}
+	return nil
+}
+
+// recover reads the spool file back: pending reports, the sequence
+// watermark, and the resolved-record count. A torn tail is truncated; a
+// header or interior record that is present but wrong is refused.
+func (s *spool) recover(dcid string) error {
+	data, err := os.ReadFile(s.path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("uplink: read spool: %w", err)
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	if len(data) < len(spoolMagic)+8+2 {
+		return fmt.Errorf("uplink: %s: truncated header", s.path)
+	}
+	if string(data[:len(spoolMagic)]) != spoolMagic {
+		return fmt.Errorf("uplink: %s: bad file magic", s.path)
+	}
+	s.boot = binary.LittleEndian.Uint64(data[len(spoolMagic):])
+	idLen := int(binary.LittleEndian.Uint16(data[len(spoolMagic)+8:]))
+	off := len(spoolMagic) + 8 + 2
+	if len(data) < off+idLen {
+		return fmt.Errorf("uplink: %s: truncated DC id", s.path)
+	}
+	if got := string(data[off : off+idLen]); got != dcid {
+		return fmt.Errorf("uplink: %s: spool belongs to DC %q, not %q", s.path, got, dcid)
+	}
+	off += idLen
+
+	reports := make(map[uint64]*proto.Report)
+	var order []uint64
+	resolved := make(map[uint64]bool)
+	var maxSeq uint64
+	tornAt := -1
+	for off < len(data) {
+		remaining := len(data) - off
+		if remaining < recFrame-4 { // not even the fixed fields before the body
+			tornAt = off
+			break
+		}
+		magic := binary.LittleEndian.Uint32(data[off:])
+		if magic != recMagic {
+			return fmt.Errorf("uplink: %s: bad record magic at offset %d (corrupted spool)", s.path, off)
+		}
+		typ := data[off+4]
+		seq := binary.LittleEndian.Uint64(data[off+5:])
+		bodyLen := int(binary.LittleEndian.Uint32(data[off+13:]))
+		if bodyLen < 0 || bodyLen > maxBodySize {
+			return fmt.Errorf("uplink: %s: implausible record body %d at offset %d (corrupted spool)", s.path, bodyLen, off)
+		}
+		need := recFrame + bodyLen
+		if remaining < need {
+			// The final record never finished its single-write append.
+			tornAt = off
+			break
+		}
+		payload := data[off+4 : off+17+bodyLen]
+		wantCRC := binary.LittleEndian.Uint32(data[off+17+bodyLen:])
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			return fmt.Errorf("uplink: %s: record CRC mismatch at offset %d (corrupted spool)", s.path, off)
+		}
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+		switch typ {
+		case recReport:
+			var r proto.Report
+			if err := json.Unmarshal(data[off+17:off+17+bodyLen], &r); err != nil {
+				return fmt.Errorf("uplink: %s: undecodable report at offset %d: %w", s.path, off, err)
+			}
+			if _, dup := reports[seq]; !dup {
+				reports[seq] = &r
+				order = append(order, seq)
+			}
+		case recAck, recDrop:
+			resolved[seq] = true
+		case recSeqMark:
+			// watermark only: maxSeq already advanced above
+		default:
+			return fmt.Errorf("uplink: %s: unknown record type %d at offset %d (corrupted spool)", s.path, typ, off)
+		}
+		off += need
+	}
+	if tornAt >= 0 {
+		if err := truncateFile(s.path, int64(tornAt)); err != nil {
+			return err
+		}
+	}
+	for _, seq := range order {
+		if resolved[seq] {
+			s.resolved++
+			continue
+		}
+		s.pending = append(s.pending, &pendingRec{seq: seq, report: reports[seq], recovered: true})
+	}
+	s.nextSeq = maxSeq + 1
+	return nil
+}
+
+func truncateFile(path string, size int64) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("uplink: open spool for truncation: %w", err)
+	}
+	defer f.Close()
+	if err := f.Truncate(size); err != nil {
+		return fmt.Errorf("uplink: truncate torn spool tail: %w", err)
+	}
+	return f.Sync()
+}
+
+// appendRecord writes one framed record in a single write.
+func (s *spool) appendRecord(typ byte, seq uint64, body []byte) error {
+	if s.f == nil {
+		return nil
+	}
+	if len(body) > maxBodySize {
+		return fmt.Errorf("uplink: spool record body %d exceeds limit", len(body))
+	}
+	buf := make([]byte, 0, recFrame+len(body))
+	buf = binary.LittleEndian.AppendUint32(buf, recMagic)
+	buf = append(buf, typ)
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(body)))
+	buf = append(buf, body...)
+	crc := crc32.ChecksumIEEE(buf[4:])
+	buf = binary.LittleEndian.AppendUint32(buf, crc)
+	if _, err := s.f.Write(buf); err != nil {
+		return fmt.Errorf("uplink: append spool record: %w", err)
+	}
+	return nil
+}
+
+// add assigns the next sequence to the report and appends it (write-ahead:
+// the spool entry exists before the first send attempt). When the pending
+// queue exceeds capacity the oldest reports are dropped; their sequences
+// are returned so the caller can count them.
+func (s *spool) add(r *proto.Report) (seq uint64, droppedSeqs []uint64, err error) {
+	seq = s.nextSeq
+	s.nextSeq++
+	body, err := json.Marshal(r)
+	if err != nil {
+		return 0, nil, fmt.Errorf("uplink: encode report: %w", err)
+	}
+	if err := s.appendRecord(recReport, seq, body); err != nil {
+		return 0, nil, err
+	}
+	s.pending = append(s.pending, &pendingRec{seq: seq, report: r})
+	for len(s.pending) > s.cap {
+		oldest := s.pending[0]
+		s.pending = s.pending[1:]
+		droppedSeqs = append(droppedSeqs, oldest.seq)
+		if err := s.appendRecord(recDrop, oldest.seq, nil); err != nil {
+			return 0, nil, err
+		}
+		s.resolved++
+	}
+	if err := s.maybeCompact(r.DCID); err != nil {
+		return 0, nil, err
+	}
+	return seq, droppedSeqs, nil
+}
+
+// peek returns the oldest pending report without removing it.
+func (s *spool) peek() (*pendingRec, bool) {
+	if len(s.pending) == 0 {
+		return nil, false
+	}
+	return s.pending[0], true
+}
+
+// resolve retires an acked (or permanently rejected) sequence.
+func (s *spool) resolve(dcid string, seq uint64) error {
+	for i, rec := range s.pending {
+		if rec.seq == seq {
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			break
+		}
+	}
+	if err := s.appendRecord(recAck, seq, nil); err != nil {
+		return err
+	}
+	s.resolved++
+	return s.maybeCompact(dcid)
+}
+
+func (s *spool) maybeCompact(dcid string) error {
+	if s.f == nil || s.resolved < compactEvery {
+		return nil
+	}
+	return s.compact(dcid)
+}
+
+// compact rewrites the file with only pending reports plus a sequence
+// watermark, via temp-file-and-rename so a crash mid-compaction leaves
+// either the old or the new file intact.
+func (s *spool) compact(dcid string) error {
+	if s.f == nil {
+		return nil
+	}
+	tmp := s.path + ".tmp"
+	old := s.f
+	s.f = nil // appendRecord must not touch the old handle during rewrite
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		s.f = old
+		return fmt.Errorf("uplink: create compaction file: %w", err)
+	}
+	s.f = f
+	err = s.writeHeader(dcid)
+	if err == nil && s.nextSeq > 1 {
+		err = s.appendRecord(recSeqMark, s.nextSeq-1, nil)
+	}
+	for _, rec := range s.pending {
+		if err != nil {
+			break
+		}
+		var body []byte
+		if body, err = json.Marshal(rec.report); err == nil {
+			err = s.appendRecord(recReport, rec.seq, body)
+		}
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		s.f = old
+		return err
+	}
+	if err := f.Close(); err != nil {
+		s.f = old
+		return err
+	}
+	_ = old.Close()
+	if err := os.Rename(tmp, s.path); err != nil {
+		return fmt.Errorf("uplink: swap compacted spool: %w", err)
+	}
+	s.f, err = os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("uplink: reopen compacted spool: %w", err)
+	}
+	s.resolved = 0
+	return nil
+}
+
+// close syncs and closes the spool file; pending reports stay on disk for
+// the next open.
+func (s *spool) close() error {
+	if s.f == nil {
+		return nil
+	}
+	if err := s.f.Sync(); err != nil {
+		_ = s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}

@@ -1,0 +1,375 @@
+// Package uplink is the resilient DC→PDME report transport. The paper's
+// architecture sends every conclusion "over the ship's network to a
+// centrally located machine" (§1.1) and flags communications instability on
+// COTS shipboard networks as a deployment concern; telematics CBM practice
+// treats intermittent uplinks as the norm and store-and-forward as the
+// baseline answer. The uplink therefore wraps proto.Client with:
+//
+//   - automatic redial using exponential backoff with seeded jitter, plus
+//     per-dial and per-send deadlines, so a dropped socket or PDME restart
+//     heals without operator action;
+//   - a persistent write-ahead spool (see spool.go): every report is
+//     appended before its first send attempt and retired only on ack, so
+//     reports queued during an outage survive both the outage and a DC
+//     process restart, with bounded capacity and an oldest-first drop
+//     policy;
+//   - monotonic per-DC sequence tagging on the wire, which the PDME-side
+//     proto.Dedup window uses to suppress at-least-once redelivery — the
+//     wire is at-least-once, the fusion effect exactly-once.
+//
+// Deliver is asynchronous: it returns once the report is durably spooled,
+// and a single sender goroutine drains the spool in sequence order. Flush
+// blocks until the spool is empty (everything acked or dropped).
+package uplink
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/proto"
+)
+
+// Defaults for Config's zero values.
+const (
+	DefaultSpoolCap    = 8192
+	DefaultDialTimeout = 5 * time.Second
+	DefaultSendTimeout = 10 * time.Second
+	DefaultBackoffMin  = 50 * time.Millisecond
+	DefaultBackoffMax  = 15 * time.Second
+)
+
+// Config parametrizes an uplink.
+type Config struct {
+	// Addr is the PDME report server address.
+	Addr string
+	// DCID names the sending data concentrator; it keys the spool file and
+	// the server-side dedup window and must match the reports' DCID.
+	DCID string
+	// SpoolDir persists the store-and-forward spool; empty keeps it in
+	// memory (reports then survive outages but not a process restart).
+	SpoolDir string
+	// SpoolCap bounds pending reports; beyond it the oldest are dropped
+	// (0: DefaultSpoolCap).
+	SpoolCap int
+	// DialTimeout bounds each connection attempt (0: DefaultDialTimeout).
+	DialTimeout time.Duration
+	// SendTimeout bounds each send+ack exchange (0: DefaultSendTimeout).
+	SendTimeout time.Duration
+	// BackoffMin/BackoffMax bound the exponential redial backoff
+	// (0: DefaultBackoffMin/DefaultBackoffMax).
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// Seed drives the jitter's reproducible randomness.
+	Seed int64
+}
+
+func (c *Config) applyDefaults() {
+	if c.SpoolCap <= 0 {
+		c.SpoolCap = DefaultSpoolCap
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = DefaultDialTimeout
+	}
+	if c.SendTimeout <= 0 {
+		c.SendTimeout = DefaultSendTimeout
+	}
+	if c.BackoffMin <= 0 {
+		c.BackoffMin = DefaultBackoffMin
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = DefaultBackoffMax
+	}
+}
+
+// Counters is a snapshot of the uplink's delivery statistics.
+type Counters struct {
+	// Sent counts successful send+ack exchanges (including duplicate acks).
+	Sent int64
+	// Acked counts reports confirmed fused by the PDME (first delivery).
+	Acked int64
+	// Retried counts send attempts that failed on transport errors and
+	// were rescheduled.
+	Retried int64
+	// Spooled counts reports accepted into the spool (every Deliver).
+	Spooled int64
+	// Replayed counts reports delivered after surviving a reconnect or a
+	// process restart (attempts beyond the first, or recovered from disk).
+	Replayed int64
+	// Dropped counts reports abandoned: capacity-policy evictions plus
+	// permanent server rejections.
+	Dropped int64
+	// DedupAcks counts acks the server flagged as duplicate suppression —
+	// redelivery the PDME had already fused exactly once.
+	DedupAcks int64
+}
+
+// Uplink is a resilient report sender; it implements proto.Sink so it slots
+// in wherever a DC expects an uplink.
+type Uplink struct {
+	cfg Config
+
+	mu       sync.Mutex
+	spool    *spool
+	client   *proto.Client
+	counters Counters
+	closed   bool
+
+	wake chan struct{} // buffered(1): signals the sender that work arrived
+	stop chan struct{}
+	wg   sync.WaitGroup
+	rng  *rand.Rand // guarded by mu (jitter only)
+}
+
+// New opens (recovering any persisted spool) and starts an uplink. The
+// first dial happens lazily on the first pending report, so New succeeds
+// while the PDME is down — that is the point.
+func New(cfg Config) (*Uplink, error) {
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("uplink: missing PDME address")
+	}
+	if cfg.DCID == "" {
+		return nil, fmt.Errorf("uplink: missing DC id")
+	}
+	cfg.applyDefaults()
+	sp, err := openSpool(cfg.SpoolDir, cfg.DCID, cfg.SpoolCap)
+	if err != nil {
+		return nil, err
+	}
+	u := &Uplink{
+		cfg:   cfg,
+		spool: sp,
+		wake:  make(chan struct{}, 1),
+		stop:  make(chan struct{}),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	u.wg.Add(1)
+	go func() {
+		defer u.wg.Done()
+		u.run()
+	}()
+	if len(sp.pending) > 0 {
+		u.signal()
+	}
+	return u, nil
+}
+
+// Deliver implements proto.Sink: the report is durably spooled with a fresh
+// sequence number and delivered asynchronously, oldest first. It only
+// errors when the report is invalid or the spool cannot accept it.
+func (u *Uplink) Deliver(r *proto.Report) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return errors.New("uplink: closed")
+	}
+	_, droppedSeqs, err := u.spool.add(r)
+	if err == nil {
+		u.counters.Spooled++
+		u.counters.Dropped += int64(len(droppedSeqs))
+	}
+	u.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	u.signal()
+	return nil
+}
+
+// Pending returns how many reports await acknowledgement.
+func (u *Uplink) Pending() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return len(u.spool.pending)
+}
+
+// Counters returns a snapshot of the delivery statistics.
+func (u *Uplink) Counters() Counters {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.counters
+}
+
+// Flush blocks until every spooled report is resolved (acked or dropped)
+// or the timeout elapses.
+func (u *Uplink) Flush(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if u.Pending() == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("uplink: flush timed out with %d reports pending", u.Pending())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Close stops the sender and closes the connection and spool file. Pending
+// reports stay in a persistent spool and replay on the next New.
+func (u *Uplink) Close() error {
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return nil
+	}
+	u.closed = true
+	u.mu.Unlock()
+	close(u.stop)
+	u.wg.Wait()
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.client != nil {
+		_ = u.client.Close()
+		u.client = nil
+	}
+	return u.spool.close()
+}
+
+func (u *Uplink) signal() {
+	select {
+	case u.wake <- struct{}{}:
+	default:
+	}
+}
+
+// run is the single sender goroutine: it drains the spool in order,
+// redialing with backoff across transport failures.
+func (u *Uplink) run() {
+	backoff := u.cfg.BackoffMin
+	for {
+		select {
+		case <-u.stop:
+			return
+		case <-u.wake:
+		}
+		for {
+			u.mu.Lock()
+			rec, ok := u.spool.peek()
+			u.mu.Unlock()
+			if !ok {
+				break
+			}
+			if !u.ensureConnected() {
+				// The head report is now outage-delayed; count its eventual
+				// delivery as a replay.
+				u.mu.Lock()
+				rec.attempts++
+				u.mu.Unlock()
+				if !u.sleepBackoff(&backoff) {
+					return
+				}
+				continue
+			}
+			dup, err := u.sendOne(rec)
+			switch {
+			case err == nil:
+				backoff = u.cfg.BackoffMin
+				u.retire(rec, dup, false)
+			case errors.Is(err, proto.ErrRejected):
+				// The link is fine but the PDME will never accept this
+				// report (validation, unknown condition); drop it so the
+				// queue keeps moving.
+				backoff = u.cfg.BackoffMin
+				u.retire(rec, false, true)
+			default:
+				// Transport failure: the connection is suspect. Drop it,
+				// mark the attempt, and retry after backoff.
+				u.mu.Lock()
+				rec.attempts++
+				u.counters.Retried++
+				if u.client != nil {
+					_ = u.client.Close()
+					u.client = nil
+				}
+				u.mu.Unlock()
+				if !u.sleepBackoff(&backoff) {
+					return
+				}
+			}
+			select {
+			case <-u.stop:
+				return
+			default:
+			}
+		}
+	}
+}
+
+// ensureConnected dials if there is no live connection; false means the
+// dial failed (caller backs off) — unless the uplink is stopping.
+func (u *Uplink) ensureConnected() bool {
+	u.mu.Lock()
+	if u.client != nil {
+		u.mu.Unlock()
+		return true
+	}
+	u.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), u.cfg.DialTimeout)
+	client, err := proto.DialContext(ctx, u.cfg.Addr)
+	cancel()
+	if err != nil {
+		return false
+	}
+	client.SetTimeout(u.cfg.SendTimeout)
+	u.mu.Lock()
+	u.client = client
+	u.mu.Unlock()
+	return true
+}
+
+// sendOne performs one tagged exchange for the head-of-line report.
+func (u *Uplink) sendOne(rec *pendingRec) (dup bool, err error) {
+	u.mu.Lock()
+	client := u.client
+	u.mu.Unlock()
+	if client == nil {
+		return false, errors.New("uplink: not connected")
+	}
+	return client.SendTagged(rec.report, u.spool.boot, rec.seq)
+}
+
+// retire resolves a report out of the spool and updates counters.
+func (u *Uplink) retire(rec *pendingRec, dup, rejected bool) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	_ = u.spool.resolve(u.cfg.DCID, rec.seq)
+	if rejected {
+		u.counters.Dropped++
+		return
+	}
+	u.counters.Sent++
+	if dup {
+		u.counters.DedupAcks++
+	} else {
+		u.counters.Acked++
+	}
+	if rec.attempts > 0 || rec.recovered {
+		u.counters.Replayed++
+	}
+}
+
+// sleepBackoff sleeps the current backoff with ±50% jitter, doubling it for
+// next time; false means the uplink is stopping.
+func (u *Uplink) sleepBackoff(backoff *time.Duration) bool {
+	u.mu.Lock()
+	jitter := 0.5 + u.rng.Float64()
+	u.mu.Unlock()
+	d := time.Duration(float64(*backoff) * jitter)
+	*backoff *= 2
+	if *backoff > u.cfg.BackoffMax {
+		*backoff = u.cfg.BackoffMax
+	}
+	select {
+	case <-u.stop:
+		return false
+	case <-time.After(d):
+		return true
+	}
+}

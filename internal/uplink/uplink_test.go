@@ -1,0 +1,351 @@
+package uplink
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/netfault"
+	"repro/internal/proto"
+)
+
+// collector records delivered reports, optionally failing the first n.
+type collector struct {
+	mu      sync.Mutex
+	reports []*proto.Report
+}
+
+func (c *collector) Deliver(r *proto.Report) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cp := *r
+	c.reports = append(c.reports, &cp)
+	return nil
+}
+
+func (c *collector) explanations() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.reports))
+	for i, r := range c.reports {
+		out[i] = r.Explanation
+	}
+	return out
+}
+
+// startServer runs a dedup-enabled report server on addr ("127.0.0.1:0"
+// for ephemeral) and returns the bound address.
+func startServer(t *testing.T, addr string, sink proto.Sink, dedup *proto.Dedup) (string, *proto.Server) {
+	t.Helper()
+	srv := proto.NewServer(sink)
+	srv.SetDedup(dedup)
+	bound, err := srv.Start(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bound, srv
+}
+
+// reserveAddr returns a loopback address that is currently free.
+func reserveAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func fastConfig(addr, dir string) Config {
+	return Config{
+		Addr:        addr,
+		DCID:        "dc-1",
+		SpoolDir:    dir,
+		DialTimeout: 2 * time.Second,
+		SendTimeout: 2 * time.Second,
+		BackoffMin:  5 * time.Millisecond,
+		BackoffMax:  50 * time.Millisecond,
+	}
+}
+
+func TestDeliverHappyPath(t *testing.T) {
+	sink := &collector{}
+	addr, srv := startServer(t, "127.0.0.1:0", sink, proto.NewDedup(0))
+	defer srv.Close()
+	u, err := New(fastConfig(addr, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	for i := 1; i <= 5; i++ {
+		if err := u.Deliver(testReport(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := u.Flush(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	got := sink.explanations()
+	if len(got) != 5 {
+		t.Fatalf("delivered %d, want 5", len(got))
+	}
+	for i, e := range got {
+		if want := "r" + string(rune('1'+i)); e != want {
+			t.Errorf("delivery %d = %q, want %q (in-order drain)", i, e, want)
+		}
+	}
+	c := u.Counters()
+	if c.Sent != 5 || c.Acked != 5 || c.Spooled != 5 || c.Retried != 0 || c.Dropped != 0 || c.DedupAcks != 0 {
+		t.Errorf("counters %+v", c)
+	}
+}
+
+func TestOutageSpoolsThenDrainsOnReconnect(t *testing.T) {
+	addr := reserveAddr(t)
+	u, err := New(fastConfig(addr, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	for i := 1; i <= 3; i++ {
+		if err := u.Deliver(testReport(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No listener: everything queues.
+	time.Sleep(50 * time.Millisecond)
+	if got := u.Pending(); got != 3 {
+		t.Fatalf("pending %d during outage, want 3", got)
+	}
+	sink := &collector{}
+	_, srv := startServer(t, addr, sink, proto.NewDedup(0))
+	defer srv.Close()
+	if err := u.Flush(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := sink.explanations(); len(got) != 3 || got[0] != "r1" {
+		t.Fatalf("drained %v", got)
+	}
+	c := u.Counters()
+	if c.Replayed == 0 {
+		t.Errorf("outage deliveries not counted as replayed: %+v", c)
+	}
+}
+
+func TestSpoolSurvivesProcessRestart(t *testing.T) {
+	dir := t.TempDir()
+	addr := reserveAddr(t)
+	u, err := New(fastConfig(addr, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		if err := u.Deliver(testReport(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(20 * time.Millisecond) // let the sender fail a dial or two
+	if err := u.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart" the DC process: a fresh uplink over the same spool dir.
+	u2, err := New(fastConfig(addr, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u2.Close()
+	if got := u2.Pending(); got != 4 {
+		t.Fatalf("recovered %d pending after restart, want 4", got)
+	}
+	dedup := proto.NewDedup(0)
+	sink := &collector{}
+	_, srv := startServer(t, addr, sink, dedup)
+	defer srv.Close()
+	if err := u2.Flush(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// New reports after the restart keep monotonic sequences, so dedup
+	// must not swallow them.
+	if err := u2.Deliver(testReport(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := u2.Flush(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	got := sink.explanations()
+	if len(got) != 5 || got[0] != "r1" || got[4] != "r5" {
+		t.Fatalf("after restart delivered %v, want r1..r5", got)
+	}
+	c := u2.Counters()
+	if c.Replayed < 4 {
+		t.Errorf("restart replays not counted: %+v", c)
+	}
+	if dedup.Hits() != 0 {
+		t.Errorf("%d fresh reports treated as duplicates", dedup.Hits())
+	}
+}
+
+// TestVolatileRestartNotSwallowedByDedup: a DC restarting with an
+// in-memory spool restarts its sequence counter at 1; against a long-lived
+// PDME whose window already saw those sequences, its reports must still be
+// fused — the fresh boot id resets the window instead of suppressing them.
+func TestVolatileRestartNotSwallowedByDedup(t *testing.T) {
+	sink := &collector{}
+	dedup := proto.NewDedup(0)
+	addr, srv := startServer(t, "127.0.0.1:0", sink, dedup)
+	defer srv.Close()
+
+	u, err := New(fastConfig(addr, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := u.Deliver(testReport(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := u.Flush(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same DCID, new process, volatile spool: sequences restart at 1.
+	u2, err := New(fastConfig(addr, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u2.Close()
+	for i := 4; i <= 6; i++ {
+		if err := u2.Deliver(testReport(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := u2.Flush(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	got := sink.explanations()
+	if len(got) != 6 || got[3] != "r4" {
+		t.Fatalf("sink saw %v, want r1..r6 (restarted DC's reports swallowed)", got)
+	}
+	if dedup.Hits() != 0 {
+		t.Errorf("%d fresh reports suppressed as duplicates", dedup.Hits())
+	}
+	if c := u2.Counters(); c.DedupAcks != 0 || c.Acked != 3 {
+		t.Errorf("second incarnation counters %+v", c)
+	}
+}
+
+func TestCapacityDropOldestFirst(t *testing.T) {
+	addr := reserveAddr(t)
+	cfg := fastConfig(addr, "")
+	cfg.SpoolCap = 3
+	u, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	for i := 1; i <= 5; i++ {
+		if err := u.Deliver(testReport(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c := u.Counters(); c.Dropped != 2 {
+		t.Fatalf("dropped %d, want 2", c.Dropped)
+	}
+	sink := &collector{}
+	_, srv := startServer(t, addr, sink, proto.NewDedup(0))
+	defer srv.Close()
+	if err := u.Flush(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	got := sink.explanations()
+	if len(got) != 3 || got[0] != "r3" || got[2] != "r5" {
+		t.Fatalf("survivors %v, want the newest three (oldest-first drop)", got)
+	}
+}
+
+func TestRejectedReportDroppedQueueKeepsMoving(t *testing.T) {
+	// A sink that permanently refuses one condition: the uplink must drop
+	// that report (counting it) rather than wedge the queue behind it.
+	inner := &collector{}
+	sink := proto.SinkFunc(func(r *proto.Report) error {
+		if r.Explanation == "r2" {
+			return &permanentErr{}
+		}
+		return inner.Deliver(r)
+	})
+	addr, srv := startServer(t, "127.0.0.1:0", sink, proto.NewDedup(0))
+	defer srv.Close()
+	u, err := New(fastConfig(addr, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	for i := 1; i <= 3; i++ {
+		if err := u.Deliver(testReport(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := u.Flush(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := inner.explanations(); len(got) != 2 || got[0] != "r1" || got[1] != "r3" {
+		t.Fatalf("delivered %v, want r1,r3 with r2 dropped", got)
+	}
+	if c := u.Counters(); c.Dropped != 1 {
+		t.Errorf("counters %+v, want Dropped=1", c)
+	}
+}
+
+type permanentErr struct{}
+
+func (*permanentErr) Error() string { return "condition not in any failure group" }
+
+// TestChaosResendNeverDoubleDelivers drives the uplink through the
+// netfault proxy with aggressive mid-stream resets: sends are retried until
+// acked, and the server-side dedup window guarantees each report reaches
+// the sink exactly once.
+func TestChaosResendNeverDoubleDelivers(t *testing.T) {
+	sink := &collector{}
+	dedup := proto.NewDedup(0)
+	addr, srv := startServer(t, "127.0.0.1:0", sink, dedup)
+	defer srv.Close()
+	proxy, err := netfault.New(addr, netfault.Options{ResetProb: 0.3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	u, err := New(fastConfig(proxy.Addr(), t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	const n = 40
+	for i := 0; i < n; i++ {
+		r := testReport(i % 10)
+		r.Timestamp = r.Timestamp.Add(time.Duration(i) * time.Hour)
+		if err := u.Deliver(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := u.Flush(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sink.explanations()); got != n {
+		t.Fatalf("sink saw %d deliveries, want exactly %d (resets=%d, dedup hits=%d)",
+			got, n, proxy.Stats().Resets, dedup.Hits())
+	}
+	c := u.Counters()
+	if c.Retried == 0 {
+		t.Logf("note: no retries triggered (resets=%d)", proxy.Stats().Resets)
+	}
+	if c.Acked+c.DedupAcks != n {
+		t.Errorf("acked %d + dup %d != %d", c.Acked, c.DedupAcks, n)
+	}
+}

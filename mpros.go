@@ -14,6 +14,8 @@ package mpros
 
 import (
 	"fmt"
+	"path/filepath"
+	"sync"
 	"time"
 
 	"repro/internal/chiller"
@@ -24,6 +26,7 @@ import (
 	"repro/internal/pdme"
 	"repro/internal/proto"
 	"repro/internal/relstore"
+	"repro/internal/uplink"
 )
 
 // Re-exported core types, so facade users need no internal imports.
@@ -226,6 +229,20 @@ type FleetConfig struct {
 	SeedBase int64
 	// Addr is the PDME listen address ("127.0.0.1:0" for tests).
 	Addr string
+	// SpoolDir persists each station's store-and-forward spool under a
+	// per-DC subdirectory; empty keeps the spools in memory (reports then
+	// survive outages but not a DC process restart).
+	SpoolDir string
+	// Uplink tunes the stations' transport (timeouts, backoff, capacity);
+	// Addr, DCID, and SpoolDir are filled in per station. Zero values take
+	// the uplink package defaults.
+	Uplink uplink.Config
+	// DialVia, when set, is called with the PDME's bound address and
+	// returns the address stations should dial instead — the hook where
+	// chaos tests interpose a netfault proxy.
+	DialVia func(pdmeAddr string) (string, error)
+	// FlushTimeout bounds Advance's post-run spool drain (0: 60s).
+	FlushTimeout time.Duration
 }
 
 // Fleet is a PDME plus several networked DCs.
@@ -234,9 +251,13 @@ type Fleet struct {
 	PDME *pdme.PDME
 	// Addr is the PDME's bound TCP address.
 	Addr string
-	// Stations hold each DC and its plant; their uplinks dial Addr.
+	// Stations hold each DC and its plant; their uplinks dial Addr (or the
+	// DialVia override).
 	Stations []*FleetStation
 
+	flushTimeout time.Duration
+
+	mu     sync.Mutex
 	server *proto.Server
 	db     *relstore.DB
 }
@@ -246,7 +267,10 @@ type FleetStation struct {
 	Plant   *chiller.Plant
 	DC      *dc.DC
 	Machine oosm.ObjectID
-	client  *proto.Client
+	// Uplink is the station's resilient transport: it spools reports while
+	// the PDME is unreachable, redials with backoff, and tags deliveries
+	// for server-side dedup. Counters() exposes delivery statistics.
+	Uplink *uplink.Uplink
 }
 
 // NewFleet assembles and starts a fleet.
@@ -256,6 +280,9 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 	}
 	if cfg.Addr == "" {
 		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.FlushTimeout <= 0 {
+		cfg.FlushTimeout = 60 * time.Second
 	}
 	db := relstore.NewMemory()
 	model, err := oosm.NewModel(db)
@@ -276,7 +303,17 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 	if err != nil {
 		return nil, err
 	}
-	f := &Fleet{PDME: engine, Addr: addr, server: server, db: db}
+	dialAddr := addr
+	if cfg.DialVia != nil {
+		if dialAddr, err = cfg.DialVia(addr); err != nil {
+			server.Close()
+			engine.Close()
+			db.Close()
+			return nil, err
+		}
+	}
+	f := &Fleet{PDME: engine, Addr: addr, server: server, db: db,
+		flushTimeout: cfg.FlushTimeout}
 	for i := 0; i < cfg.DCCount; i++ {
 		plantCfg := chiller.DefaultConfig()
 		plantCfg.Seed = cfg.SeedBase + int64(i)
@@ -292,45 +329,104 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 			f.Close()
 			return nil, err
 		}
-		client, err := proto.Dial(addr)
+		dcid := fmt.Sprintf("dc-%d", i+1)
+		upCfg := cfg.Uplink
+		upCfg.Addr = dialAddr
+		upCfg.DCID = dcid
+		if cfg.SpoolDir != "" {
+			upCfg.SpoolDir = filepath.Join(cfg.SpoolDir, dcid)
+		}
+		up, err := uplink.New(upCfg)
 		if err != nil {
 			f.Close()
 			return nil, err
 		}
-		dcCfg := dc.DefaultConfig(fmt.Sprintf("dc-%d", i+1), machine.String())
-		conc, err := dc.New(dcCfg, plant, relstore.NewMemory(), client)
+		dcCfg := dc.DefaultConfig(dcid, machine.String())
+		conc, err := dc.New(dcCfg, plant, relstore.NewMemory(), up)
 		if err != nil {
-			client.Close()
+			up.Close()
 			f.Close()
 			return nil, err
 		}
 		f.Stations = append(f.Stations, &FleetStation{
-			Plant: plant, DC: conc, Machine: machine, client: client,
+			Plant: plant, DC: conc, Machine: machine, Uplink: up,
 		})
 	}
 	return f, nil
 }
 
-// Advance runs every DC's virtual clock forward by d.
+// Advance runs every DC's virtual clock forward by d, then drains the
+// stations' spools so fused beliefs reflect every report generated — a
+// mid-Advance outage only delays delivery, it never loses reports.
 func (f *Fleet) Advance(d time.Duration) error {
 	for _, s := range f.Stations {
 		if err := s.DC.RunFor(d); err != nil {
 			return err
 		}
 	}
+	return f.Flush(f.flushTimeout)
+}
+
+// Flush blocks until every station's spool is drained or the timeout
+// elapses (e.g. the PDME is still partitioned away).
+func (f *Fleet) Flush(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for _, s := range f.Stations {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			remaining = time.Millisecond
+		}
+		if err := s.Uplink.Flush(remaining); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
-// Close shuts down clients, the server, and the PDME.
+// StopServer closes the PDME's report server, severing every station
+// mid-whatever-it-was-doing. Stations spool until RestartServer.
+func (f *Fleet) StopServer() error {
+	f.mu.Lock()
+	server := f.server
+	f.server = nil
+	f.mu.Unlock()
+	if server == nil {
+		return nil
+	}
+	return server.Close()
+}
+
+// RestartServer rebinds the PDME's report server on the same address (after
+// StopServer, or to bounce a live one). The PDME's dedup window persists
+// across the restart, so replayed reports are not double-fused.
+func (f *Fleet) RestartServer() error {
+	if err := f.StopServer(); err != nil {
+		return err
+	}
+	_, server, err := f.PDME.Serve(f.Addr)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	f.server = server
+	f.mu.Unlock()
+	return nil
+}
+
+// Close shuts down uplinks, the server, and the PDME.
 func (f *Fleet) Close() error {
 	for _, s := range f.Stations {
-		if s.client != nil {
-			s.client.Close()
+		if s.Uplink != nil {
+			s.Uplink.Close()
 		}
 	}
+	f.mu.Lock()
+	server := f.server
+	f.server = nil
+	f.mu.Unlock()
 	var err error
-	if f.server != nil {
-		err = f.server.Close()
+	if server != nil {
+		err = server.Close()
 	}
 	f.PDME.Close()
 	if dbErr := f.db.Close(); err == nil {

@@ -1,11 +1,15 @@
 package mpros
 
 import (
+	"fmt"
+	"math"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/chiller"
+	"repro/internal/netfault"
+	"repro/internal/uplink"
 )
 
 func TestChillerGroupsCoverAllFaults(t *testing.T) {
@@ -140,5 +144,160 @@ func TestFleetOverTCP(t *testing.T) {
 	}
 	if _, err := NewFleet(FleetConfig{DCCount: 0}); err == nil {
 		t.Error("zero DC fleet should error")
+	}
+}
+
+// chaosFleetConfig tunes a fleet for fast recovery in tests.
+func chaosFleetConfig(seedBase int64, spoolDir string) FleetConfig {
+	return FleetConfig{
+		DCCount:  2,
+		SeedBase: seedBase,
+		SpoolDir: spoolDir,
+		Uplink: uplink.Config{
+			DialTimeout: 2 * time.Second,
+			SendTimeout: 2 * time.Second,
+			BackoffMin:  5 * time.Millisecond,
+			BackoffMax:  100 * time.Millisecond,
+		},
+		FlushTimeout: time.Minute,
+	}
+}
+
+// fleetOutcome captures everything the chaos run must reproduce exactly.
+type fleetOutcome struct {
+	received int
+	beliefs  map[string]float64
+}
+
+// collectOutcome reads fused beliefs for every (station, fault) pair.
+func collectOutcome(t *testing.T, f *Fleet, faults []chiller.Fault) fleetOutcome {
+	t.Helper()
+	out := fleetOutcome{received: f.PDME.ReceivedReports(), beliefs: map[string]float64{}}
+	for i, st := range f.Stations {
+		for _, fault := range faults {
+			key := fmt.Sprintf("%d|%s", i, fault)
+			b, err := f.PDME.Belief(st.Machine.String(), fault.String())
+			if err != nil {
+				b = -1 // no reports for the pair: also part of the invariant
+			}
+			out.beliefs[key] = b
+		}
+	}
+	return out
+}
+
+// TestFleetChaosResilience is the acceptance scenario: with the netfault
+// proxy injecting mid-frame resets and a full partition, plus one PDME
+// server kill/restart in the middle of an Advance, the fleet loses zero
+// reports and fuses beliefs identical to an undisturbed run — the spool
+// preserves everything through the outage and the dedup window prevents
+// at-least-once redelivery from double-counting Dempster-Shafer evidence.
+func TestFleetChaosResilience(t *testing.T) {
+	faults := []chiller.Fault{chiller.MotorImbalance, chiller.GearToothWear}
+	const seedBase = 7100
+
+	// Undisturbed reference run: 4h + 4h + 6h + 4h of virtual time.
+	base, err := NewFleet(chaosFleetConfig(seedBase, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range base.Stations {
+		if err := st.Plant.SetFault(faults[i], 0.8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, h := range []time.Duration{4, 4, 6, 4} {
+		if err := base.Advance(h * time.Hour); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := collectOutcome(t, base, faults)
+	if err := base.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if want.received == 0 {
+		t.Fatal("reference run produced no reports")
+	}
+
+	// Chaos run: same seeds and virtual schedule, behind the fault proxy.
+	var proxy *netfault.Proxy
+	cfg := chaosFleetConfig(seedBase, t.TempDir())
+	cfg.DialVia = func(pdmeAddr string) (string, error) {
+		p, err := netfault.New(pdmeAddr, netfault.Options{Seed: 13})
+		proxy = p
+		return p.Addr(), err
+	}
+	f, err := NewFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	defer func() { proxy.Close() }()
+	for i, st := range f.Stations {
+		if err := st.Plant.SetFault(faults[i], 0.8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Phase 1: clean.
+	if err := f.Advance(4 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	// Phase 2: kill and restart the PDME server mid-Advance, with a burst
+	// of mid-frame connection resets around it. Advance's trailing flush
+	// drains the spools once the restarted server is reachable.
+	done := make(chan error, 1)
+	go func() { done <- f.Advance(4 * time.Hour) }()
+	time.Sleep(25 * time.Millisecond)
+	proxy.KillConns()
+	if err := f.RestartServer(); err != nil {
+		t.Fatal(err)
+	}
+	proxy.KillConns()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// Phase 3: full partition — the stations keep monitoring (covering a
+	// vibration test cycle) and spool every report, then the partition
+	// heals and the spools drain.
+	proxy.SetPartition(true)
+	for _, st := range f.Stations {
+		if err := st.DC.RunFor(6 * time.Hour); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spooled := 0
+	for _, st := range f.Stations {
+		spooled += st.Uplink.Pending()
+	}
+	if spooled == 0 {
+		t.Fatal("partition produced no spooled reports — chaos scenario is vacuous")
+	}
+	proxy.SetPartition(false)
+	if err := f.Flush(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	// Phase 4: clean tail.
+	if err := f.Advance(4 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+
+	got := collectOutcome(t, f, faults)
+	if got.received != want.received {
+		t.Errorf("PDME received %d reports under chaos, reference %d (lost or duplicated fusion)",
+			got.received, want.received)
+	}
+	for key, wb := range want.beliefs {
+		if gb := got.beliefs[key]; math.Abs(gb-wb) > 1e-12 {
+			t.Errorf("belief[%s] = %v under chaos, reference %v", key, gb, wb)
+		}
+	}
+	for _, st := range f.Stations {
+		c := st.Uplink.Counters()
+		if c.Dropped != 0 {
+			t.Errorf("station %v dropped %d reports", st.Machine, c.Dropped)
+		}
+		if st.Uplink.Pending() != 0 {
+			t.Errorf("station %v still has %d pending", st.Machine, st.Uplink.Pending())
+		}
 	}
 }
