@@ -1,0 +1,90 @@
+// Command mproslint runs the MPROS domain-invariant analyzers (noclock,
+// floateq, errwrap, masscheck) plus the //lint:allow directive police
+// (lintallow) over the repository.
+//
+// Two modes:
+//
+//	mproslint ./...                 standalone: loads packages (test units
+//	                                included) via `go list -export` and
+//	                                prints findings to stdout; exit 1 if any
+//
+//	go vet -vettool=$(pwd)/bin/mproslint ./...
+//	                                vettool: speaks the go vet compilation-
+//	                                unit protocol (-V=full, -flags, *.cfg)
+//
+// Suppress an intentional finding with a reasoned directive on (or
+// immediately above) the offending line:
+//
+//	//lint:allow noclock wall-clock benchmark timing, not simulated time
+//
+// Reasonless, unknown-analyzer, or unused directives are findings
+// themselves and cannot be suppressed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/driver"
+	"repro/internal/analysis/errwrap"
+	"repro/internal/analysis/floateq"
+	"repro/internal/analysis/masscheck"
+	"repro/internal/analysis/noclock"
+)
+
+var analyzers = []*analysis.Analyzer{
+	noclock.Analyzer,
+	floateq.Analyzer,
+	errwrap.Analyzer,
+	masscheck.Analyzer,
+}
+
+func main() {
+	// The vettool protocol is positional and must win before flag parsing
+	// (go vet invokes `mproslint -V=full`, `-flags`, or `mproslint x.cfg`).
+	if code, handled := driver.VetToolMain("mproslint", os.Args[1:], analyzers); handled {
+		os.Exit(code)
+	}
+
+	printPath := flag.Bool("print-path", false,
+		"print the path of this executable (for -vettool wiring) and exit")
+	dir := flag.String("C", "", "change to this directory before loading packages")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mproslint [-C dir] packages...\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(os.Stderr, "  %-10s %s\n", analysis.AllowName,
+			"lint:allow directives must name a known analyzer, carry a reason, and suppress something")
+	}
+	flag.Parse()
+
+	if *printPath {
+		exe, err := os.Executable()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mproslint:", err)
+			os.Exit(1)
+		}
+		fmt.Println(exe)
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := driver.LoadAndRun(*dir, patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mproslint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "mproslint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// AllowName is the pseudo-analyzer that polices the //lint:allow directives
+// themselves: a directive with no reason, naming an unknown analyzer, or
+// suppressing nothing is itself a finding, and cannot be suppressed.
+const AllowName = "lintallow"
+
+// allowPrefix introduces a suppression directive:
+//
+//	//lint:allow <analyzer> <reason...>
+//
+// The directive suppresses diagnostics from <analyzer> on the same source
+// line, or — when the comment stands alone on its line — on the next source
+// line. The reason is mandatory; mproslint reports reasonless or unused
+// directives as lintallow findings.
+const allowPrefix = "lint:allow"
+
+// Allow is one parsed suppression directive.
+type Allow struct {
+	Analyzer string
+	Reason   string
+	// File and Line locate the code the directive covers (the directive's own
+	// line for trailing comments, the following line for standalone ones).
+	File string
+	Line int
+	// Pos is the directive's own position, for reporting directive problems.
+	Pos token.Pos
+	// Used is set by Filter when the directive suppresses at least one
+	// diagnostic.
+	Used bool
+}
+
+// ParseAllows extracts the //lint:allow directives from a file, returning
+// malformed ones as lintallow diagnostics. known maps valid analyzer names.
+func ParseAllows(fset *token.FileSet, file *ast.File, known map[string]bool) ([]*Allow, []Diagnostic) {
+	var allows []*Allow
+	var bad []Diagnostic
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//")
+			if !ok {
+				continue // /* */ comments cannot carry directives
+			}
+			text, ok = strings.CutPrefix(text, allowPrefix)
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(text)
+			pos := fset.Position(c.Slash)
+			if len(fields) == 0 {
+				bad = append(bad, Diagnostic{Pos: c.Slash,
+					Message: "lint:allow needs an analyzer name and a reason"})
+				continue
+			}
+			if !known[fields[0]] {
+				bad = append(bad, Diagnostic{Pos: c.Slash,
+					Message: "lint:allow names unknown analyzer " + strconvQuote(fields[0])})
+				continue
+			}
+			if len(fields) < 2 {
+				bad = append(bad, Diagnostic{Pos: c.Slash,
+					Message: "lint:allow " + fields[0] + " carries no reason; say why the site is intentional"})
+				continue
+			}
+			a := &Allow{
+				Analyzer: fields[0],
+				Reason:   strings.Join(fields[1:], " "),
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Pos:      c.Slash,
+			}
+			if standsAlone(fset, file, c) {
+				a.Line = pos.Line + 1
+			}
+			allows = append(allows, a)
+		}
+	}
+	return allows, bad
+}
+
+// standsAlone reports whether comment c occupies its source line by itself
+// (no code before it), in which case the directive covers the next line.
+func standsAlone(fset *token.FileSet, file *ast.File, c *ast.Comment) bool {
+	line := fset.Position(c.Slash).Line
+	alone := true
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil || !alone {
+			return false
+		}
+		if n.Pos().IsValid() && n != file {
+			if _, isComment := n.(*ast.Comment); !isComment {
+				if _, isGroup := n.(*ast.CommentGroup); !isGroup {
+					if fset.Position(n.Pos()).Line == line && n.Pos() < c.Slash {
+						alone = false
+					}
+				}
+			}
+		}
+		return alone
+	})
+	return alone
+}
+
+func strconvQuote(s string) string { return `"` + s + `"` }

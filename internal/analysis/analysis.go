@@ -1,0 +1,74 @@
+// Package analysis is a stdlib-only reimplementation of the core of
+// golang.org/x/tools/go/analysis, sized for MPROS's own lint suite.
+//
+// The repo's invariants — deterministic simulation packages, tolerance-based
+// float comparison, wrapped errors on recovery paths, unit-sum Dempster-Shafer
+// masses — are enforced by analyzers built on this package and run by
+// cmd/mproslint, either standalone (mproslint ./...) or as a `go vet
+// -vettool`. The API deliberately mirrors x/tools so the analyzers could be
+// ported to the upstream framework by changing imports only; the build
+// environment for this repo is offline, so the framework itself lives here.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //lint:allow
+	// directives. It must be a valid identifier.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run applies the analyzer to one package unit.
+	Run func(*Pass) error
+}
+
+// Pass carries one package unit through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// ImportPath is the build system's name for the unit with any test-unit
+	// suffix ("pkg [pkg.test]") stripped, e.g. "repro/internal/dempster".
+	ImportPath string
+
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// PathSegment returns the last slash-separated segment of an import path —
+// analyzers use it to recognize repo packages by name regardless of the
+// module prefix.
+func PathSegment(importPath string) string {
+	for i := len(importPath) - 1; i >= 0; i-- {
+		if importPath[i] == '/' {
+			return importPath[i+1:]
+		}
+	}
+	return importPath
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	name := fset.Position(pos).Filename
+	const suffix = "_test.go"
+	return len(name) >= len(suffix) && name[len(name)-len(suffix):] == suffix
+}

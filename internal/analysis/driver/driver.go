@@ -1,0 +1,126 @@
+// Package driver runs MPROS analyzers over type-checked package units and
+// applies the //lint:allow suppression discipline. It backs both mproslint
+// invocation modes: standalone (go list -export loading, see golist.go) and
+// `go vet -vettool` (unitchecker protocol, see vettool.go).
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Finding is one reportable diagnostic, attributed to its analyzer.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// AnalyzeFiles runs the analyzers over one type-checked unit and returns the
+// findings that survive //lint:allow filtering, plus lintallow findings for
+// malformed, unknown, reasonless, or unused directives. importPath should be
+// the unit's build name; any " [pkg.test]" suffix is stripped before
+// analyzers see it.
+func AnalyzeFiles(fset *token.FileSet, files []*ast.File, pkg *types.Package,
+	info *types.Info, importPath string, analyzers []*analysis.Analyzer) ([]Finding, error) {
+
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		importPath = importPath[:i]
+	}
+
+	known := map[string]bool{analysis.AllowName: true}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var allows []*analysis.Allow
+	var findings []Finding
+	for _, f := range files {
+		as, bad := analysis.ParseAllows(fset, f, known)
+		allows = append(allows, as...)
+		for _, d := range bad {
+			findings = append(findings, Finding{
+				Analyzer: analysis.AllowName,
+				Pos:      fset.Position(d.Pos),
+				Message:  d.Message,
+			})
+		}
+	}
+
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			TypesInfo:  info,
+			ImportPath: importPath,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			findings = append(findings, Finding{
+				Analyzer: name,
+				Pos:      fset.Position(d.Pos),
+				Message:  d.Message,
+			})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, importPath, err)
+		}
+	}
+
+	kept := findings[:0]
+	for _, f := range findings {
+		if f.Analyzer != analysis.AllowName && suppressed(allows, f) {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	findings = kept
+
+	for _, a := range allows {
+		if !a.Used {
+			findings = append(findings, Finding{
+				Analyzer: analysis.AllowName,
+				Pos:      fset.Position(a.Pos),
+				Message:  fmt.Sprintf("lint:allow %s suppresses nothing here; remove it", a.Analyzer),
+			})
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+func suppressed(allows []*analysis.Allow, f Finding) bool {
+	hit := false
+	for _, a := range allows {
+		if a.Analyzer == f.Analyzer && a.File == f.Pos.Filename && a.Line == f.Pos.Line {
+			a.Used = true
+			hit = true
+		}
+	}
+	return hit
+}

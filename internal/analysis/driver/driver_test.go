@@ -1,0 +1,49 @@
+package driver_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/driver"
+	"repro/internal/analysis/errwrap"
+	"repro/internal/analysis/floateq"
+	"repro/internal/analysis/masscheck"
+	"repro/internal/analysis/noclock"
+)
+
+var all = []*analysis.Analyzer{
+	noclock.Analyzer,
+	floateq.Analyzer,
+	errwrap.Analyzer,
+	masscheck.Analyzer,
+}
+
+// TestRepoIsClean is the clean-sweep guarantee: the whole module (test units
+// included) must carry zero mproslint findings, and every //lint:allow must
+// be reasoned and live. CI enforces the same via cmd/mproslint; this test
+// keeps `go test ./...` sufficient locally.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	findings, err := driver.LoadAndRun("", []string{"repro/..."}, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestVetToolProtocol covers the argument dispatch for `go vet -vettool`.
+func TestVetToolProtocol(t *testing.T) {
+	if code, handled := driver.VetToolMain("mproslint", []string{"-flags"}, all); !handled || code != 0 {
+		t.Errorf("-flags: handled=%v code=%d, want handled, 0", handled, code)
+	}
+	if _, handled := driver.VetToolMain("mproslint", []string{"./..."}, all); handled {
+		t.Error("package patterns must fall through to standalone mode")
+	}
+	if _, handled := driver.VetToolMain("mproslint", nil, all); handled {
+		t.Error("no args must fall through to usage")
+	}
+}

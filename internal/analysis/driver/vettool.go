@@ -1,0 +1,175 @@
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+
+	goast "go/ast"
+)
+
+// This file implements the `go vet -vettool` protocol, mirroring
+// x/tools/go/analysis/unitchecker: the build system invokes the tool with
+//
+//	-V=full    print a version fingerprint for the build cache
+//	-flags     describe tool flags (none) as JSON
+//	foo.cfg    analyze the single compilation unit described by the JSON file
+//
+// so `go vet -vettool=$(pwd)/bin/mproslint ./...` runs the MPROS analyzers
+// with go-supplied export data, one unit at a time, test units included.
+
+// vetConfig is the JSON compilation-unit description written by cmd/go. The
+// field set matches unitchecker.Config; unused fields are accepted and
+// ignored by encoding/json.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// VetToolMain handles one vettool invocation if args match the protocol,
+// returning true when it consumed the invocation (the caller should exit
+// with the returned code).
+func VetToolMain(progname string, args []string, analyzers []*analysis.Analyzer) (code int, handled bool) {
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full":
+			fmt.Printf("%s version devel buildID=%s\n", progname, selfID())
+			return 0, true
+		case args[0] == "-flags":
+			fmt.Println("[]")
+			return 0, true
+		case strings.HasSuffix(args[0], ".cfg"):
+			return runVetUnit(args[0], analyzers), true
+		}
+	}
+	return 0, false
+}
+
+// selfID fingerprints the running executable so the go command's build cache
+// invalidates vet results when the tool changes.
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}
+
+func runVetUnit(cfgFile string, analyzers []*analysis.Analyzer) int {
+	cfg, err := readVetConfig(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	// The go command requires the facts output file to exist even though the
+	// MPROS analyzers exchange no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*goast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0 // the compiler will report it
+			}
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	}
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, lookup)
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			importPath = mapped
+		}
+		return compilerImporter.Import(importPath)
+	})
+
+	conf := types.Config{Importer: imp, GoVersion: cfg.GoVersion}
+	info := NewTypesInfo()
+	cleanPath := cfg.ImportPath
+	if i := strings.Index(cleanPath, " ["); i >= 0 {
+		cleanPath = cleanPath[:i]
+	}
+	pkg, err := conf.Check(cleanPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	findings, err := AnalyzeFiles(fset, files, pkg, info, cfg.ImportPath, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", f.Pos, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func readVetConfig(filename string) (*vetConfig, error) {
+	data, err := os.ReadFile(filename)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode vet config %s: %w", filename, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return nil, fmt.Errorf("package has no files: %s", cfg.ImportPath)
+	}
+	return cfg, nil
+}

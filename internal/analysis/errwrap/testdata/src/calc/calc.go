@@ -1,0 +1,17 @@
+// Package calc is a testdata stand-in for a non-recovery package: the
+// Errorf %w check still applies everywhere, but bare-statement error
+// discards are only enforced in recovery packages.
+package calc
+
+import (
+	"fmt"
+	"os"
+)
+
+func severed(err error) error {
+	return fmt.Errorf("calc: %v", err) // want "swallows an error operand"
+}
+
+func discardOutsideRecovery(f *os.File) {
+	f.Close() // not flagged: calc is not a recovery package
+}

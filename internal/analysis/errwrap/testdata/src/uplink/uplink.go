@@ -1,0 +1,60 @@
+// Package uplink is a testdata stand-in for a recovery package (the final
+// import-path segment is what errwrap keys on for the discard check).
+package uplink
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// severed mirrors the finding class the analyzer exists for: %v flattens the
+// error, so errors.Is/As downstream stop matching sentinel errors.
+func severed(err error) error {
+	return fmt.Errorf("uplink: recover spool: %v", err) // want "swallows an error operand"
+}
+
+func wrapped(err error) error {
+	return fmt.Errorf("uplink: recover spool: %w", err)
+}
+
+func noErrorArgs(n int) error {
+	return fmt.Errorf("uplink: %d torn records", n)
+}
+
+func nonConstFormat(format string, err error) error {
+	return fmt.Errorf(format, err) // non-constant format: out of scope
+}
+
+// silentDiscard mirrors the real-world finding class fixed in
+// internal/proto/wire.go: a teardown-path Close with its error dropped
+// invisibly.
+func silentDiscard(f *os.File) {
+	f.Close() // want "discards its error result"
+}
+
+func explicitDiscard(f *os.File) {
+	_ = f.Close() // the visible best-effort idiom is accepted
+}
+
+func deferredClose(f *os.File) error {
+	defer f.Close() // defer is conventional cleanup, not flagged
+	return nil
+}
+
+// infallible writers are exempt: strings.Builder and bytes.Buffer writes
+// are documented to always return nil errors.
+func infallible(name string) string {
+	var b strings.Builder
+	b.WriteString(name)
+	fmt.Fprintf(&b, "%02x", 7)
+	var buf bytes.Buffer
+	buf.WriteByte('x')
+	fmt.Fprintln(&buf, "y")
+	return b.String() + buf.String()
+}
+
+func allowedDiscard(f *os.File) {
+	f.Sync() //lint:allow errwrap testdata exemplar of a tolerated fire-and-forget sync
+}

@@ -1,0 +1,97 @@
+// Package floateq flags == and != between floating-point operands.
+//
+// Belief masses, severity scores, and prognostic probabilities are all
+// float64; exact equality on computed floats is order- and
+// optimization-sensitive, which silently breaks the paper's reproduced
+// numbers. Compare with a tolerance (math.Abs(a-b) <= eps) instead.
+//
+// Deliberate exemptions:
+//   - comparison against an exact constant zero (a sentinel/guard idiom:
+//     unset fields, "no mass" checks);
+//   - x != x / x == x on the same expression (the NaN test idiom);
+//   - _test.go files, where asserting bit-exact reproduction of E1–E4
+//     numbers is the whole point.
+//
+// Sites that genuinely need exact comparison (e.g. sort tie-breaking, which
+// requires a strict weak order that tolerances destroy) carry
+// //lint:allow floateq <reason>.
+package floateq
+
+import (
+	"bytes"
+	"go/ast"
+	"go/constant"
+	"go/printer"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the floateq check.
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc:  "forbid ==/!= on floating-point operands outside tolerance helpers",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.TypesInfo, be.X) && !isFloat(pass.TypesInfo, be.Y) {
+				return true
+			}
+			if isZeroConst(pass.TypesInfo, be.X) || isZeroConst(pass.TypesInfo, be.Y) {
+				return true
+			}
+			if sameExpr(pass.Fset, be.X, be.Y) {
+				return true // x != x is the NaN test
+			}
+			pass.Reportf(be.OpPos,
+				"exact %s on float operands; compare with a tolerance (math.Abs(a-b) <= eps)",
+				be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isZeroConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	if tv.Value.Kind() != constant.Float && tv.Value.Kind() != constant.Int {
+		return false
+	}
+	return constant.Sign(tv.Value) == 0
+}
+
+// sameExpr reports whether two expressions are syntactically identical,
+// which is how the NaN idiom x != x appears.
+func sameExpr(fset *token.FileSet, a, b ast.Expr) bool {
+	var ba, bb bytes.Buffer
+	if err := printer.Fprint(&ba, fset, a); err != nil {
+		return false
+	}
+	if err := printer.Fprint(&bb, fset, b); err != nil {
+		return false
+	}
+	return ba.String() == bb.String()
+}

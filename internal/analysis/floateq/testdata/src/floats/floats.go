@@ -1,0 +1,64 @@
+// Package floats exercises the floateq analyzer: exact float equality is
+// reported, the sanctioned idioms (zero sentinels, NaN self-comparison) are
+// not, and directives behave.
+package floats
+
+type reading struct {
+	Belief float64
+	Score  float32
+}
+
+func bad(a, b float64, r reading) bool {
+	if a == b { // want "exact == on float operands"
+		return true
+	}
+	if r.Score != 0.25 { // want "exact != on float operands"
+		return false
+	}
+	return a != b // want "exact != on float operands"
+}
+
+func mixedConst(a float64) bool {
+	return a == 0.3 // want "exact == on float operands"
+}
+
+// Exemptions: exact-zero sentinels, the NaN idiom, and non-floats.
+func exempt(a, b float64, n, m int) bool {
+	if a == 0 || b != 0.0 {
+		return true
+	}
+	if a != a { // NaN test
+		return false
+	}
+	return n == m
+}
+
+// allowedComparator mirrors the real-world finding class kept in
+// internal/pdme and internal/fusion: sort tie-breaking needs a strict weak
+// order, so the comparison stays exact under a reasoned directive.
+func allowedComparator(a, b float64) bool {
+	//lint:allow floateq comparator tie-break must stay a strict weak order
+	if a != b {
+		return a > b
+	}
+	return false
+}
+
+func trailingAllow(a, b float64) bool {
+	return a == b //lint:allow floateq trailing directive covers its own line
+}
+
+func reasonless(a, b float64) bool {
+	//lint:allow floateq
+	return a == b // want "exact == on float operands" want-1 "carries no reason"
+}
+
+func unknownAnalyzer(a, b float64) bool {
+	//lint:allow nosuchcheck the analyzer name is wrong
+	return a == b // want "exact == on float operands" want-1 "unknown analyzer"
+}
+
+func unusedDirective(a, b float64) bool {
+	//lint:allow floateq nothing on the next line violates floateq
+	return a < b // want-1 "suppresses nothing here"
+}

@@ -1,0 +1,7 @@
+// Test files are exempt from floateq: asserting bit-exact reproduction of
+// the paper's numbers (E1–E4) is the point of the repo's tests.
+package floats
+
+func assertExact(got, want float64) bool {
+	return got == want // no diagnostic: _test.go files may compare exactly
+}

@@ -1,0 +1,303 @@
+// Package masscheck verifies that Dempster-Shafer mass assignments built
+// from compile-time constants sum to 1.
+//
+// A basic probability assignment must distribute exactly unit mass over its
+// focal sets (dempster.Mass.Validate enforces it at run time — but only when
+// somebody remembers to call it, and E1/E2's exact numbers depend on the
+// evidence tables being well-formed before combination). masscheck proves
+// the static cases at build time:
+//
+//   - a `m := dempster.NewMass(f)` followed by unconditional `m.Set(s, c)`
+//     calls with constant masses, when m is not normalized and does not
+//     escape, must set masses summing to 1±1e-9. Two Sets on a syntactically
+//     identical focal set count once (Set replaces).
+//
+//   - a composite literal map[dempster.Set]float64{...} with all-constant
+//     values must sum to 1±1e-9.
+//
+// Anything dynamic — non-constant masses, conditional Sets, Normalize, or
+// the mass escaping to another function — is out of scope and ignored.
+package masscheck
+
+import (
+	"bytes"
+	"go/ast"
+	"go/constant"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"math"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the masscheck check.
+var Analyzer = &analysis.Analyzer{
+	Name: "masscheck",
+	Doc:  "constant Dempster-Shafer mass assignments must sum to 1±1e-9",
+	Run:  run,
+}
+
+// Tolerance is the permitted deviation of a constant mass sum from 1.
+const Tolerance = 1e-9
+
+// readOnly lists *dempster.Mass methods that neither rescale masses nor let
+// the value escape mutation tracking.
+var readOnly = map[string]bool{
+	"Get": true, "Belief": true, "Plausibility": true, "Unknown": true,
+	"Validate": true, "FocalSets": true, "Pignistic": true, "String": true,
+	"Frame": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		checkCompositeLits(pass, file)
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// fromDempster reports whether obj belongs to a package whose import path
+// ends in "dempster" (the repo package, or a test-harness stand-in).
+func fromDempster(obj types.Object) bool {
+	return obj != nil && obj.Pkg() != nil &&
+		analysis.PathSegment(obj.Pkg().Path()) == "dempster"
+}
+
+// candidate tracks one locally constructed mass function.
+type candidate struct {
+	obj          types.Object
+	newMassPos   token.Pos
+	masses       map[string]float64 // focal-set syntax -> last constant mass
+	disqualified bool
+	allowedUses  map[*ast.Ident]bool
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	cands := findCandidates(pass, body)
+	if len(cands) == 0 {
+		return
+	}
+	cond := conditionalRanges(body)
+
+	// First pass: interpret the method calls on each candidate.
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		recv, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		c, ok := cands[pass.TypesInfo.Uses[recv]]
+		if !ok {
+			return true
+		}
+		c.allowedUses[recv] = true
+		switch {
+		case sel.Sel.Name == "Set" && len(call.Args) == 2:
+			if cond.contains(call.Pos()) {
+				c.disqualified = true
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[call.Args[1]]
+			if !ok || tv.Value == nil {
+				c.disqualified = true // dynamic mass
+				return true
+			}
+			v, _ := constant.Float64Val(constant.ToFloat(tv.Value))
+			c.masses[exprString(pass.Fset, call.Args[0])] = v
+		case readOnly[sel.Sel.Name]:
+			// reads never change the sum
+		default:
+			// Normalize, Clone-into-mutation, or an unknown future method.
+			c.disqualified = true
+		}
+		return true
+	})
+
+	// Second pass: any use of the variable outside those method receivers
+	// (argument, assignment, return, closure capture) makes the final state
+	// unknowable locally.
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if c, ok := cands[pass.TypesInfo.Uses[id]]; ok && !c.allowedUses[id] {
+			c.disqualified = true
+		}
+		return true
+	})
+
+	for _, c := range cands {
+		if c.disqualified || len(c.masses) == 0 {
+			continue
+		}
+		var sum float64
+		for _, v := range c.masses {
+			sum += v
+		}
+		if math.Abs(sum-1) > Tolerance {
+			pass.Reportf(c.newMassPos,
+				"constant Dempster-Shafer masses sum to %g, want 1 (±%g); fix the table or Normalize",
+				sum, Tolerance)
+		}
+	}
+}
+
+// findCandidates locates `x := NewMass(...)` / `x := dempster.NewMass(...)`
+// declarations in the function body.
+func findCandidates(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]*candidate {
+	cands := make(map[types.Object]*candidate)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var calleeIdent *ast.Ident
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			calleeIdent = fun
+		case *ast.SelectorExpr:
+			calleeIdent = fun.Sel
+		default:
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[calleeIdent].(*types.Func)
+		if !ok || fn.Name() != "NewMass" || !fromDempster(fn) {
+			return true
+		}
+		obj := pass.TypesInfo.Defs[lhs]
+		if obj == nil {
+			return true
+		}
+		cands[obj] = &candidate{
+			obj:         obj,
+			newMassPos:  as.Pos(),
+			masses:      make(map[string]float64),
+			allowedUses: make(map[*ast.Ident]bool),
+		}
+		return true
+	})
+	return cands
+}
+
+// posRanges marks source regions whose execution is conditional, repeated,
+// or deferred relative to straight-line function entry.
+type posRanges []struct{ lo, hi token.Pos }
+
+func (r posRanges) contains(p token.Pos) bool {
+	for _, rr := range r {
+		if p >= rr.lo && p < rr.hi {
+			return true
+		}
+	}
+	return false
+}
+
+func conditionalRanges(body *ast.BlockStmt) posRanges {
+	var out posRanges
+	add := func(n ast.Node) {
+		if n != nil {
+			out = append(out, struct{ lo, hi token.Pos }{n.Pos(), n.End()})
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			add(n.Body)
+			add(n.Else)
+		case *ast.ForStmt:
+			add(n.Body)
+			add(n.Post)
+		case *ast.RangeStmt:
+			add(n.Body)
+		case *ast.SwitchStmt:
+			add(n.Body)
+		case *ast.TypeSwitchStmt:
+			add(n.Body)
+		case *ast.SelectStmt:
+			add(n.Body)
+		case *ast.FuncLit:
+			add(n.Body)
+		case *ast.DeferStmt:
+			add(n.Call)
+		case *ast.GoStmt:
+			add(n.Call)
+		}
+		return true
+	})
+	return out
+}
+
+// checkCompositeLits flags map[dempster.Set]float64 literals whose
+// all-constant values do not sum to 1.
+func checkCompositeLits(pass *analysis.Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok || len(lit.Elts) == 0 {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(lit)
+		if t == nil {
+			return true
+		}
+		m, ok := t.Underlying().(*types.Map)
+		if !ok {
+			return true
+		}
+		key, ok := m.Key().(*types.Named)
+		if !ok || key.Obj().Name() != "Set" || !fromDempster(key.Obj()) {
+			return true
+		}
+		elem, ok := m.Elem().Underlying().(*types.Basic)
+		if !ok || elem.Info()&types.IsFloat == 0 {
+			return true
+		}
+		var sum float64
+		for _, el := range lit.Elts {
+			kv, ok := el.(*ast.KeyValueExpr)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[kv.Value]
+			if !ok || tv.Value == nil {
+				return true // dynamic entry: out of scope
+			}
+			v, _ := constant.Float64Val(constant.ToFloat(tv.Value))
+			sum += v
+		}
+		if math.Abs(sum-1) > Tolerance {
+			pass.Reportf(lit.Pos(),
+				"constant Dempster-Shafer mass literal sums to %g, want 1 (±%g)",
+				sum, Tolerance)
+		}
+		return true
+	})
+}
+
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var b bytes.Buffer
+	if err := printer.Fprint(&b, fset, e); err != nil {
+		return "?"
+	}
+	return b.String()
+}

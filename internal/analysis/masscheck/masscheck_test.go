@@ -1,0 +1,12 @@
+package masscheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/masscheck"
+)
+
+func TestMassCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", masscheck.Analyzer, "masstab")
+}

@@ -1,0 +1,34 @@
+// Package dempster is a minimal stand-in for repro/internal/dempster: the
+// masscheck analyzer recognizes it by the final import-path segment and the
+// NewMass/Set/Normalize method shapes.
+package dempster
+
+// Set is a subset of a frame of discernment.
+type Set uint64
+
+// Singleton returns the set containing only hypothesis i.
+func Singleton(i int) Set { return 1 << uint(i) }
+
+// Frame is a frame of discernment.
+type Frame struct{}
+
+// Theta returns the full frame.
+func (f *Frame) Theta() Set { return ^Set(0) }
+
+// Mass is a basic probability assignment.
+type Mass struct{ m map[Set]float64 }
+
+// NewMass returns an empty mass function over f.
+func NewMass(f *Frame) *Mass { return &Mass{m: map[Set]float64{}} }
+
+// Set assigns mass v to focal set s, replacing any previous assignment.
+func (m *Mass) Set(s Set, v float64) error { m.m[s] = v; return nil }
+
+// Get returns the mass on exactly s.
+func (m *Mass) Get(s Set) float64 { return m.m[s] }
+
+// Normalize rescales masses to sum to 1.
+func (m *Mass) Normalize() error { return nil }
+
+// Validate checks the unit-sum invariant at run time.
+func (m *Mass) Validate(tol float64) error { return nil }

@@ -1,0 +1,99 @@
+// Package masstab exercises the masscheck analyzer over constant
+// Dempster-Shafer mass tables.
+package masstab
+
+import "dempster"
+
+func deficit(f *dempster.Frame) float64 {
+	m := dempster.NewMass(f) // want "sum to 0.9, want 1"
+	m.Set(dempster.Singleton(0), 0.4)
+	m.Set(dempster.Singleton(1), 0.5)
+	return m.Get(dempster.Singleton(0))
+}
+
+func excess(f *dempster.Frame) float64 {
+	m := dempster.NewMass(f) // want "sum to 1.2, want 1"
+	m.Set(dempster.Singleton(0), 0.7)
+	m.Set(f.Theta(), 0.5)
+	return m.Get(f.Theta())
+}
+
+func incomplete(f *dempster.Frame) float64 {
+	m := dempster.NewMass(f) // want "sum to 0.5, want 1"
+	m.Set(dempster.Singleton(0), 0.5)
+	return m.Get(dempster.Singleton(0))
+}
+
+func exact(f *dempster.Frame) float64 {
+	m := dempster.NewMass(f)
+	m.Set(dempster.Singleton(0), 0.4)
+	m.Set(f.Theta(), 0.6)
+	return m.Get(f.Theta())
+}
+
+// replaced: Set replaces the mass on a syntactically identical focal set, so
+// only the last assignment counts.
+func replaced(f *dempster.Frame) float64 {
+	m := dempster.NewMass(f)
+	m.Set(dempster.Singleton(0), 0.2)
+	m.Set(dempster.Singleton(0), 0.4)
+	m.Set(f.Theta(), 0.6)
+	return m.Get(f.Theta())
+}
+
+// normalized: an explicit Normalize takes the table out of scope — any
+// constant pre-normalization sum is fine.
+func normalized(f *dempster.Frame) error {
+	m := dempster.NewMass(f)
+	m.Set(dempster.Singleton(0), 2)
+	m.Set(f.Theta(), 2)
+	return m.Normalize()
+}
+
+// conditional: a Set under a branch makes the final sum flow-dependent.
+func conditional(f *dempster.Frame, strong bool) float64 {
+	m := dempster.NewMass(f)
+	m.Set(dempster.Singleton(0), 0.4)
+	if strong {
+		m.Set(f.Theta(), 0.6)
+	}
+	return m.Get(f.Theta())
+}
+
+// dynamic: a non-constant mass is out of scope.
+func dynamic(f *dempster.Frame, belief float64) float64 {
+	m := dempster.NewMass(f)
+	m.Set(dempster.Singleton(0), belief)
+	return m.Get(dempster.Singleton(0))
+}
+
+// escaped: once the mass reaches another function the local view is
+// incomplete.
+func escaped(f *dempster.Frame) float64 {
+	m := dempster.NewMass(f)
+	m.Set(dempster.Singleton(0), 0.4)
+	fill(m)
+	return m.Get(dempster.Singleton(0))
+}
+
+func fill(m *dempster.Mass) { m.Set(dempster.Singleton(1), 0.6) }
+
+// literals: composite-literal mass tables are summed directly.
+var badTable = map[dempster.Set]float64{ // want "literal sums to 0.8, want 1"
+	dempster.Singleton(0): 0.3,
+	dempster.Singleton(1): 0.5,
+}
+
+var goodTable = map[dempster.Set]float64{
+	dempster.Singleton(0): 0.3,
+	dempster.Singleton(1): 0.7,
+}
+
+// allowed exercises the suppression path: an intentionally sub-unit table
+// (e.g. an invalid-input fixture) carries a reasoned directive.
+func allowed(f *dempster.Frame) float64 {
+	//lint:allow masscheck deliberately malformed evidence for a validation fixture
+	m := dempster.NewMass(f)
+	m.Set(dempster.Singleton(0), 0.25)
+	return m.Get(dempster.Singleton(0))
+}

@@ -1,0 +1,12 @@
+package noclock_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/noclock"
+)
+
+func TestNoClock(t *testing.T) {
+	analysistest.Run(t, "testdata", noclock.Analyzer, "chiller", "pipeline")
+}

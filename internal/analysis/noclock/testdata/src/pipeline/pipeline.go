@@ -1,0 +1,13 @@
+// Package pipeline is a testdata stand-in for a non-deterministic package:
+// noclock must stay silent here.
+package pipeline
+
+import (
+	"math/rand"
+	"time"
+)
+
+func timed() (time.Time, float64) {
+	time.Sleep(time.Microsecond)
+	return time.Now(), rand.Float64()
+}

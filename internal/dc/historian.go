@@ -139,6 +139,7 @@ func (d *DC) recordProcessScan(ps chiller.ProcessState, now time.Time) error {
 // recordSBFRStatus stores a machine's status register whenever it changes
 // (transitions only, so the channel stays sparse).
 func (d *DC) recordSBFRStatus(machine string, status float64, now time.Time) error {
+	//lint:allow floateq SBFR status registers hold exact small integers; change detection must be exact
 	if last, ok := d.sbfrStatus[machine]; ok && last == status {
 		return nil
 	}

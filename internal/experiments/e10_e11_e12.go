@@ -118,7 +118,7 @@ func E11EventLatency(seed int64) (*Result, error) {
 	const reports = 2000
 	at := time.Date(1998, 9, 1, 0, 0, 0, 0, time.UTC)
 	conds := []string{"motor imbalance", "oil whirl", "motor rotor bar problem"}
-	start := time.Now()
+	start := stopwatch()
 	for i := 0; i < reports; i++ {
 		r := &proto.Report{
 			DCID: "dc-1", KnowledgeSourceID: "ks", SensedObjectID: "motor/1",
@@ -129,7 +129,7 @@ func E11EventLatency(seed int64) (*Result, error) {
 			return nil, err
 		}
 	}
-	elapsed := time.Since(start)
+	elapsed := lap(start)
 	perReport := elapsed / reports
 	res := &Result{
 		ID:         "E11",

@@ -34,7 +34,7 @@ func E13HistorianThroughput(seed int64) (*Result, error) {
 	}
 	batch := make([]historian.Sample, 1024)
 	written := 0
-	start := time.Now()
+	start := stopwatch()
 	for written < ingestN {
 		n := len(batch)
 		if ingestN-written < n {
@@ -51,7 +51,7 @@ func E13HistorianThroughput(seed int64) (*Result, error) {
 		}
 		written += n
 	}
-	ingestElapsed := time.Since(start)
+	ingestElapsed := lap(start)
 	ingestRate := float64(ingestN) / ingestElapsed.Seconds()
 
 	// Query: 24 h of 1 Hz data, read back at the minute rollup tier (1440
@@ -81,12 +81,12 @@ func E13HistorianThroughput(seed int64) (*Result, error) {
 		times := make([]time.Duration, reps)
 		var count int
 		for r := 0; r < reps; r++ {
-			qs := time.Now()
+			qs := stopwatch()
 			n, err := run()
 			if err != nil {
 				return 0, 0, err
 			}
-			times[r] = time.Since(qs)
+			times[r] = lap(qs)
 			count = n
 		}
 		// Median.

@@ -106,7 +106,7 @@ func E4SBFRFootprintAndCycle(seed int64) (*Result, error) {
 	const cycles = 20000
 	buf := make([]float64, 2)
 	in := make([]float64, 2)
-	start := time.Now()
+	start := stopwatch()
 	for i := 0; i < cycles; i++ {
 		s := sim.Step()
 		in[0], in[1] = s.Current, s.CPOS
@@ -114,7 +114,7 @@ func E4SBFRFootprintAndCycle(seed int64) (*Result, error) {
 			return nil, err
 		}
 	}
-	perCycle := time.Since(start) / cycles
+	perCycle := lap(start) / cycles
 
 	res := &Result{
 		ID:         "E4",

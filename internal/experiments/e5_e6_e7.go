@@ -179,12 +179,12 @@ func E7IngestThroughput(seed int64) (*Result, error) {
 	}
 	const frameLen = 4096
 	const rounds = 60
-	start := time.Now()
+	start := stopwatch()
 	samples, err := d.IngestThroughput(frameLen, rounds)
 	if err != nil {
 		return nil, err
 	}
-	elapsed := time.Since(start)
+	elapsed := lap(start)
 	rate := float64(samples) / elapsed.Seconds()
 
 	// The §8 hardware requirement: 4 channels at >40 kHz simultaneously.

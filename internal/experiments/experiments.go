@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Result is one experiment's regenerated table.
@@ -106,3 +107,16 @@ func IDs() []string {
 func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
 func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
 func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// now is the wall-clock source behind the experiment stopwatches. Timing in
+// this package measures host throughput for reported tables (E3/E13); it is
+// never fed back into simulated state, so determinism of the experiment
+// outputs is preserved. Tests may swap it to verify timing plumbing.
+var now = time.Now //lint:allow noclock wall-clock stopwatch for reported benchmark timings only, never simulation input
+
+// stopwatch marks a start instant for elapsed-time measurement.
+func stopwatch() time.Time { return now() }
+
+// lap returns the wall time since a stopwatch mark. Both instants come
+// from now(), so the monotonic reading is used when available.
+func lap(since time.Time) time.Duration { return now().Sub(since) }

@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestStopwatchInjectable pins the regression class fixed by the noclock
+// sweep: experiment timing goes through the package's injectable stopwatch
+// (var now), not ambient time.Now, so tests can make elapsed time
+// deterministic.
+func TestStopwatchInjectable(t *testing.T) {
+	base := time.Unix(1000, 0)
+	calls := 0
+	old := now
+	now = func() time.Time {
+		calls++
+		return base.Add(time.Duration(calls) * time.Second)
+	}
+	defer func() { now = old }()
+
+	start := stopwatch()
+	if d := lap(start); d != time.Second {
+		t.Fatalf("lap = %v, want exactly 1s from the injected clock", d)
+	}
+	if calls != 2 {
+		t.Fatalf("stopwatch+lap consulted the clock %d times, want 2", calls)
+	}
+}

@@ -270,6 +270,7 @@ func (df *DiagnosticFuser) Ranked(component string) []ConditionBelief {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
+		//lint:allow floateq sort tie-break needs a strict weak order; a tolerance would make it intransitive
 		if out[i].Belief != out[j].Belief {
 			return out[i].Belief > out[j].Belief
 		}

@@ -30,11 +30,11 @@ func (t Triangular) Degree(x float64) float64 {
 	switch {
 	case x <= t.A || x >= t.C:
 		return 0
-	case x == t.B:
-		return 1
 	case x < t.B:
 		return (x - t.A) / (t.B - t.A)
 	default:
+		// x == t.B lands here and yields exactly (C-B)/(C-B) == 1, so the
+		// apex needs no exact float comparison of its own.
 		return (t.C - x) / (t.C - t.B)
 	}
 }

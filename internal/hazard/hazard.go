@@ -157,6 +157,7 @@ func KaplanMeier(obs []Observation) ([]KaplanMeierPoint, error) {
 	for i < len(sorted) {
 		t := sorted[i].Time
 		failures, censored := 0, 0
+		//lint:allow floateq Kaplan-Meier ties are defined by identical recorded times, copied not computed
 		for i < len(sorted) && sorted[i].Time == t {
 			if sorted[i].Censored {
 				censored++

@@ -188,6 +188,7 @@ func (p *PDME) SpatialAdvisories(threshold float64) ([]Advisory, error) {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
+		//lint:allow floateq sort tie-break needs a strict weak order; a tolerance would make it intransitive
 		if out[i].Belief != out[j].Belief {
 			return out[i].Belief > out[j].Belief
 		}

@@ -340,6 +340,7 @@ func (p *PDME) PrioritizedList() []MaintenanceItem {
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
+		//lint:allow floateq sort tie-break needs a strict weak order; a tolerance would make it intransitive
 		if a.Belief != b.Belief {
 			return a.Belief > b.Belief
 		}

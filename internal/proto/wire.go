@@ -141,7 +141,7 @@ func (s *Server) Start(addr string) (string, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		ln.Close()
+		_ = ln.Close() // best-effort: the listener was never exposed
 		return "", errors.New("proto: server already closed")
 	}
 	s.listener = ln
@@ -163,7 +163,7 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
-			conn.Close()
+			_ = conn.Close() // best-effort: shutting down anyway
 			return
 		}
 		s.conns[conn] = struct{}{}
@@ -178,7 +178,7 @@ func (s *Server) acceptLoop(ln net.Listener) {
 
 func (s *Server) handle(conn net.Conn) {
 	defer func() {
-		conn.Close()
+		_ = conn.Close() // best-effort: frame-level errors already ended the session
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -241,7 +241,7 @@ func (s *Server) Close() error {
 	s.closed = true
 	ln := s.listener
 	for c := range s.conns {
-		c.Close()
+		_ = c.Close() // best-effort: forcing handlers to unblock
 	}
 	s.mu.Unlock()
 	var err error

@@ -1,0 +1,70 @@
+package sbfr
+
+import "testing"
+
+// FuzzAssemble feeds arbitrary source text to the SBFR assembler. The
+// assembler must never panic — only return an error — and anything it
+// accepts must yield programs that load into a system, disassemble
+// cleanly (the emitted bytecode is structurally well formed), and run
+// several cycles without a VM fault.
+func FuzzAssemble(f *testing.F) {
+	channels := []string{"current", "temp"}
+	// Seeds: the package doc example plus the shapes the test suite uses.
+	f.Add(`
+machine Spike
+  locals 1
+  state Wait
+    when delta.current > 0.5 goto PossibleSpike1
+  state PossibleSpike1
+    when delta.current < -0.5 && elapsed <= 4 goto PossibleSpike2
+    when elapsed > 4 goto Wait
+  state PossibleSpike2
+    when elapsed <= 4 && delta.current < 0.2 && delta.current > -0.2 \
+      do status.self = status.self | 1 goto Spike
+  state Spike
+    when status.self == 0 goto Wait
+`)
+	f.Add(`
+machine Counter
+  locals 1
+  state Run
+    when in.current > 0.5 do local.0 = local.0 + 1 goto Run
+    when local.0 > 2 do status.self = 1 goto Done
+  state Done
+    when status.self == 0 do local.0 = 0 goto Run
+`)
+	f.Add(`
+machine Producer
+  state Idle
+    when in.temp >= 1 do status.Consumer = status.Consumer + 1 goto Idle
+machine Consumer
+  state Watch
+    when status.self > 2 do status.self = 0 goto Watch
+`)
+	f.Add("machine M\n  state S\n")
+	f.Add("# just a comment\n")
+	f.Add("machine M\n  locals 99\n  state S\n    when local.98 != 0 goto S\n")
+
+	f.Fuzz(func(t *testing.T, source string) {
+		progs, err := AssembleSystem(source, channels)
+		if err != nil {
+			return // rejected source: any error is acceptable, panics are not
+		}
+		sys, err := NewSystem(channels, progs)
+		if err != nil {
+			t.Fatalf("assembled programs rejected by the loader: %v", err)
+		}
+		env := &Env{Channels: map[string]int{"current": 0, "temp": 1}}
+		for i, p := range progs {
+			if _, err := Disassemble(p, env); err != nil {
+				t.Fatalf("assembled program %d does not disassemble: %v", i, err)
+			}
+		}
+		inputs := [][]float64{{0, 0}, {1, 1}, {-1, 2}, {0.6, 0.4}, {0, 0}}
+		for _, in := range inputs {
+			if err := sys.Cycle(in); err != nil {
+				t.Fatalf("assembled system faulted on cycle: %v", err)
+			}
+		}
+	})
+}

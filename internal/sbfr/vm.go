@@ -316,8 +316,10 @@ func evalExpr(code []byte, off int, env *evalEnv) (float64, int, error) {
 			case opLE:
 				v = b2f(a <= b)
 			case opEQ:
+				//lint:allow floateq the SBFR ISA defines an exact-equality opcode; E3/E4 demand bit-identical machine behaviour
 				v = b2f(a == b)
 			case opNE:
+				//lint:allow floateq the SBFR ISA defines an exact-inequality opcode; E3/E4 demand bit-identical machine behaviour
 				v = b2f(a != b)
 			case opAnd:
 				v = b2f(a != 0 && b != 0)

@@ -74,6 +74,7 @@ func TheilSen(points []Point) (Fit, error) {
 	var slopes []float64
 	for i := 0; i < len(pts); i++ {
 		for j := i + 1; j < len(pts); j++ {
+			//lint:allow floateq guards the slope division; only exactly equal timestamps divide by zero
 			if ts[j] == ts[i] {
 				continue
 			}

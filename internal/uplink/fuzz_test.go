@@ -1,0 +1,105 @@
+package uplink
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// spoolFileBytes builds a realistic spool file by driving the real
+// write path, then returns its raw bytes for use as a fuzz seed.
+func spoolFileBytes(tb testing.TB, mutate func(s *spool)) []byte {
+	tb.Helper()
+	dir := tb.TempDir()
+	s, err := openSpool(dir, "dc-fuzz", 8)
+	if err != nil {
+		tb.Fatalf("seed spool: %v", err)
+	}
+	mutate(s)
+	if err := s.close(); err != nil {
+		tb.Fatalf("close seed spool: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, encodeSpoolFile("dc-fuzz")))
+	if err != nil {
+		tb.Fatalf("read seed spool: %v", err)
+	}
+	return data
+}
+
+// FuzzSpoolRecover writes arbitrary bytes as a spool file and opens it.
+// Recovery must never panic. When it accepts the file, the rebuilt state
+// must be internally consistent (every pending sequence below the
+// next-sequence watermark, no duplicate pending sequences) and stable: a
+// second open after close must see the same boot id, pending sequences,
+// and watermark, because recovery repairs the file in place (torn tails
+// are truncated, resolved records compacted away).
+func FuzzSpoolRecover(f *testing.F) {
+	full := spoolFileBytes(f, func(s *spool) {
+		for i := 0; i < 4; i++ {
+			if _, _, err := s.add(testReport(i)); err != nil {
+				f.Fatalf("seed add: %v", err)
+			}
+		}
+		if err := s.resolve("dc-fuzz", 2); err != nil {
+			f.Fatalf("seed resolve: %v", err)
+		}
+	})
+	f.Add(full)
+	f.Add(spoolFileBytes(f, func(s *spool) {})) // header only
+	f.Add(full[:len(full)-3])                   // torn tail mid-record
+	f.Add(full[:len(spoolMagic)+4])             // torn header
+	flipped := bytes.Clone(full)
+	flipped[len(flipped)-1] ^= 0x40 // CRC breaks on the last record
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Add([]byte("MPROSUP2 but not really a spool"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, encodeSpoolFile("dc-fuzz"))
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := openSpool(dir, "dc-fuzz", 8)
+		if err != nil {
+			return // refused input: any error is acceptable, panics are not
+		}
+		seqs := make(map[uint64]bool)
+		for _, rec := range s.pending {
+			if rec.seq >= s.nextSeq {
+				t.Fatalf("pending seq %d not below watermark %d", rec.seq, s.nextSeq)
+			}
+			if seqs[rec.seq] {
+				t.Fatalf("duplicate pending seq %d", rec.seq)
+			}
+			seqs[rec.seq] = true
+			if rec.report == nil {
+				t.Fatalf("pending seq %d recovered without a report", rec.seq)
+			}
+		}
+		if err := s.close(); err != nil {
+			t.Fatalf("close recovered spool: %v", err)
+		}
+
+		s2, err := openSpool(dir, "dc-fuzz", 8)
+		if err != nil {
+			t.Fatalf("recovery not stable: reopen failed: %v", err)
+		}
+		defer func() { _ = s2.close() }()
+		if s2.boot != s.boot {
+			t.Fatalf("boot changed across reopen: %d then %d", s.boot, s2.boot)
+		}
+		if s2.nextSeq != s.nextSeq {
+			t.Fatalf("watermark changed across reopen: %d then %d", s.nextSeq, s2.nextSeq)
+		}
+		if len(s2.pending) != len(s.pending) {
+			t.Fatalf("pending count changed across reopen: %d then %d", len(s.pending), len(s2.pending))
+		}
+		for i, rec := range s2.pending {
+			if rec.seq != s.pending[i].seq {
+				t.Fatalf("pending[%d] seq changed across reopen: %d then %d", i, s.pending[i].seq, rec.seq)
+			}
+		}
+	})
+}

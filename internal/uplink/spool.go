@@ -217,6 +217,11 @@ func (s *spool) recover(dcid string) error {
 		}
 		typ := data[off+4]
 		seq := binary.LittleEndian.Uint64(data[off+5:])
+		if seq == ^uint64(0) {
+			// A legitimate writer can never reach the last sequence; accepting
+			// it would overflow the nextSeq watermark back to zero.
+			return fmt.Errorf("uplink: %s: implausible sequence at offset %d (corrupted spool)", s.path, off)
+		}
 		bodyLen := int(binary.LittleEndian.Uint32(data[off+13:]))
 		if bodyLen < 0 || bodyLen > maxBodySize {
 			return fmt.Errorf("uplink: %s: implausible record body %d at offset %d (corrupted spool)", s.path, bodyLen, off)
