@@ -27,7 +27,9 @@ import (
 	"repro/internal/uplink"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	pdmeAddr := flag.String("pdme", "127.0.0.1:7011", "PDME report server address")
 	id := flag.String("id", "dc-1", "data concentrator id")
 	machine := flag.String("machine", "chiller/1", "sensed object id")
@@ -43,6 +45,7 @@ func main() {
 	dialTimeout := flag.Duration("dial-timeout", 0, "per-dial deadline (0: default)")
 	sendTimeout := flag.Duration("send-timeout", 0, "per-send deadline (0: default)")
 	flushTimeout := flag.Duration("flush-timeout", time.Minute, "final spool drain deadline at exit")
+	heartbeat := flag.Duration("heartbeat", 5*time.Minute, "fleet-health heartbeat interval in virtual time (0 disables)")
 	flag.Parse()
 
 	plantCfg := chiller.DefaultConfig()
@@ -94,6 +97,7 @@ func main() {
 	defer hist.Close()
 	dcCfg := dc.DefaultConfig(*id, *machine)
 	dcCfg.Historian = hist
+	dcCfg.HeartbeatInterval = *heartbeat
 	conc, err := dc.New(dcCfg, plant, db, up)
 	if err != nil {
 		fatal(err)
@@ -122,16 +126,24 @@ func main() {
 			time.Sleep(time.Duration(step * float64(time.Hour) / *speedup))
 		}
 		c := up.Counters()
-		fmt.Printf("  t+%5.1fh  uplink sent=%d acked=%d retried=%d spooled=%d replayed=%d dropped=%d dup=%d pending=%d active faults=%v\n",
+		fmt.Printf("  t+%5.1fh  uplink sent=%d acked=%d retried=%d spooled=%d replayed=%d dropped=%d (capacity=%d) dup=%d hb=%d/%d pending=%d active faults=%v\n",
 			done+step, c.Sent, c.Acked, c.Retried, c.Spooled, c.Replayed,
-			c.Dropped, c.DedupAcks, up.Pending(), faultSummary(plant))
+			c.Dropped, c.CapacityDrops, c.DedupAcks, c.HeartbeatsSent,
+			c.HeartbeatsDropped, up.Pending(), faultSummary(plant))
 	}
+	code := 0
 	if err := up.Flush(*flushTimeout); err != nil {
-		fmt.Fprintln(os.Stderr, "dcsim:", err, "(spooled reports persist for the next run)")
+		// A timed-out drain is an operational failure worth a non-zero exit:
+		// the operator's pipeline should notice reports left behind.
+		fmt.Fprintf(os.Stderr, "dcsim: %v — %d reports still spooled (they persist for the next run)\n",
+			err, up.Pending())
+		code = 1
 	}
 	c := up.Counters()
-	fmt.Printf("dcsim %s: done — sent=%d acked=%d retried=%d spooled=%d replayed=%d dropped=%d dup=%d\n",
-		*id, c.Sent, c.Acked, c.Retried, c.Spooled, c.Replayed, c.Dropped, c.DedupAcks)
+	fmt.Printf("dcsim %s: done — sent=%d acked=%d retried=%d spooled=%d replayed=%d dropped=%d (capacity=%d) dup=%d hb=%d/%d\n",
+		*id, c.Sent, c.Acked, c.Retried, c.Spooled, c.Replayed, c.Dropped,
+		c.CapacityDrops, c.DedupAcks, c.HeartbeatsSent, c.HeartbeatsDropped)
+	return code
 }
 
 func applyFaults(plant *chiller.Plant, spec string) error {

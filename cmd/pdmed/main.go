@@ -12,13 +12,17 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/health"
 	"repro/internal/historian"
 	"repro/internal/oosm"
 	"repro/internal/pdme"
@@ -34,6 +38,13 @@ func main() {
 	histDir := flag.String("historian-dir", "", "severity/lifetime historian directory (empty: in-memory)")
 	statusEvery := flag.Duration("status", 15*time.Second, "prioritized-list print interval (0 disables)")
 	idleTimeout := flag.Duration("idle-timeout", 0, "per-connection read/write deadline (0: protocol default); dead peers are cut loose after this")
+	healthLate := flag.Duration("health-late", 5*time.Minute, "a DC with no heartbeat or report for this long is late")
+	healthSilent := flag.Duration("health-silent", 15*time.Minute, "a DC with no heartbeat or report for this long is silent")
+	healthFresh := flag.Duration("health-fresh", time.Hour, "evidence younger than this fuses at full reliability")
+	healthHorizon := flag.Duration("health-horizon", 24*time.Hour, "evidence reliability reaches its floor at this age")
+	healthFloor := flag.Float64("health-floor", 0, "minimum evidence reliability under staleness discounting [0,1)")
+	healthWallclock := flag.Bool("health-wallclock", false, "judge staleness by the wall clock instead of the event-time watermark (use when DCs report in real time; simulated DCs carry virtual timestamps)")
+	healthAddr := flag.String("health-addr", "", "HTTP address serving the fleet-health snapshot as JSON at /health (empty disables)")
 	flag.Parse()
 
 	var db *relstore.DB
@@ -61,6 +72,38 @@ func main() {
 		fatal(err)
 	}
 	defer engine.Close()
+	// Default to the event-time watermark: simulated DCs (dcsim) stamp
+	// reports with virtual time, which a wall clock would judge decades
+	// stale. Real-time deployments opt into the wall clock.
+	healthCfg := health.Config{
+		LateAfter:        *healthLate,
+		SilentAfter:      *healthSilent,
+		FreshFor:         *healthFresh,
+		StalenessHorizon: *healthHorizon,
+		ReliabilityFloor: *healthFloor,
+	}
+	if *healthWallclock {
+		healthCfg.Clock = time.Now
+	}
+	if err := engine.ConfigureHealth(healthCfg); err != nil {
+		fatal(err)
+	}
+	if *healthAddr != "" {
+		ln, err := net.Listen("tcp", *healthAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer ln.Close()
+		mux := http.NewServeMux()
+		mux.HandleFunc("/health", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(engine.Health().Snapshot()) // best-effort: peer may hang up mid-body
+		})
+		go func() {
+			_ = http.Serve(ln, mux) // best-effort: dies with the listener at shutdown
+		}()
+		fmt.Printf("pdmed: health endpoint on http://%s/health\n", ln.Addr())
+	}
 	idle := proto.DefaultIdleTimeout
 	if *idleTimeout > 0 {
 		idle = *idleTimeout
@@ -106,6 +149,32 @@ func printStatus(engine *pdme.PDME) {
 			it.Component, it.Condition, it.Belief, it.Plausibility, it.Reports)
 		if it.HasPrognostic {
 			line += fmt.Sprintf("  t(P=0.5)=%.1fd", it.TimeToHalf.Hours()/24)
+		}
+		if it.Degraded {
+			line += fmt.Sprintf("  DEGRADED(rel=%.2f)", it.Reliability)
+		}
+		fmt.Println(line)
+	}
+	printHealth(engine)
+}
+
+func printHealth(engine *pdme.PDME) {
+	snap := engine.Health().Snapshot()
+	if len(snap) == 0 {
+		return
+	}
+	now := engine.Health().Now()
+	fmt.Println("  fleet health:")
+	for _, h := range snap {
+		line := fmt.Sprintf("    %-10s %-8s", h.DCID, h.State)
+		if h.LastSeen.IsZero() {
+			line += " last-seen=never"
+		} else {
+			line += fmt.Sprintf(" last-seen=%s ago", now.Sub(h.LastSeen).Round(time.Second))
+		}
+		line += fmt.Sprintf(" spool=%d reliability=%.2f", h.SpoolDepth, h.Reliability)
+		if h.RecentRestarts > 0 {
+			line += fmt.Sprintf(" restarts=%d", h.RecentRestarts)
 		}
 		fmt.Println(line)
 	}

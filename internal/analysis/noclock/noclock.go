@@ -34,6 +34,10 @@ var DeterministicPkgs = map[string]bool{
 	"wnn":         true,
 	"fuzzy":       true,
 	"experiments": true,
+	// health judges staleness against an injected clock or an event-time
+	// watermark; reading the wall clock would make fused beliefs depend on
+	// when a test runs.
+	"health": true,
 }
 
 // bannedTime lists the package-level time functions that read or wait on the

@@ -2,6 +2,7 @@ package dc
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/chiller"
@@ -51,6 +52,22 @@ type Config struct {
 	Historian *historian.Store
 	// HistorianRetention bounds per-channel history age (0 = keep all).
 	HistorianRetention time.Duration
+	// HeartbeatInterval schedules fleet-health heartbeats announcing
+	// liveness, spool depth, and per-suite last-run info to the PDME's
+	// health registry (0 disables; heartbeats also require an uplink that
+	// implements HeartbeatUplink).
+	HeartbeatInterval time.Duration
+	// Guard parametrizes the raw sensor-channel guards; the zero value
+	// takes defaults. Guards always run — they are cheap and silent on
+	// healthy channels.
+	Guard GuardConfig
+}
+
+// HeartbeatUplink is the optional uplink capability behind fleet-health
+// heartbeats. uplink.Uplink implements it; a bare proto.Sink does not, and
+// the DC then simply never emits heartbeats.
+type HeartbeatUplink interface {
+	SendHeartbeat(*proto.Heartbeat) error
 }
 
 // DefaultSBFRInterval is the documented SBFR process-channel sampling
@@ -96,10 +113,18 @@ type DC struct {
 	// transitions are appended.
 	sbfrStatus map[string]float64
 
-	reportsSent  int
-	reportErrors int
-	sbfrScans    int
+	// guard screens raw channels for stuck-at/dropout/spike behavior.
+	guard *ChannelGuard
+
+	reportsSent     int
+	reportErrors    int
+	sbfrScans       int
+	heartbeatsSent  int
+	heartbeatErrors int
 }
+
+// heartbeatTask is the scheduler name of the fleet-health heartbeat.
+const heartbeatTask = "heartbeat"
 
 const (
 	measurementsTable = "dc_measurements"
@@ -140,6 +165,7 @@ func New(cfg Config, src Source, db *relstore.DB, uplink proto.Sink) (*DC, error
 		sched:      NewScheduler(cfg.Start),
 		hist:       cfg.Historian,
 		sbfrStatus: make(map[string]float64),
+		guard:      NewChannelGuard(cfg.Guard),
 	}
 	if d.hist == nil {
 		d.hist, err = historian.Open(historian.Options{})
@@ -197,8 +223,56 @@ func New(cfg Config, src Source, db *relstore.DB, uplink proto.Sink) (*DC, error
 			return nil, err
 		}
 	}
+	if cfg.HeartbeatInterval > 0 {
+		if err := d.sched.Schedule(&Task{
+			Name: heartbeatTask, Interval: cfg.HeartbeatInterval, Run: d.sendHeartbeat,
+		}, 0); err != nil {
+			return nil, err
+		}
+	}
 	return d, nil
 }
+
+// SetUplink swaps the report sink, e.g. after restarting an uplink process
+// in fault-injection tests. The DC is single-threaded (virtual-time
+// scheduler), so call it only between RunFor advances.
+func (d *DC) SetUplink(s proto.Sink) error {
+	if s == nil {
+		return fmt.Errorf("dc: nil uplink")
+	}
+	d.uplink = s
+	return nil
+}
+
+// sendHeartbeat is the scheduled fleet-health task: it announces liveness
+// and per-suite last-run info through the uplink. Delivery failure is the
+// health signal itself, so it never aborts the scheduler run.
+func (d *DC) sendHeartbeat(now time.Time) error {
+	hu, ok := d.uplink.(HeartbeatUplink)
+	if !ok {
+		return nil
+	}
+	sts := d.sched.Statuses()
+	suites := make([]proto.SuiteStatus, 0, len(sts))
+	for _, st := range sts {
+		if st.Name == heartbeatTask {
+			continue
+		}
+		suites = append(suites, proto.SuiteStatus{Name: st.Name, LastRun: st.LastRun, Runs: st.Runs})
+	}
+	if err := hu.SendHeartbeat(&proto.Heartbeat{DCID: d.cfg.ID, SentAt: now, Suites: suites}); err != nil {
+		d.heartbeatErrors++
+		return nil
+	}
+	d.heartbeatsSent++
+	return nil
+}
+
+// HeartbeatsSent returns how many heartbeats were handed to the uplink.
+func (d *DC) HeartbeatsSent() int { return d.heartbeatsSent }
+
+// Guard exposes the DC's sensor-channel guard for inspection.
+func (d *DC) Guard() *ChannelGuard { return d.guard }
 
 // AttachWNN installs a trained wavelet neural network classifier as an
 // additional knowledge source; it runs on the same frames as the scheduled
@@ -240,6 +314,7 @@ func (d *DC) RunVibrationTest(now time.Time) error {
 		cls wnn.Classification
 	}
 	var wnnCalls []wnnCall
+	suspects := make(map[chiller.MeasurementPoint]string)
 	for i, pt := range chiller.AllPoints() {
 		// Each point occupies one MUX lane of bank i/bankSize.
 		if err := d.mux.SelectBank(i / d.mux.BankSize()); err != nil {
@@ -248,6 +323,9 @@ func (d *DC) RunVibrationTest(now time.Time) error {
 		frame, err := d.src.AcquireVibration(pt, d.cfg.FrameLen)
 		if err != nil {
 			return err
+		}
+		if reason := d.guard.InspectFrame(vibGuardChannel(pt), frame); reason != "" {
+			suspects[pt] = reason
 		}
 		if _, _, err := d.mux.Ingest(i%d.mux.BankSize(), frame); err != nil {
 			return err
@@ -289,6 +367,9 @@ func (d *DC) RunVibrationTest(now time.Time) error {
 	}
 	for _, diag := range diags {
 		report := diag.ToReport(d.cfg.ID, "ks/dli", d.cfg.ObjectID, now)
+		if reason, ok := suspects[diag.Point]; ok {
+			d.quarantineReport(report, vibGuardChannel(diag.Point), reason)
+		}
 		if err := d.emit(report, now); err != nil {
 			return err
 		}
@@ -307,11 +388,33 @@ func (d *DC) RunVibrationTest(now time.Time) error {
 			Timestamp:   now,
 			Prognostics: vibration.WorstCasePrognostic(proto.GradeSeverity(sev), sev),
 		}
+		if reason, ok := suspects[call.pt]; ok {
+			d.quarantineReport(report, vibGuardChannel(call.pt), reason)
+		}
 		if err := d.emit(report, now); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// vibGuardChannel names a measurement point's raw acquisition channel for
+// the guard and report annotations.
+func vibGuardChannel(pt chiller.MeasurementPoint) string { return "vib/" + pt.String() }
+
+// quarantineReport caps a report's believability because it derives from a
+// suspect raw channel, and flags the channel so the PDME can explain the
+// weak belief to maintenance personnel.
+func (d *DC) quarantineReport(r *proto.Report, channel, reason string) {
+	if r.Belief > d.guard.Cap() {
+		r.Belief = d.guard.Cap()
+	}
+	r.SuspectChannels = append(r.SuspectChannels, channel)
+	note := fmt.Sprintf("channel %s suspect (%s); believability capped", channel, reason)
+	if r.AdditionalInfo != "" {
+		r.AdditionalInfo += "; "
+	}
+	r.AdditionalInfo += note
 }
 
 // RunProcessScan performs the fuzzy process-parameter diagnosis.
@@ -320,12 +423,31 @@ func (d *DC) RunProcessScan(now time.Time) error {
 	if err := d.recordProcessScan(ps, now); err != nil {
 		return err
 	}
+	// Screen every process scalar; fuzzy conclusions draw on the whole
+	// vector, so any suspect channel quarantines the scan's reports.
+	scalars := ProcessScalars(ps)
+	fields := make([]string, 0, len(scalars))
+	for f := range scalars {
+		fields = append(fields, f)
+	}
+	sort.Strings(fields)
+	type suspectChan struct{ channel, reason string }
+	var procSuspects []suspectChan
+	for _, f := range fields {
+		ch := ProcChannel(f)
+		if reason := d.guard.InspectValue(ch, scalars[f]); reason != "" {
+			procSuspects = append(procSuspects, suspectChan{channel: ch, reason: reason})
+		}
+	}
 	results, err := d.fz.Diagnose(ps, d.cfg.CallThreshold)
 	if err != nil {
 		return err
 	}
 	for _, r := range results {
 		report := r.ToReport(d.cfg.ID, d.cfg.ObjectID, now)
+		for _, s := range procSuspects {
+			d.quarantineReport(report, s.channel, s.reason)
+		}
 		if err := d.emit(report, now); err != nil {
 			return err
 		}

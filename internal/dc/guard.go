@@ -1,0 +1,215 @@
+package dc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// GuardConfig parametrizes the DC's raw sensor-channel guards. The §5.5
+// reports already carry believability factors for conclusions; the guards
+// extend the idea one level down: a conclusion computed from a channel that
+// is behaving like a broken sensor — stuck, dropped out, or spiking — gets
+// its believability capped at the source, and the channel is flagged in the
+// report so the PDME can show maintenance personnel why.
+type GuardConfig struct {
+	// StuckFrames is how many consecutive identical (or flat) observations
+	// mark a channel stuck (0: DefaultStuckFrames).
+	StuckFrames int
+	// FlatEpsilon is the peak-to-peak amplitude below which a vibration
+	// frame counts as flat — a live accelerometer on running machinery is
+	// never this quiet (0: DefaultFlatEpsilon).
+	FlatEpsilon float64
+	// DropoutFraction is the fraction of exactly-zero samples beyond which
+	// a frame counts as dropped out (0: DefaultDropoutFraction).
+	DropoutFraction float64
+	// SpikeFactor is the multiple of the frame RMS beyond which a sample is
+	// an impossible excursion (0: DefaultSpikeFactor). Real bearing impacts
+	// produce crest factors of single digits; a loose connector produces
+	// isolated full-scale hits far beyond that.
+	SpikeFactor float64
+	// BelievabilityCap is the maximum Belief a report derived from a
+	// suspect channel may carry (0: DefaultBelievabilityCap).
+	BelievabilityCap float64
+}
+
+// Defaults for GuardConfig's zero values.
+const (
+	DefaultStuckFrames      = 3
+	DefaultFlatEpsilon      = 1e-9
+	DefaultDropoutFraction  = 0.25
+	DefaultSpikeFactor      = 25.0
+	DefaultBelievabilityCap = 0.2
+)
+
+func (c *GuardConfig) applyDefaults() {
+	if c.StuckFrames <= 0 {
+		c.StuckFrames = DefaultStuckFrames
+	}
+	if c.FlatEpsilon <= 0 {
+		c.FlatEpsilon = DefaultFlatEpsilon
+	}
+	if c.DropoutFraction <= 0 {
+		c.DropoutFraction = DefaultDropoutFraction
+	}
+	if c.SpikeFactor <= 0 {
+		c.SpikeFactor = DefaultSpikeFactor
+	}
+	if c.BelievabilityCap <= 0 {
+		c.BelievabilityCap = DefaultBelievabilityCap
+	}
+}
+
+// channelState is the guard's per-channel history.
+type channelState struct {
+	// fingerprint summarizes the last observation (frame statistics or
+	// scalar value); repeats count toward stuck-at.
+	fingerprint [3]float64
+	hasPrint    bool
+	repeats     int
+	// everChanged records whether the channel has ever produced two
+	// different observations. Scalar stuck-at detection only arms after
+	// variation: a reading that has been constant since boot is
+	// indistinguishable from a setpoint or an idle machine.
+	everChanged bool
+	// suspect is the latest verdict ("" = healthy).
+	suspect string
+}
+
+// ChannelGuard runs stuck-at, dropout, and spike detection over raw sensor
+// channels. It is driven synchronously from the DC's scheduled tasks and is
+// not safe for concurrent use (the DC is single-threaded by design).
+type ChannelGuard struct {
+	cfg      GuardConfig
+	channels map[string]*channelState
+}
+
+// NewChannelGuard builds a guard; zero config fields take defaults.
+func NewChannelGuard(cfg GuardConfig) *ChannelGuard {
+	cfg.applyDefaults()
+	return &ChannelGuard{cfg: cfg, channels: make(map[string]*channelState)}
+}
+
+func (g *ChannelGuard) state(channel string) *channelState {
+	st, ok := g.channels[channel]
+	if !ok {
+		st = &channelState{}
+		g.channels[channel] = st
+	}
+	return st
+}
+
+// observe folds one fingerprint into a channel's stuck-at history and
+// returns how many consecutive identical observations it has seen.
+func (st *channelState) observe(fp [3]float64) int {
+	if st.hasPrint && fp == st.fingerprint {
+		st.repeats++
+	} else {
+		if st.hasPrint {
+			st.everChanged = true
+		}
+		st.repeats = 1
+	}
+	st.fingerprint = fp
+	st.hasPrint = true
+	return st.repeats
+}
+
+// InspectFrame screens one vibration frame and records the verdict for the
+// channel. It returns the suspicion reason ("" when the frame looks like a
+// live sensor).
+func (g *ChannelGuard) InspectFrame(channel string, frame []float64) string {
+	st := g.state(channel)
+	verdict := g.frameVerdict(st, frame)
+	st.suspect = verdict
+	return verdict
+}
+
+func (g *ChannelGuard) frameVerdict(st *channelState, frame []float64) string {
+	if len(frame) == 0 {
+		return "dropout: empty frame"
+	}
+	min, max := frame[0], frame[0]
+	var sumSq float64
+	zeros := 0
+	for _, v := range frame {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return "invalid: non-finite sample"
+		}
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+		sumSq += v * v
+		if v == 0 {
+			zeros++
+		}
+	}
+	if frac := float64(zeros) / float64(len(frame)); frac >= g.cfg.DropoutFraction {
+		return fmt.Sprintf("dropout: %.0f%% zero samples", frac*100)
+	}
+	if max-min < g.cfg.FlatEpsilon {
+		if st.observe([3]float64{min, max, sumSq}) >= g.cfg.StuckFrames {
+			return "stuck-at: flatlined frame"
+		}
+		return ""
+	}
+	// Stuck-at on a live-looking signal: the exact same frame statistics
+	// repeating means the acquisition path is replaying one buffer.
+	if st.observe([3]float64{min, max, sumSq}) >= g.cfg.StuckFrames {
+		return "stuck-at: identical frame statistics repeating"
+	}
+	rms := math.Sqrt(sumSq / float64(len(frame)))
+	if rms > 0 {
+		limit := g.cfg.SpikeFactor * rms
+		for _, v := range frame {
+			if math.Abs(v) > limit {
+				return fmt.Sprintf("spike: excursion beyond %.0fx RMS", g.cfg.SpikeFactor)
+			}
+		}
+	}
+	return ""
+}
+
+// InspectValue screens one process-scalar observation and records the
+// verdict for the channel. Scalars legitimately repeat (a steady plant is
+// steady, and setpoint-like channels may be constant forever), so stuck-at
+// only arms once the channel has shown variation and then freezes; a
+// non-finite reading is always suspect.
+func (g *ChannelGuard) InspectValue(channel string, v float64) string {
+	st := g.state(channel)
+	verdict := ""
+	switch {
+	case math.IsNaN(v) || math.IsInf(v, 0):
+		verdict = "invalid: non-finite reading"
+	case st.observe([3]float64{v, 0, 0}) >= g.cfg.StuckFrames && st.everChanged:
+		verdict = "stuck-at: constant reading"
+	}
+	st.suspect = verdict
+	return verdict
+}
+
+// Suspect returns the channel's latest verdict ("" = healthy or unseen).
+func (g *ChannelGuard) Suspect(channel string) string {
+	if st, ok := g.channels[channel]; ok {
+		return st.suspect
+	}
+	return ""
+}
+
+// Suspects returns every currently suspect channel, sorted.
+func (g *ChannelGuard) Suspects() []string {
+	var out []string
+	for name, st := range g.channels {
+		if st.suspect != "" {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Cap returns the believability ceiling for suspect-derived reports.
+func (g *ChannelGuard) Cap() float64 { return g.cfg.BelievabilityCap }

@@ -17,6 +17,7 @@ package dc
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 	"time"
 )
 
@@ -30,14 +31,28 @@ type Task struct {
 	Run func(now time.Time) error
 }
 
+// TaskStatus is one task's execution record, reported in heartbeats so the
+// PDME can see not just that a DC is alive but that its analysis suites are
+// actually running.
+type TaskStatus struct {
+	// Name is the task name.
+	Name string
+	// LastRun is the virtual time of the most recent execution (zero:
+	// never ran).
+	LastRun time.Time
+	// Runs counts executions.
+	Runs int64
+}
+
 // Scheduler is a deterministic virtual-time event scheduler. The paper's DC
 // runs tests on wall-clock schedules; driving the same queue with virtual
 // time lets a month of shipboard operation execute in milliseconds of test
 // time. It is not safe for concurrent use.
 type Scheduler struct {
-	now   time.Time
-	queue eventQueue
-	seq   int64
+	now    time.Time
+	queue  eventQueue
+	seq    int64
+	status map[string]*TaskStatus
 }
 
 type event struct {
@@ -67,7 +82,7 @@ func (q *eventQueue) Pop() any {
 
 // NewScheduler creates a scheduler starting at the given virtual time.
 func NewScheduler(start time.Time) *Scheduler {
-	s := &Scheduler{now: start}
+	s := &Scheduler{now: start, status: make(map[string]*TaskStatus)}
 	heap.Init(&s.queue)
 	return s
 }
@@ -103,6 +118,13 @@ func (s *Scheduler) RunUntil(end time.Time) error {
 		if err := next.task.Run(s.now); err != nil {
 			return fmt.Errorf("dc: task %q at %v: %w", next.task.Name, s.now, err)
 		}
+		st, ok := s.status[next.task.Name]
+		if !ok {
+			st = &TaskStatus{Name: next.task.Name}
+			s.status[next.task.Name] = st
+		}
+		st.LastRun = s.now
+		st.Runs++
 		if next.task.Interval > 0 {
 			s.seq++
 			heap.Push(&s.queue, &event{at: s.now.Add(next.task.Interval), seq: s.seq, task: next.task})
@@ -116,3 +138,13 @@ func (s *Scheduler) RunUntil(end time.Time) error {
 
 // Pending returns the number of queued events.
 func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// Statuses returns every executed task's last-run record, sorted by name.
+func (s *Scheduler) Statuses() []TaskStatus {
+	out := make([]TaskStatus, 0, len(s.status))
+	for _, st := range s.status {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

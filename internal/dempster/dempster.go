@@ -299,6 +299,35 @@ func (m *Mass) Clone() *Mass {
 	return c
 }
 
+// Discount applies Shafer's classical discounting: the source providing m
+// is trusted with reliability alpha in [0,1], so every focal mass is scaled
+// by alpha and the forfeited confidence 1-alpha is reassigned to Θ (total
+// ignorance). Discounting a source before combination is how MPROS degrades
+// stale or suspect evidence gracefully: at alpha=1 the evidence passes
+// through untouched, at alpha=0 it vanishes into the vacuous mass, and in
+// between beliefs shrink while the unknown mass grows — never the reverse.
+func Discount(m *Mass, alpha float64) (*Mass, error) {
+	if math.IsNaN(alpha) || alpha < 0 || alpha > 1 {
+		return nil, fmt.Errorf("dempster: discount factor %g outside [0,1]", alpha)
+	}
+	if alpha >= 1 {
+		return m.Clone(), nil
+	}
+	if alpha <= 0 {
+		return VacuousMass(m.frame), nil
+	}
+	out := NewMass(m.frame)
+	theta := m.frame.Theta()
+	for s, v := range m.m {
+		if s == theta {
+			continue
+		}
+		out.m[s] = alpha * v
+	}
+	out.m[theta] = 1 - alpha + alpha*m.m[theta]
+	return out, nil
+}
+
 // Combine applies Dempster's rule of combination to a and b, which must be
 // defined over the same frame. It returns the combined mass function and the
 // conflict K (the total probability mass the two sources assign to

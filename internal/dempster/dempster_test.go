@@ -432,3 +432,73 @@ func BenchmarkCombineTenSources(b *testing.B) {
 		}
 	}
 }
+
+func TestDiscount(t *testing.T) {
+	f := MustFrame("A", "B", "C")
+	a, _ := f.Hypothesis("A")
+	m, err := SimpleSupport(f, a, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// alpha=1 is the identity.
+	same, err := Discount(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := same.Belief(a); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("Discount(m,1) belief %g, want 0.8", got)
+	}
+	// alpha=0 is total ignorance.
+	vac, err := Discount(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := vac.Unknown(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Discount(m,0) unknown %g, want 1", got)
+	}
+	// Intermediate alpha scales belief and shifts the rest to Θ.
+	half, err := Discount(m, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := half.Belief(a); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("Discount(m,0.5) belief %g, want 0.4", got)
+	}
+	if got := half.Unknown(); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("Discount(m,0.5) unknown %g, want 0.6", got)
+	}
+	if err := half.Validate(1e-12); err != nil {
+		t.Errorf("discounted mass invalid: %v", err)
+	}
+	for _, bad := range []float64{-0.1, 1.1, math.NaN()} {
+		if _, err := Discount(m, bad); err == nil {
+			t.Errorf("Discount with alpha %g should error", bad)
+		}
+	}
+}
+
+// TestDiscountMonotone: as alpha falls, belief never rises and unknown never
+// falls — the graceful-degradation invariant staleness discounting rests on.
+func TestDiscountMonotone(t *testing.T) {
+	f := MustFrame("A", "B", "C")
+	a, _ := f.Hypothesis("A")
+	rng := rand.New(rand.NewSource(42))
+	m := randomMass(rng, f)
+	prevBel, prevUnk := m.Belief(a), m.Unknown()
+	for alpha := 0.95; alpha >= -0.001; alpha -= 0.05 {
+		d, err := Discount(m, math.Max(alpha, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b := d.Belief(a); b > prevBel+1e-12 {
+			t.Fatalf("belief rose from %g to %g at alpha %g", prevBel, b, alpha)
+		} else {
+			prevBel = b
+		}
+		if u := d.Unknown(); u < prevUnk-1e-12 {
+			t.Fatalf("unknown fell from %g to %g at alpha %g", prevUnk, u, alpha)
+		} else {
+			prevUnk = u
+		}
+	}
+}

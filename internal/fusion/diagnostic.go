@@ -21,9 +21,20 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/dempster"
 )
+
+// Discounter supplies per-source reliability factors for Shafer discounting.
+// Reliability returns α ∈ [0,1] for evidence from the named source whose
+// latest report carries the given timestamp: 1 means fully reliable
+// (combine as-is), 0 means worthless (evidence collapses to total
+// ignorance). The health registry implements this from report age and DC
+// liveness state.
+type Discounter interface {
+	Reliability(source string, lastReport time.Time) float64
+}
 
 // Groups maps a logical failure group name to its member condition names.
 type Groups map[string][]string
@@ -75,12 +86,36 @@ type ConditionBelief struct {
 	Plausibility float64
 	// Reports is how many reports have mentioned this condition.
 	Reports int
+	// Reliability is the best discount factor among the sources asserting
+	// this condition (1 when discounting is disabled or all sources fresh).
+	Reliability float64
+	// Degraded marks conclusions whose every supporting source is being
+	// discounted for staleness or ill health — the belief shown is weaker
+	// than the evidence originally asserted.
+	Degraded bool
+}
+
+// sourceEvidence is the running evidence one knowledge source has
+// contributed to a (component, group) pair. Keeping sources separate (and
+// combining at query time) lets each source's whole contribution be
+// discounted by its current reliability: Dempster combination is
+// commutative and associative, so splitting per source changes nothing
+// when every α is 1.
+type sourceEvidence struct {
+	mass *dempster.Mass
+	// lastReport is the latest sensed-at timestamp this source asserted
+	// (zero for untimestamped reports — never discounted).
+	lastReport time.Time
+	// conditions is the set of conditions this source has reported.
+	conditions map[string]struct{}
 }
 
 // groupState is the running belief state of one (component, group) pair.
 type groupState struct {
 	frame *dempster.Frame
-	mass  *dempster.Mass
+	// sources holds per-knowledge-source evidence, keyed by source id
+	// ("" for reports with no source attribution).
+	sources map[string]*sourceEvidence
 	// reports counts per-condition report arrivals.
 	reports map[string]int
 }
@@ -94,6 +129,16 @@ type DiagnosticFuser struct {
 	states      map[string]map[string]*groupState // component -> group -> state
 	maxBelief   float64
 	totalFusedN int
+	discounter  Discounter
+}
+
+// SetDiscounter installs a reliability source for staleness discounting.
+// Nil (the default) disables discounting: all evidence combines at full
+// strength. Evidence from the anonymous source "" is never discounted.
+func (df *DiagnosticFuser) SetDiscounter(d Discounter) {
+	df.mu.Lock()
+	defer df.mu.Unlock()
+	df.discounter = d
 }
 
 // NewDiagnosticFuser builds a fuser over the given failure groups. Incoming
@@ -140,7 +185,7 @@ func (df *DiagnosticFuser) state(component, group string) (*groupState, error) {
 		}
 		st = &groupState{
 			frame:   frame,
-			mass:    dempster.VacuousMass(frame),
+			sources: make(map[string]*sourceEvidence),
 			reports: make(map[string]int),
 		}
 		byGroup[group] = st
@@ -148,12 +193,22 @@ func (df *DiagnosticFuser) state(component, group string) (*groupState, error) {
 	return st, nil
 }
 
-// AddReport fuses one diagnostic report: a knowledge source asserting the
-// condition on the component with the given belief. It returns the updated
-// fused belief in that condition. Per §5.6, the update also reweights every
-// other failure in the condition's logical group and the group's unknown
-// mass — all readable afterwards via Belief/Unknown/Ranked.
+// AddReport fuses one diagnostic report from an anonymous source — see
+// AddReportFrom. Anonymous evidence is never discounted.
 func (df *DiagnosticFuser) AddReport(component, condition string, belief float64) (float64, error) {
+	return df.AddReportFrom(component, condition, "", time.Time{}, belief)
+}
+
+// AddReportFrom fuses one diagnostic report: the named knowledge source
+// asserting the condition on the component with the given belief, sensed at
+// the given time. It returns the updated fused belief in that condition.
+// Per §5.6, the update also reweights every other failure in the
+// condition's logical group and the group's unknown mass — all readable
+// afterwards via Belief/Unknown/Ranked. When a Discounter is installed the
+// source's accumulated evidence is Shafer-discounted by its current
+// reliability on every read, so beliefs decay toward ignorance as the
+// source goes stale and recover when fresh reports resume.
+func (df *DiagnosticFuser) AddReportFrom(component, condition, source string, at time.Time, belief float64) (float64, error) {
 	if component == "" {
 		return 0, fmt.Errorf("fusion: empty component")
 	}
@@ -181,14 +236,68 @@ func (df *DiagnosticFuser) AddReport(component, condition string, belief float64
 	if err != nil {
 		return 0, err
 	}
-	combined, _, err := dempster.Combine(st.mass, evidence)
+	src, ok := st.sources[source]
+	if !ok {
+		src = &sourceEvidence{
+			mass:       dempster.VacuousMass(st.frame),
+			conditions: make(map[string]struct{}),
+		}
+		st.sources[source] = src
+	}
+	combined, _, err := dempster.Combine(src.mass, evidence)
 	if err != nil {
 		return 0, err
 	}
-	st.mass = combined
+	src.mass = combined
+	src.conditions[condition] = struct{}{}
+	if at.After(src.lastReport) {
+		src.lastReport = at
+	}
 	st.reports[condition]++
 	df.totalFusedN++
-	return st.mass.Belief(hyp), nil
+	fused, err := df.fusedLocked(st)
+	if err != nil {
+		return 0, err
+	}
+	return fused.Belief(hyp), nil
+}
+
+// sourceAlpha returns the discount factor currently applied to a source's
+// evidence. Callers hold df.mu (read or write).
+func (df *DiagnosticFuser) sourceAlpha(name string, src *sourceEvidence) float64 {
+	if df.discounter == nil || name == "" || src.lastReport.IsZero() {
+		return 1
+	}
+	return df.discounter.Reliability(name, src.lastReport)
+}
+
+// fusedLocked combines every source's discounted evidence for one group
+// state. Sources combine in sorted-id order so the result is deterministic
+// regardless of arrival interleaving across sources. Callers hold df.mu.
+func (df *DiagnosticFuser) fusedLocked(st *groupState) (*dempster.Mass, error) {
+	names := make([]string, 0, len(st.sources))
+	for name := range st.sources {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := dempster.VacuousMass(st.frame)
+	for _, name := range names {
+		src := st.sources[name]
+		m := src.mass
+		if alpha := df.sourceAlpha(name, src); alpha < 1 {
+			dm, err := dempster.Discount(m, alpha)
+			if err != nil {
+				return nil, err
+			}
+			m = dm
+		}
+		combined, _, err := dempster.Combine(out, m)
+		if err != nil {
+			return nil, err
+		}
+		out = combined
+	}
+	return out, nil
 }
 
 // Belief returns the fused belief in a condition on a component (0 when no
@@ -209,7 +318,11 @@ func (df *DiagnosticFuser) Belief(component, condition string) (float64, error) 
 	if err != nil {
 		return 0, err
 	}
-	return st.mass.Belief(hyp), nil
+	fused, err := df.fusedLocked(st)
+	if err != nil {
+		return 0, err
+	}
+	return fused.Belief(hyp), nil
 }
 
 // Plausibility returns the fused plausibility of a condition.
@@ -229,7 +342,11 @@ func (df *DiagnosticFuser) Plausibility(component, condition string) (float64, e
 	if err != nil {
 		return 0, err
 	}
-	return st.mass.Plausibility(hyp), nil
+	fused, err := df.fusedLocked(st)
+	if err != nil {
+		return 0, err
+	}
+	return fused.Plausibility(hyp), nil
 }
 
 // Unknown returns the §5.3 "likelihood of unknown possibilities" for a
@@ -244,7 +361,11 @@ func (df *DiagnosticFuser) Unknown(component, group string) (float64, error) {
 	if byGroup == nil || byGroup[group] == nil {
 		return 1, nil
 	}
-	return byGroup[group].mass.Unknown(), nil
+	fused, err := df.fusedLocked(byGroup[group])
+	if err != nil {
+		return 0, err
+	}
+	return fused.Unknown(), nil
 }
 
 // Ranked returns every condition reported against the component, ranked by
@@ -255,17 +376,38 @@ func (df *DiagnosticFuser) Ranked(component string) []ConditionBelief {
 	defer df.mu.RUnlock()
 	var out []ConditionBelief
 	for group, st := range df.states[component] {
+		fused, err := df.fusedLocked(st)
+		if err != nil {
+			continue
+		}
+		// Best reliability per condition across the sources asserting it:
+		// a conclusion is degraded only when no fresh source backs it.
+		rel := make(map[string]float64, len(st.reports))
+		for name, src := range st.sources {
+			alpha := df.sourceAlpha(name, src)
+			for cond := range src.conditions {
+				if best, ok := rel[cond]; !ok || alpha > best {
+					rel[cond] = alpha
+				}
+			}
+		}
 		for cond, n := range st.reports {
 			hyp, err := st.frame.Hypothesis(cond)
 			if err != nil {
 				continue
 			}
+			alpha, ok := rel[cond]
+			if !ok {
+				alpha = 1
+			}
 			out = append(out, ConditionBelief{
 				Condition:    cond,
 				Group:        group,
-				Belief:       st.mass.Belief(hyp),
-				Plausibility: st.mass.Plausibility(hyp),
+				Belief:       fused.Belief(hyp),
+				Plausibility: fused.Plausibility(hyp),
 				Reports:      n,
+				Reliability:  alpha,
+				Degraded:     alpha < 1-1e-9,
 			})
 		}
 	}

@@ -1,0 +1,204 @@
+package fusion
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// fakeDiscounter maps source id to a fixed reliability factor; sources not
+// listed are fully reliable.
+type fakeDiscounter struct {
+	alpha map[string]float64
+}
+
+func (f *fakeDiscounter) Reliability(source string, _ time.Time) float64 {
+	if a, ok := f.alpha[source]; ok {
+		return a
+	}
+	return 1
+}
+
+var discountGroups = Groups{
+	"bearing": {"outer-race-fault", "inner-race-fault"},
+	"balance": {"unbalance"},
+}
+
+// dt is a fixed test epoch (no wall clock in deterministic packages).
+var dt = time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC)
+
+func TestAddReportFromMatchesAnonymous(t *testing.T) {
+	// With no discounter, source attribution must not change fused numbers:
+	// Dempster combination is associative/commutative, and single-source
+	// evidence takes the exact same code path as before.
+	a, err := NewDiagnosticFuser(discountGroups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewDiagnosticFuser(discountGroups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beliefs := []float64{0.7, 0.5, 0.8}
+	for i, bel := range beliefs {
+		if _, err := a.AddReport("chiller", "outer-race-fault", bel); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.AddReportFrom("chiller", "outer-race-fault", "dc-0", dt.Add(time.Duration(i)*time.Minute), bel); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ba, err := a.Belief("chiller", "outer-race-fault")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := b.Belief("chiller", "outer-race-fault")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ba != bb {
+		t.Fatalf("attributed belief %g != anonymous belief %g", bb, ba)
+	}
+}
+
+func TestDiscountingShiftsBeliefToUnknown(t *testing.T) {
+	df, err := NewDiagnosticFuser(discountGroups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := df.AddReportFrom("chiller", "outer-race-fault", "dc-0", dt, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	fresh, _ := df.Belief("chiller", "outer-race-fault")
+	freshUnknown, _ := df.Unknown("chiller", "bearing")
+	if math.Abs(fresh-0.8) > 1e-12 {
+		t.Fatalf("fresh belief = %g, want 0.8", fresh)
+	}
+
+	disc := &fakeDiscounter{alpha: map[string]float64{"dc-0": 1}}
+	df.SetDiscounter(disc)
+	prevBelief, prevUnknown := fresh, freshUnknown
+	for _, alpha := range []float64{0.75, 0.5, 0.25, 0} {
+		disc.alpha["dc-0"] = alpha
+		bel, err := df.Belief("chiller", "outer-race-fault")
+		if err != nil {
+			t.Fatal(err)
+		}
+		unk, err := df.Unknown("chiller", "bearing")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bel > prevBelief || unk < prevUnknown {
+			t.Fatalf("alpha %g: belief %g (prev %g) / unknown %g (prev %g) not monotone", alpha, bel, prevBelief, unk, prevUnknown)
+		}
+		if math.Abs(bel-alpha*0.8) > 1e-12 {
+			t.Fatalf("alpha %g: belief = %g, want %g", alpha, bel, alpha*0.8)
+		}
+		prevBelief, prevUnknown = bel, unk
+	}
+	// Fully discounted single source: total ignorance.
+	if prevBelief != 0 || math.Abs(prevUnknown-1) > 1e-12 {
+		t.Fatalf("alpha 0: belief %g unknown %g, want 0 and 1", prevBelief, prevUnknown)
+	}
+	// Recovery is automatic: restore reliability and the original numbers
+	// come back with no re-reporting.
+	disc.alpha["dc-0"] = 1
+	bel, _ := df.Belief("chiller", "outer-race-fault")
+	unk, _ := df.Unknown("chiller", "bearing")
+	if bel != fresh || unk != freshUnknown {
+		t.Fatalf("after recovery belief %g unknown %g, want %g and %g", bel, unk, fresh, freshUnknown)
+	}
+}
+
+func TestStaleSourceNeverOutranksLiveContradiction(t *testing.T) {
+	// The ISSUE invariant: a quarantined source's stale conclusion must not
+	// rank above a live contradicting one. dc-stale asserted outer-race
+	// strongly; dc-live asserts inner-race moderately. Once dc-stale's
+	// reliability falls low enough, the live conclusion ranks first.
+	df, err := NewDiagnosticFuser(discountGroups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := df.AddReportFrom("chiller", "outer-race-fault", "dc-stale", dt, 0.95); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := df.AddReportFrom("chiller", "inner-race-fault", "dc-live", dt.Add(time.Hour), 0.6); err != nil {
+		t.Fatal(err)
+	}
+	disc := &fakeDiscounter{alpha: map[string]float64{"dc-stale": 1}}
+	df.SetDiscounter(disc)
+	ranked := df.Ranked("chiller")
+	if len(ranked) != 2 || ranked[0].Condition != "outer-race-fault" {
+		t.Fatalf("with both fresh, stronger assertion should lead: %+v", ranked)
+	}
+	if ranked[0].Degraded || ranked[1].Degraded {
+		t.Fatalf("nothing should be degraded at full reliability: %+v", ranked)
+	}
+
+	disc.alpha["dc-stale"] = 0.1
+	ranked = df.Ranked("chiller")
+	if ranked[0].Condition != "inner-race-fault" {
+		t.Fatalf("stale source outranks live contradiction: %+v", ranked)
+	}
+	var stale ConditionBelief
+	for _, cb := range ranked {
+		if cb.Condition == "outer-race-fault" {
+			stale = cb
+		}
+	}
+	if !stale.Degraded || math.Abs(stale.Reliability-0.1) > 1e-12 {
+		t.Fatalf("stale conclusion should be marked degraded at α=0.1: %+v", stale)
+	}
+	live := ranked[0]
+	if live.Degraded || live.Reliability != 1 {
+		t.Fatalf("live conclusion should stay undegraded: %+v", live)
+	}
+}
+
+func TestDegradedNeedsAllSourcesStale(t *testing.T) {
+	// Two sources assert the same condition; only one goes stale. The
+	// conclusion keeps a fresh backer, so it is not degraded.
+	df, err := NewDiagnosticFuser(discountGroups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := df.AddReportFrom("pump", "unbalance", "dc-0", dt, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := df.AddReportFrom("pump", "unbalance", "dc-1", dt, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	df.SetDiscounter(&fakeDiscounter{alpha: map[string]float64{"dc-0": 0.2}})
+	ranked := df.Ranked("pump")
+	if len(ranked) != 1 {
+		t.Fatalf("ranked: %+v", ranked)
+	}
+	if ranked[0].Degraded || ranked[0].Reliability != 1 {
+		t.Fatalf("conclusion with a fresh backer should not be degraded: %+v", ranked[0])
+	}
+	// Corroboration from the discounted source still counts, just weaker:
+	// belief must sit between the single-fresh-source value and the
+	// two-fresh-sources value.
+	single := 0.7
+	both := 1 - (1-0.7)*(1-0.7)
+	bel, _ := df.Belief("pump", "unbalance")
+	if bel <= single || bel >= both {
+		t.Fatalf("partially discounted corroboration: belief %g not in (%g,%g)", bel, single, both)
+	}
+}
+
+func TestDiscounterAlphaClamped(t *testing.T) {
+	// A misbehaving discounter returning out-of-range α must surface as an
+	// error from Discount, not corrupt masses.
+	df, err := NewDiagnosticFuser(discountGroups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := df.AddReportFrom("pump", "unbalance", "dc-0", dt, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	df.SetDiscounter(&fakeDiscounter{alpha: map[string]float64{"dc-0": -0.5}})
+	if _, err := df.Belief("pump", "unbalance"); err == nil {
+		t.Fatal("negative reliability should error")
+	}
+}

@@ -1,0 +1,156 @@
+package pdme
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/health"
+	"repro/internal/proto"
+)
+
+var healthT0 = time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC)
+
+func testHealthConfig() health.Config {
+	return health.Config{
+		LateAfter:        30 * time.Minute,
+		SilentAfter:      time.Hour,
+		FreshFor:         time.Hour,
+		StalenessHorizon: 6 * time.Hour,
+		ReliabilityFloor: 0.05,
+	}
+}
+
+func dcReport(dcid, component, condition string, belief float64, at time.Time) *proto.Report {
+	r := report("ks/dli", component, condition, 0.5, belief, at, nil)
+	r.DCID = dcid
+	return r
+}
+
+func heartbeat(dcid string, at time.Time) *proto.Heartbeat {
+	return &proto.Heartbeat{DCID: dcid, SentAt: at, Incarnation: 1}
+}
+
+func TestHealthDiscountingDecayAndRecovery(t *testing.T) {
+	p := newTestPDME(t)
+	defer p.Close()
+	if err := p.ConfigureHealth(testHealthConfig()); err != nil {
+		t.Fatal(err)
+	}
+	// dc-0 asserts an imbalance; dc-1 only heartbeats (it advances event
+	// time without contributing evidence).
+	if err := p.Deliver(dcReport("dc-0", "chiller/1", "motor imbalance", 0.8, healthT0)); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := p.Belief("chiller/1", "motor imbalance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fresh-0.8) > 1e-12 {
+		t.Fatalf("fresh belief %g, want 0.8", fresh)
+	}
+	freshUnknown, _ := p.Unknown("chiller/1", "structural")
+
+	// Silence dc-0: event time advances through dc-1's heartbeats. Belief
+	// must fall monotonically toward Unknown as staleness grows.
+	prevBelief, prevUnknown := fresh, freshUnknown
+	for _, age := range []time.Duration{2 * time.Hour, 4 * time.Hour, 7 * time.Hour} {
+		if err := p.ObserveHeartbeat(heartbeat("dc-1", healthT0.Add(age))); err != nil {
+			t.Fatal(err)
+		}
+		bel, err := p.Belief("chiller/1", "motor imbalance")
+		if err != nil {
+			t.Fatal(err)
+		}
+		unk, err := p.Unknown("chiller/1", "structural")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bel >= prevBelief || unk <= prevUnknown {
+			t.Fatalf("at age %v belief %g (prev %g) / unknown %g (prev %g): no decay", age, bel, prevBelief, unk, prevUnknown)
+		}
+		prevBelief, prevUnknown = bel, unk
+	}
+	if p.Health().StateOf("dc-0") != health.StateSilent {
+		t.Fatalf("dc-0 state %v, want silent", p.Health().StateOf("dc-0"))
+	}
+	// Past the horizon with the silent penalty, belief sits at the floor's
+	// scale and the prioritized list marks the conclusion degraded.
+	items := p.PrioritizedList()
+	if len(items) != 1 || !items[0].Degraded {
+		t.Fatalf("prioritized list %+v, want one degraded item", items)
+	}
+	// Recovery: dc-0 reports again with a fresh timestamp; belief strictly
+	// exceeds the single-report value (stale evidence still corroborates).
+	if err := p.Deliver(dcReport("dc-0", "chiller/1", "motor imbalance", 0.8, healthT0.Add(7*time.Hour))); err != nil {
+		t.Fatal(err)
+	}
+	bel, _ := p.Belief("chiller/1", "motor imbalance")
+	if bel < 0.8-1e-9 {
+		t.Fatalf("post-recovery belief %g, want at least 0.8", bel)
+	}
+	if p.Health().StateOf("dc-0") != health.StateAlive {
+		t.Fatalf("dc-0 state %v after recovery, want alive", p.Health().StateOf("dc-0"))
+	}
+	items = p.PrioritizedList()
+	if len(items) != 1 || items[0].Degraded {
+		t.Fatalf("prioritized list %+v, want recovery to clear degraded", items)
+	}
+}
+
+func TestHealthRegistryTracksWithoutDiscounting(t *testing.T) {
+	// Without ConfigureHealth the registry still tracks liveness, but
+	// fused numbers never move with staleness (backward compatibility).
+	p := newTestPDME(t)
+	defer p.Close()
+	if err := p.Deliver(dcReport("dc-0", "chiller/1", "motor imbalance", 0.8, healthT0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ObserveHeartbeat(heartbeat("dc-1", healthT0.Add(24*time.Hour))); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Health().StateOf("dc-0"); got != health.StateSilent {
+		t.Fatalf("dc-0 state %v, want silent (tracking always on)", got)
+	}
+	bel, err := p.Belief("chiller/1", "motor imbalance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bel-0.8) > 1e-12 {
+		t.Fatalf("belief %g moved without discounting enabled", bel)
+	}
+	snap := p.Health().Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot %+v, want dc-0 and dc-1", snap)
+	}
+	if len(snap[0].Sources) != 1 || snap[0].Sources[0].Source != "ks/dli" {
+		t.Fatalf("dc-0 sources %+v", snap[0].Sources)
+	}
+}
+
+func TestSuspectChannelsStoredInModel(t *testing.T) {
+	p := newTestPDME(t)
+	defer p.Close()
+	r := dcReport("dc-0", "chiller/1", "motor imbalance", 0.15, healthT0)
+	r.SuspectChannels = []string{"vib/motor-de", "proc/evap_temp"}
+	if err := p.Deliver(r); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := p.Model().FindByProp(ReportClass, "suspect", "vib/motor-de,proc/evap_temp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 {
+		t.Fatalf("stored suspect prop not queryable: %v", ids)
+	}
+}
+
+func TestConfigureHealthRejectsBadConfig(t *testing.T) {
+	p := newTestPDME(t)
+	defer p.Close()
+	bad := testHealthConfig()
+	bad.ReliabilityFloor = 1.5
+	if err := p.ConfigureHealth(bad); err == nil {
+		t.Fatal("invalid health config should be rejected")
+	}
+}

@@ -22,10 +22,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/fusion"
+	"repro/internal/health"
 	"repro/internal/historian"
 	"repro/internal/oosm"
 	"repro/internal/proto"
@@ -66,6 +68,11 @@ type PDME struct {
 	// on the PDME (not the server) so suppression survives a report-server
 	// Close/Serve bounce — evidence is never double-counted across restarts.
 	dedup *proto.Dedup
+	// registry tracks fleet health from heartbeats and report arrivals. It
+	// always exists (event-time, default thresholds) so health displays
+	// work out of the box; staleness discounting of fused evidence only
+	// engages after ConfigureHealth.
+	registry *health.Registry
 }
 
 // New builds a PDME over a ship model and the logical failure groups for
@@ -95,6 +102,10 @@ func NewWithHistorian(model *oosm.Model, groups fusion.Groups, hist *historian.S
 			return nil, err
 		}
 	}
+	registry, err := health.NewRegistry(health.Config{})
+	if err != nil {
+		return nil, err
+	}
 	p := &PDME{
 		model:         model,
 		diag:          diag,
@@ -103,6 +114,7 @@ func NewWithHistorian(model *oosm.Model, groups fusion.Groups, hist *historian.S
 		ownHist:       ownHist,
 		conclusionIDs: make(map[string]oosm.ObjectID),
 		dedup:         proto.NewDedup(0),
+		registry:      registry,
 	}
 	classes := []oosm.Class{
 		{Name: ReportClass, Props: map[string]oosm.PropType{
@@ -116,6 +128,7 @@ func NewWithHistorian(model *oosm.Model, groups fusion.Groups, hist *historian.S
 			"recommend":   oosm.PropString,
 			"timestamp":   oosm.PropTime,
 			"prognostics": oosm.PropString, // JSON-encoded §7.3 vector
+			"suspect":     oosm.PropString, // comma-joined guard-flagged channels
 		}},
 		{Name: ConclusionClass, Props: map[string]oosm.PropType{
 			"component":    oosm.PropString,
@@ -187,13 +200,54 @@ func (p *PDME) Deliver(r *proto.Report) error {
 		"recommend":   r.Recommendations,
 		"timestamp":   r.Timestamp,
 		"prognostics": string(progJSON),
+		"suspect":     strings.Join(r.SuspectChannels, ","),
 	})
 	if err != nil {
 		return err
 	}
+	// A delivered report is liveness evidence for its DC, heartbeats or not.
+	p.Health().ObserveReport(r.DCID, r.KnowledgeSourceID, r.Timestamp)
 	p.mu.Lock()
 	p.received++
 	p.mu.Unlock()
+	return nil
+}
+
+// ObserveHeartbeat implements proto.HeartbeatSink by forwarding fleet
+// heartbeats into the health registry.
+func (p *PDME) ObserveHeartbeat(hb *proto.Heartbeat) error {
+	return p.Health().ObserveHeartbeat(hb)
+}
+
+// SendHeartbeat lets a co-resident DC (wired straight to the PDME with no
+// uplink in between) satisfy the dc.HeartbeatUplink contract: the heartbeat
+// is observed directly, skipping the wire.
+func (p *PDME) SendHeartbeat(hb *proto.Heartbeat) error {
+	return p.Health().ObserveHeartbeat(hb)
+}
+
+// Health exposes the fleet-health registry for displays and tests.
+func (p *PDME) Health() *health.Registry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.registry
+}
+
+// ConfigureHealth replaces the health registry with one built from cfg and
+// engages staleness discounting: from here on every source's fused evidence
+// is Shafer-discounted by its report age and DC liveness state on each
+// query, so beliefs decay toward Unknown when a DC goes quiet and recover
+// when it returns. Call before any traffic — replacing the registry drops
+// previously observed liveness history.
+func (p *PDME) ConfigureHealth(cfg health.Config) error {
+	registry, err := health.NewRegistry(cfg)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.registry = registry
+	p.mu.Unlock()
+	p.diag.SetDiscounter(registry)
 	return nil
 }
 
@@ -209,6 +263,7 @@ func (p *PDME) fuseFromModel(reportID oosm.ObjectID) error {
 	belief, _ := props["belief"].(float64)
 	severity, _ := props["severity"].(float64)
 	ts, _ := props["timestamp"].(time.Time)
+	dcid, _ := props["dc_id"].(string)
 
 	// §10.1 temporal reasoning: record the severity history in the
 	// historian so developing faults can be projected forward (and, on
@@ -216,7 +271,10 @@ func (p *PDME) fuseFromModel(reportID oosm.ObjectID) error {
 	if err := p.observeSeverity(component, condition, ts, severity); err != nil {
 		return err
 	}
-	fusedBelief, err := p.diag.AddReport(component, condition, belief)
+	// Evidence is attributed to the originating DC so the health registry
+	// can discount a stale source's whole contribution. Reports without a
+	// DC id stay anonymous and are never discounted.
+	fusedBelief, err := p.diag.AddReportFrom(component, condition, dcid, ts, belief)
 	if err != nil {
 		return err
 	}
@@ -395,6 +453,7 @@ func (p *PDME) Serve(addr string) (string, *proto.Server, error) {
 func (p *PDME) ServeWithIdleTimeout(addr string, idle time.Duration) (string, *proto.Server, error) {
 	srv := proto.NewServer(p)
 	srv.SetDedup(p.dedup)
+	srv.SetHeartbeatSink(p)
 	srv.SetIdleTimeout(idle)
 	bound, err := srv.Start(addr)
 	if err != nil {

@@ -1,0 +1,84 @@
+package proto
+
+import (
+	"fmt"
+	"time"
+)
+
+// Heartbeat is the fleet-health wire frame: a DC announces, on an interval,
+// that it is alive, which incarnation of its software and spool is running,
+// how much undelivered work it is holding, and when each analysis suite
+// last ran. The PDME-side health registry turns the stream (and its
+// silences) into per-DC liveness states that discount stale evidence in
+// knowledge fusion — the §5.5 believability factor applied to the
+// monitoring fleet itself rather than to individual diagnoses.
+type Heartbeat struct {
+	// DCID identifies the reporting data concentrator.
+	DCID string `json:"dc_id"`
+	// Boot is the DC's sequence-counter incarnation (the same id that tags
+	// report frames for dedup); 0 when the sender has no spool.
+	Boot uint64 `json:"boot,omitempty"`
+	// Incarnation identifies the sender process instance: it changes on
+	// every process restart even when the spool (and Boot) persists, so the
+	// health registry can count restarts and detect flapping. 0 is unknown.
+	Incarnation uint64 `json:"incarnation,omitempty"`
+	// SentAt is the DC's clock when the heartbeat was issued (virtual time
+	// in simulation, wall time aboard ship).
+	SentAt time.Time `json:"sent_at"`
+	// SpoolDepth is the number of reports awaiting acknowledgement in the
+	// DC's store-and-forward spool at send time.
+	SpoolDepth int `json:"spool_depth,omitempty"`
+	// Suites carries per-analysis-suite last-run information.
+	Suites []SuiteStatus `json:"suites,omitempty"`
+}
+
+// SuiteStatus is one scheduled analysis suite's last-run record.
+type SuiteStatus struct {
+	// Name is the suite's scheduler task name (e.g. "vibration-test").
+	Name string `json:"name"`
+	// LastRun is when the suite last executed (zero: never).
+	LastRun time.Time `json:"last_run,omitzero"`
+	// Runs counts executions since DC start.
+	Runs int64 `json:"runs,omitempty"`
+}
+
+// Validate checks the heartbeat's required fields.
+func (hb *Heartbeat) Validate() error {
+	if hb.DCID == "" {
+		return fmt.Errorf("proto: heartbeat missing DC id")
+	}
+	if hb.SentAt.IsZero() {
+		return fmt.Errorf("proto: heartbeat missing send time")
+	}
+	if hb.SpoolDepth < 0 {
+		return fmt.Errorf("proto: heartbeat spool depth %d negative", hb.SpoolDepth)
+	}
+	return nil
+}
+
+// HeartbeatSink consumes validated heartbeats; the PDME's health registry
+// implements this interface.
+type HeartbeatSink interface {
+	ObserveHeartbeat(*Heartbeat) error
+}
+
+// SendHeartbeat delivers one heartbeat frame and waits for the server's
+// ack. Servers without a heartbeat sink still ack, so heartbeats are safe
+// to send to any report server.
+func (c *Client) SendHeartbeat(hb *Heartbeat) error {
+	if err := hb.Validate(); err != nil {
+		return err
+	}
+	reply, err := c.exchange(envelope{Kind: "heartbeat", Heartbeat: hb})
+	if err != nil {
+		return err
+	}
+	switch reply.Kind {
+	case "ack":
+		return nil
+	case "error":
+		return fmt.Errorf("%w: %s", ErrRejected, reply.Error)
+	default:
+		return fmt.Errorf("proto: unexpected reply kind %q", reply.Kind)
+	}
+}

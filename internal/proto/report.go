@@ -224,6 +224,12 @@ type Report struct {
 	Timestamp time.Time `json:"timestamp"`
 	// AdditionalInfo is optional extra human-readable information.
 	AdditionalInfo string `json:"additional_info,omitempty"`
+	// SuspectChannels lists raw sensor channels the DC's channel guards
+	// flagged (stuck-at, dropout, spike) while producing the evidence behind
+	// this report. A non-empty list means Belief was capped at the guard's
+	// believability ceiling and downstream consumers should treat the
+	// conclusion as provisional until the channel clears.
+	SuspectChannels []string `json:"suspect_channels,omitempty"`
 	// Prognostics is the §7.3 vector; may be empty for pure diagnostics.
 	Prognostics PrognosticVector `json:"prognostics,omitempty"`
 }

@@ -24,9 +24,11 @@ import (
 const MaxFrameSize = 16 << 20
 
 type envelope struct {
-	Kind   string  `json:"kind"` // "report" | "ack" | "error"
+	Kind   string  `json:"kind"` // "report" | "heartbeat" | "ack" | "error"
 	Report *Report `json:"report,omitempty"`
-	Error  string  `json:"error,omitempty"`
+	// Heartbeat carries the fleet-health liveness frame (kind "heartbeat").
+	Heartbeat *Heartbeat `json:"heartbeat,omitempty"`
+	Error     string     `json:"error,omitempty"`
 	// DCID and Seq tag a report frame with a per-DC monotonic delivery id so
 	// the receiving side can deduplicate at-least-once redelivery (a resend
 	// after a lost ack). Seq 0 means untagged (legacy senders). Boot
@@ -103,6 +105,9 @@ const DefaultIdleTimeout = 2 * time.Minute
 // sink. Create with NewServer, then Serve (blocking) or start via Start.
 type Server struct {
 	sink Sink
+	// hbSink, when set, receives validated heartbeat frames; without it
+	// heartbeats are acked and discarded (liveness still confirmed).
+	hbSink HeartbeatSink
 	// dedup, when set, suppresses redelivered report frames (same DC id and
 	// sequence) with a duplicate ack instead of a second sink delivery.
 	dedup *Dedup
@@ -125,6 +130,10 @@ func NewServer(sink Sink) *Server {
 // SetIdleTimeout overrides the per-connection read/write deadline; 0
 // disables deadlines. Call before Start.
 func (s *Server) SetIdleTimeout(d time.Duration) { s.idleTimeout = d }
+
+// SetHeartbeatSink routes heartbeat frames to a fleet-health consumer.
+// Call before Start.
+func (s *Server) SetHeartbeatSink(hs HeartbeatSink) { s.hbSink = hs }
 
 // SetDedup installs a duplicate-suppression window shared across all
 // connections (and, if reused across Start cycles, across server restarts).
@@ -209,6 +218,20 @@ func (s *Server) handle(conn net.Conn) {
 // process turns one inbound envelope into its reply, applying validation,
 // dedup, and sink delivery.
 func (s *Server) process(env envelope) envelope {
+	if env.Kind == "heartbeat" {
+		if env.Heartbeat == nil {
+			return envelope{Kind: "error", Error: "heartbeat frame without heartbeat"}
+		}
+		if err := env.Heartbeat.Validate(); err != nil {
+			return envelope{Kind: "error", Error: err.Error()}
+		}
+		if s.hbSink != nil {
+			if err := s.hbSink.ObserveHeartbeat(env.Heartbeat); err != nil {
+				return envelope{Kind: "error", Error: err.Error()}
+			}
+		}
+		return envelope{Kind: "ack"}
+	}
 	if env.Kind != "report" || env.Report == nil {
 		return envelope{Kind: "error", Error: "expected report frame"}
 	}

@@ -1,0 +1,174 @@
+package uplink
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+)
+
+var hbT0 = time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC)
+
+// hbCollector records heartbeats observed server-side.
+type hbCollector struct {
+	mu  sync.Mutex
+	hbs []*proto.Heartbeat
+}
+
+func (c *hbCollector) ObserveHeartbeat(hb *proto.Heartbeat) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cp := *hb
+	c.hbs = append(c.hbs, &cp)
+	return nil
+}
+
+func (c *hbCollector) snapshot() []*proto.Heartbeat {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*proto.Heartbeat(nil), c.hbs...)
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not met before timeout")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestSendHeartbeatFillsIdentity(t *testing.T) {
+	sink := &collector{}
+	hbs := &hbCollector{}
+	srv := proto.NewServer(sink)
+	srv.SetHeartbeatSink(hbs)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	u, err := New(fastConfig(addr, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	err = u.SendHeartbeat(&proto.Heartbeat{
+		SentAt: hbT0,
+		Suites: []proto.SuiteStatus{{Name: "vibration-test", LastRun: hbT0.Add(-time.Minute), Runs: 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return len(hbs.snapshot()) == 1 })
+	hb := hbs.snapshot()[0]
+	if hb.DCID != "dc-1" {
+		t.Errorf("DCID = %q, want filled from config", hb.DCID)
+	}
+	if hb.Boot == 0 || hb.Incarnation != u.Incarnation() {
+		t.Errorf("identity not filled: boot %d incarnation %d (want %d)", hb.Boot, hb.Incarnation, u.Incarnation())
+	}
+	if hb.SpoolDepth != 0 {
+		t.Errorf("spool depth = %d, want 0 on idle uplink", hb.SpoolDepth)
+	}
+	if len(hb.Suites) != 1 || hb.Suites[0].Runs != 4 {
+		t.Errorf("suites lost: %+v", hb.Suites)
+	}
+	if c := u.Counters(); c.HeartbeatsSent != 1 || c.HeartbeatsDropped != 0 {
+		t.Errorf("counters %+v", c)
+	}
+}
+
+func TestHeartbeatMailboxLatestWins(t *testing.T) {
+	// With the PDME down, queued heartbeats supersede each other; after the
+	// server appears only the newest one can possibly arrive, and earlier
+	// ones count as dropped — never spooled, never replayed.
+	addr := reserveAddr(t)
+	u, err := New(fastConfig(addr, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	for i := 0; i < 3; i++ {
+		if err := u.SendHeartbeat(&proto.Heartbeat{SentAt: hbT0.Add(time.Duration(i) * time.Minute)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Let the sender chew on the dead address until at least one heartbeat
+	// is dropped (single dial attempt, no retry).
+	waitFor(t, 5*time.Second, func() bool { return u.Counters().HeartbeatsDropped >= 1 })
+
+	hbs := &hbCollector{}
+	srv := proto.NewServer(proto.SinkFunc(func(*proto.Report) error { return nil }))
+	srv.SetHeartbeatSink(hbs)
+	if _, err := srv.Start(addr); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := u.SendHeartbeat(&proto.Heartbeat{SentAt: hbT0.Add(time.Hour)}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return len(hbs.snapshot()) >= 1 })
+	got := hbs.snapshot()
+	if len(got) != 1 || !got[0].SentAt.Equal(hbT0.Add(time.Hour)) {
+		t.Fatalf("delivered %d heartbeats (%+v), want exactly the latest", len(got), got)
+	}
+	if c := u.Counters(); c.HeartbeatsSent != 1 {
+		t.Errorf("counters %+v, want HeartbeatsSent=1", c)
+	}
+}
+
+func TestHeartbeatAnnouncesSpoolDepth(t *testing.T) {
+	// Queue reports against a dead PDME, then heartbeat: once the server
+	// appears, the heartbeat must announce the backlog that existed when it
+	// was issued.
+	addr := reserveAddr(t)
+	u, err := New(fastConfig(addr, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	for i := 1; i <= 4; i++ {
+		if err := u.Deliver(testReport(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := u.SendHeartbeat(&proto.Heartbeat{SentAt: hbT0}); err != nil {
+		t.Fatal(err)
+	}
+	u.mu.Lock()
+	depth := 0
+	if u.hbPending != nil {
+		depth = u.hbPending.SpoolDepth
+	}
+	u.mu.Unlock()
+	// The mailbox may already be drained (and dropped) by the sender; only
+	// assert when the frame is still queued.
+	if depth != 0 && depth != 4 {
+		t.Fatalf("queued heartbeat announces depth %d, want 4", depth)
+	}
+	sink := &collector{}
+	_, srv := startServer(t, addr, sink, proto.NewDedup(0))
+	defer srv.Close()
+	if err := u.Flush(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeartbeatClosedUplink(t *testing.T) {
+	addr := reserveAddr(t)
+	u, err := New(fastConfig(addr, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.SendHeartbeat(&proto.Heartbeat{SentAt: hbT0}); err == nil {
+		t.Fatal("closed uplink should refuse heartbeats")
+	}
+}

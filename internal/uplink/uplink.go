@@ -102,9 +102,20 @@ type Counters struct {
 	// Dropped counts reports abandoned: capacity-policy evictions plus
 	// permanent server rejections.
 	Dropped int64
+	// CapacityDrops counts the oldest-first evictions alone — reports lost
+	// because the spool hit capacity during an outage. They are included in
+	// Dropped; a non-zero value here is silent data loss that operators
+	// should see (raise SpoolCap or fix the link).
+	CapacityDrops int64
 	// DedupAcks counts acks the server flagged as duplicate suppression —
 	// redelivery the PDME had already fused exactly once.
 	DedupAcks int64
+	// HeartbeatsSent counts acked heartbeat frames.
+	HeartbeatsSent int64
+	// HeartbeatsDropped counts heartbeats abandoned because no connection
+	// could be made or the exchange failed. Heartbeats are never spooled:
+	// a missing heartbeat IS the outage signal the health registry wants.
+	HeartbeatsDropped int64
 }
 
 // Uplink is a resilient report sender; it implements proto.Sink so it slots
@@ -117,6 +128,14 @@ type Uplink struct {
 	client   *proto.Client
 	counters Counters
 	closed   bool
+	// incarnation identifies this sender process instance for flap
+	// detection: unlike the spool's boot id it never persists, so it
+	// changes on every restart even with a durable spool.
+	incarnation uint64
+	// hbPending is a one-slot heartbeat mailbox (latest wins): heartbeats
+	// carry point-in-time state, so an undeliverable one is superseded, not
+	// queued.
+	hbPending *proto.Heartbeat
 
 	wake chan struct{} // buffered(1): signals the sender that work arrived
 	stop chan struct{}
@@ -139,12 +158,18 @@ func New(cfg Config) (*Uplink, error) {
 	if err != nil {
 		return nil, err
 	}
+	incarnation, err := newBootID()
+	if err != nil {
+		_ = sp.close() // best-effort: the open spool is the only resource held
+		return nil, err
+	}
 	u := &Uplink{
-		cfg:   cfg,
-		spool: sp,
-		wake:  make(chan struct{}, 1),
-		stop:  make(chan struct{}),
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		cfg:         cfg,
+		spool:       sp,
+		incarnation: incarnation,
+		wake:        make(chan struct{}, 1),
+		stop:        make(chan struct{}),
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
 	}
 	u.wg.Add(1)
 	go func() {
@@ -173,6 +198,7 @@ func (u *Uplink) Deliver(r *proto.Report) error {
 	if err == nil {
 		u.counters.Spooled++
 		u.counters.Dropped += int64(len(droppedSeqs))
+		u.counters.CapacityDrops += int64(len(droppedSeqs))
 	}
 	u.mu.Unlock()
 	if err != nil {
@@ -180,6 +206,96 @@ func (u *Uplink) Deliver(r *proto.Report) error {
 	}
 	u.signal()
 	return nil
+}
+
+// Incarnation returns the sender-process instance id announced in
+// heartbeats (fresh on every New, even with a persistent spool).
+func (u *Uplink) Incarnation() uint64 { return u.incarnation }
+
+// SendHeartbeat queues a fleet-health heartbeat for delivery. The uplink
+// fills in its own identity (DCID, spool boot id, process incarnation) and
+// the current spool depth; the caller supplies SentAt and per-suite status.
+// Heartbeats use a one-slot latest-wins mailbox and are never spooled or
+// retried across backoff: if the link is down the heartbeat is dropped and
+// counted, and the resulting silence is exactly what tells the PDME's
+// health registry the DC is unreachable.
+func (u *Uplink) SendHeartbeat(hb *proto.Heartbeat) error {
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return errors.New("uplink: closed")
+	}
+	filled := *hb
+	if filled.DCID == "" {
+		filled.DCID = u.cfg.DCID
+	}
+	filled.Boot = u.spool.boot
+	filled.Incarnation = u.incarnation
+	filled.SpoolDepth = len(u.spool.pending)
+	err := filled.Validate()
+	if err == nil {
+		u.hbPending = &filled
+	}
+	u.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	u.signal()
+	return nil
+}
+
+// takeHeartbeat swaps the heartbeat mailbox empty.
+func (u *Uplink) takeHeartbeat() *proto.Heartbeat {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	hb := u.hbPending
+	u.hbPending = nil
+	return hb
+}
+
+// flushHeartbeat delivers the pending heartbeat, if any, with a single
+// connection attempt and no retry.
+func (u *Uplink) flushHeartbeat() {
+	hb := u.takeHeartbeat()
+	if hb == nil {
+		return
+	}
+	drop := func() {
+		u.mu.Lock()
+		u.counters.HeartbeatsDropped++
+		u.mu.Unlock()
+	}
+	if !u.ensureConnected() {
+		drop()
+		return
+	}
+	u.mu.Lock()
+	client := u.client
+	u.mu.Unlock()
+	if client == nil {
+		drop()
+		return
+	}
+	err := client.SendHeartbeat(hb)
+	switch {
+	case err == nil:
+		u.mu.Lock()
+		u.counters.HeartbeatsSent++
+		u.mu.Unlock()
+	case errors.Is(err, proto.ErrRejected):
+		// Link is fine; the server refused the frame (old PDME, registry
+		// fault). Nothing to retry.
+		drop()
+	default:
+		// Transport failure: the connection is suspect.
+		u.mu.Lock()
+		if u.client != nil {
+			_ = u.client.Close()
+			u.client = nil
+		}
+		u.mu.Unlock()
+		drop()
+	}
 }
 
 // Pending returns how many reports await acknowledgement.
@@ -249,6 +365,7 @@ func (u *Uplink) run() {
 			return
 		case <-u.wake:
 		}
+		u.flushHeartbeat()
 		for {
 			u.mu.Lock()
 			rec, ok := u.spool.peek()
@@ -256,6 +373,7 @@ func (u *Uplink) run() {
 			if !ok {
 				break
 			}
+			u.flushHeartbeat()
 			if !u.ensureConnected() {
 				// The head report is now outage-delayed; count its eventual
 				// delivery as a replay.

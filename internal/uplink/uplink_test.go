@@ -255,8 +255,8 @@ func TestCapacityDropOldestFirst(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if c := u.Counters(); c.Dropped != 2 {
-		t.Fatalf("dropped %d, want 2", c.Dropped)
+	if c := u.Counters(); c.Dropped != 2 || c.CapacityDrops != 2 {
+		t.Fatalf("dropped %d / capacity drops %d, want 2 and 2", c.Dropped, c.CapacityDrops)
 	}
 	sink := &collector{}
 	_, srv := startServer(t, addr, sink, proto.NewDedup(0))
@@ -298,8 +298,8 @@ func TestRejectedReportDroppedQueueKeepsMoving(t *testing.T) {
 	if got := inner.explanations(); len(got) != 2 || got[0] != "r1" || got[1] != "r3" {
 		t.Fatalf("delivered %v, want r1,r3 with r2 dropped", got)
 	}
-	if c := u.Counters(); c.Dropped != 1 {
-		t.Errorf("counters %+v, want Dropped=1", c)
+	if c := u.Counters(); c.Dropped != 1 || c.CapacityDrops != 0 {
+		t.Errorf("counters %+v, want Dropped=1 with no capacity drops", c)
 	}
 }
 

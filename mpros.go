@@ -21,6 +21,7 @@ import (
 	"repro/internal/chiller"
 	"repro/internal/dc"
 	"repro/internal/fusion"
+	"repro/internal/health"
 	"repro/internal/historian"
 	"repro/internal/oosm"
 	"repro/internal/pdme"
@@ -45,6 +46,25 @@ type (
 	MaintenanceItem = pdme.MaintenanceItem
 	// Groups maps logical failure groups to condition names.
 	Groups = fusion.Groups
+	// HealthConfig parametrizes the PDME's fleet-health registry
+	// (liveness thresholds, staleness-discounting curve).
+	HealthConfig = health.Config
+	// DCHealth is one DC's health snapshot.
+	DCHealth = health.DCHealth
+	// HealthState is a DC's liveness classification.
+	HealthState = health.State
+	// Source is the plant interface a DC instruments; FleetConfig.WrapSource
+	// interposes on it for sensor-fault injection.
+	Source = dc.Source
+)
+
+// Health state constants.
+const (
+	HealthUnknown  = health.StateUnknown
+	HealthAlive    = health.StateAlive
+	HealthLate     = health.StateLate
+	HealthSilent   = health.StateSilent
+	HealthFlapping = health.StateFlapping
 )
 
 // Severity grade constants.
@@ -92,6 +112,14 @@ type StationConfig struct {
 	// acquisitions and PDME severity histories land in the same archive,
 	// and replay tools (examples/historian-replay) read it back.
 	HistorianDir string
+	// Heartbeat schedules the DC's liveness heartbeat at this interval
+	// (0: no heartbeats). In-process stations deliver heartbeats straight
+	// into the PDME's health registry.
+	Heartbeat time.Duration
+	// Health, when set, enables staleness-discounted fusion on the PDME
+	// (see HealthConfig); nil keeps classic undiscounted fusion while the
+	// registry still tracks liveness.
+	Health *HealthConfig
 }
 
 // Station is a complete single-machine MPROS deployment.
@@ -141,6 +169,11 @@ func NewStation(cfg StationConfig) (*Station, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Health != nil {
+		if err := engine.ConfigureHealth(*cfg.Health); err != nil {
+			return nil, err
+		}
+	}
 	// Model the monitored machine itself.
 	if err := model.RegisterClass(oosm.Class{
 		Name: "chiller",
@@ -169,6 +202,7 @@ func NewStation(cfg StationConfig) (*Station, error) {
 	if !cfg.Start.IsZero() {
 		dcCfg.Start = cfg.Start
 	}
+	dcCfg.HeartbeatInterval = cfg.Heartbeat
 	conc, err := dc.New(dcCfg, plant, db, engine)
 	if err != nil {
 		return nil, err
@@ -241,6 +275,23 @@ type FleetConfig struct {
 	// returns the address stations should dial instead — the hook where
 	// chaos tests interpose a netfault proxy.
 	DialVia func(pdmeAddr string) (string, error)
+	// StationDialVia is the per-station variant of DialVia: it receives the
+	// station index as well, so chaos tests can give each DC its own proxy
+	// and partition them independently. When set it takes precedence over
+	// DialVia.
+	StationDialVia func(station int, pdmeAddr string) (string, error)
+	// WrapSource, when set, interposes on each station's plant before the
+	// DC instruments it — the hook where chaos tests inject sensor faults
+	// (stuck channels, dropouts) for a single station.
+	WrapSource func(station int, src Source) Source
+	// Heartbeat schedules each DC's liveness heartbeat at this interval
+	// (0: no heartbeats). Heartbeats ride the uplink out-of-band: they are
+	// never spooled, and a dropped heartbeat is itself the outage signal.
+	Heartbeat time.Duration
+	// Health, when set, enables staleness-discounted fusion on the fleet's
+	// PDME; nil keeps classic undiscounted fusion while the health registry
+	// still tracks per-DC liveness.
+	Health *HealthConfig
 	// FlushTimeout bounds Advance's post-run spool drain (0: 60s).
 	FlushTimeout time.Duration
 }
@@ -271,6 +322,8 @@ type FleetStation struct {
 	// the PDME is unreachable, redials with backoff, and tags deliveries
 	// for server-side dedup. Counters() exposes delivery statistics.
 	Uplink *uplink.Uplink
+
+	upCfg uplink.Config
 }
 
 // NewFleet assembles and starts a fleet.
@@ -298,6 +351,13 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 		Props: map[string]oosm.PropType{"name": oosm.PropString},
 	}); err != nil {
 		return nil, err
+	}
+	if cfg.Health != nil {
+		if err := engine.ConfigureHealth(*cfg.Health); err != nil {
+			engine.Close()
+			db.Close()
+			return nil, err
+		}
 	}
 	addr, server, err := engine.Serve(cfg.Addr)
 	if err != nil {
@@ -333,6 +393,12 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 		upCfg := cfg.Uplink
 		upCfg.Addr = dialAddr
 		upCfg.DCID = dcid
+		if cfg.StationDialVia != nil {
+			if upCfg.Addr, err = cfg.StationDialVia(i, addr); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
 		if cfg.SpoolDir != "" {
 			upCfg.SpoolDir = filepath.Join(cfg.SpoolDir, dcid)
 		}
@@ -342,14 +408,19 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 			return nil, err
 		}
 		dcCfg := dc.DefaultConfig(dcid, machine.String())
-		conc, err := dc.New(dcCfg, plant, relstore.NewMemory(), up)
+		dcCfg.HeartbeatInterval = cfg.Heartbeat
+		var src Source = plant
+		if cfg.WrapSource != nil {
+			src = cfg.WrapSource(i, src)
+		}
+		conc, err := dc.New(dcCfg, src, relstore.NewMemory(), up)
 		if err != nil {
 			up.Close()
 			f.Close()
 			return nil, err
 		}
 		f.Stations = append(f.Stations, &FleetStation{
-			Plant: plant, DC: conc, Machine: machine, Uplink: up,
+			Plant: plant, DC: conc, Machine: machine, Uplink: up, upCfg: upCfg,
 		})
 	}
 	return f, nil
@@ -380,6 +451,33 @@ func (f *Fleet) Flush(timeout time.Duration) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// RestartUplink tears down station i's uplink and builds a fresh one from
+// the same configuration — a DC process restart without losing the plant or
+// analyzer state. A persistent spool (FleetConfig.SpoolDir) carries pending
+// reports across the restart; the new uplink draws a fresh incarnation id,
+// so repeated restarts register as flapping in the PDME's health registry.
+func (f *Fleet) RestartUplink(i int) error {
+	if i < 0 || i >= len(f.Stations) {
+		return fmt.Errorf("mpros: no station %d", i)
+	}
+	s := f.Stations[i]
+	if s.Uplink != nil {
+		if err := s.Uplink.Close(); err != nil {
+			return err
+		}
+	}
+	up, err := uplink.New(s.upCfg)
+	if err != nil {
+		return err
+	}
+	if err := s.DC.SetUplink(up); err != nil {
+		up.Close()
+		return err
+	}
+	s.Uplink = up
 	return nil
 }
 

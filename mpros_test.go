@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/chiller"
 	"repro/internal/netfault"
+	"repro/internal/pdme"
 	"repro/internal/uplink"
 )
 
@@ -298,6 +299,398 @@ func TestFleetChaosResilience(t *testing.T) {
 		}
 		if st.Uplink.Pending() != 0 {
 			t.Errorf("station %v still has %d pending", st.Machine, st.Uplink.Pending())
+		}
+	}
+}
+
+// fleetStart is the fleet DCs' virtual epoch (dc.DefaultConfig Start).
+var fleetStart = time.Date(1998, 8, 1, 0, 0, 0, 0, time.UTC)
+
+// chaosHealthConfig tunes the health registry for short test horizons.
+func chaosHealthConfig() HealthConfig {
+	return HealthConfig{
+		LateAfter:        30 * time.Minute,
+		SilentAfter:      time.Hour,
+		FlapWindow:       3 * time.Hour,
+		FlapRestarts:     3,
+		FreshFor:         time.Hour,
+		StalenessHorizon: 6 * time.Hour,
+		ReliabilityFloor: 0.05,
+	}
+}
+
+// groupOf finds the logical failure group containing a fault.
+func groupOf(t *testing.T, fault chiller.Fault) string {
+	t.Helper()
+	for name, conds := range ChillerGroups() {
+		for _, c := range conds {
+			if c == fault.String() {
+				return name
+			}
+		}
+	}
+	t.Fatalf("no group contains %v", fault)
+	return ""
+}
+
+// waitHealthWatermark polls until the PDME's event-time watermark reaches
+// at. Heartbeats ride the uplink asynchronously, so the registry can lag a
+// RunFor by a network round trip of real time.
+func waitHealthWatermark(t *testing.T, f *Fleet, at time.Time) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for f.PDME.Health().Now().Before(at) {
+		if time.Now().After(deadline) {
+			t.Fatalf("health watermark stuck at %v, want %v",
+				f.PDME.Health().Now(), at)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// stuckSource freezes one accelerometer channel: the first MotorDE frame is
+// cached and replayed forever, the fault the DC's channel guard must catch.
+type stuckSource struct {
+	Source
+	cached []float64
+}
+
+func (s *stuckSource) AcquireVibration(pt chiller.MeasurementPoint, n int) ([]float64, error) {
+	if pt != chiller.MotorDE {
+		return s.Source.AcquireVibration(pt, n)
+	}
+	if s.cached == nil {
+		frame, err := s.Source.AcquireVibration(pt, n)
+		if err != nil {
+			return nil, err
+		}
+		s.cached = append([]float64(nil), frame...)
+	}
+	return append([]float64(nil), s.cached...), nil
+}
+
+// degradedFleetConfig is chaosFleetConfig plus the fleet-health layer: three
+// DCs, heartbeats, staleness-discounted fusion, and a stuck accelerometer on
+// station 2 (in every run, so reference and chaos runs stay comparable).
+func degradedFleetConfig(seedBase int64, spoolDir string) FleetConfig {
+	cfg := chaosFleetConfig(seedBase, spoolDir)
+	cfg.DCCount = 3
+	cfg.Heartbeat = 10 * time.Minute
+	hc := chaosHealthConfig()
+	cfg.Health = &hc
+	cfg.WrapSource = func(station int, src Source) Source {
+		if station == 2 {
+			return &stuckSource{Source: src}
+		}
+		return src
+	}
+	return cfg
+}
+
+// TestFleetChaosDegradedOperation is the fleet-health acceptance scenario:
+// one DC of three goes silent behind a partition while another feeds a
+// stuck accelerometer. The silenced DC's fused conclusion must decay
+// monotonically toward Unknown within the staleness horizon, never outrank
+// the identical live conclusion from a healthy DC, and be flagged Degraded;
+// the stuck channel must surface in the ship model; and after the partition
+// heals the fleet must reconverge bit-for-bit with an undisturbed run.
+func TestFleetChaosDegradedOperation(t *testing.T) {
+	// The same fault everywhere makes staleness the only ranking variable.
+	faults := []chiller.Fault{chiller.MotorImbalance}
+	const seedBase = 7300
+	group := groupOf(t, chiller.MotorImbalance)
+	setFaults := func(f *Fleet) {
+		for _, st := range f.Stations {
+			if err := st.Plant.SetFault(chiller.MotorImbalance, 0.8); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Undisturbed reference: 4h clean + 6 hourly steps + 2h tail.
+	base, err := NewFleet(degradedFleetConfig(seedBase, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	setFaults(base)
+	if err := base.Advance(4 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	for h := 0; h < 6; h++ {
+		if err := base.Advance(time.Hour); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := base.Advance(2 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	waitHealthWatermark(t, base, fleetStart.Add(12*time.Hour))
+	want := collectOutcome(t, base, faults)
+	if err := base.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if want.received == 0 {
+		t.Fatal("reference run produced no reports")
+	}
+
+	// Chaos run: station 0 dials through its own netfault proxy.
+	var proxy *netfault.Proxy
+	cfg := degradedFleetConfig(seedBase, t.TempDir())
+	cfg.StationDialVia = func(station int, pdmeAddr string) (string, error) {
+		if station != 0 {
+			return pdmeAddr, nil
+		}
+		p, err := netfault.New(pdmeAddr, netfault.Options{Seed: 17})
+		proxy = p
+		return p.Addr(), err
+	}
+	f, err := NewFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	defer func() { proxy.Close() }()
+	setFaults(f)
+
+	// Phase 1: clean 4h — everyone reports and heartbeats.
+	if err := f.Advance(4 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	waitHealthWatermark(t, f, fleetStart.Add(4*time.Hour))
+	machine0 := f.Stations[0].Machine.String()
+	machine1 := f.Stations[1].Machine.String()
+	freshUnknown, err := f.PDME.Unknown(machine0, group)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: partition station 0 for the full staleness horizon. The rest
+	// of the fleet keeps running hour by hour; station 0 monitors and
+	// spools. Unknown mass on its conclusion must rise monotonically.
+	proxy.SetPartition(true)
+	prev := freshUnknown
+	for h := 1; h <= 6; h++ {
+		for _, st := range f.Stations {
+			if err := st.DC.RunFor(time.Hour); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, st := range f.Stations[1:] {
+			if err := st.Uplink.Flush(time.Minute); err != nil {
+				t.Fatal(err)
+			}
+		}
+		waitHealthWatermark(t, f, fleetStart.Add(time.Duration(4+h)*time.Hour))
+		unk, err := f.PDME.Unknown(machine0, group)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if unk < prev-1e-12 {
+			t.Fatalf("hour %d: unknown mass fell %g -> %g", h, prev, unk)
+		}
+		if h >= 2 && unk <= prev {
+			t.Fatalf("hour %d: unknown mass stuck at %g despite growing staleness", h, unk)
+		}
+		prev = unk
+	}
+	if prev < 0.9 {
+		t.Errorf("after the staleness horizon unknown mass is %g, want >= 0.9", prev)
+	}
+	if got := f.PDME.Health().StateOf("dc-1"); got != HealthSilent {
+		t.Errorf("partitioned DC state %v, want silent", got)
+	}
+	if got := f.PDME.Health().StateOf("dc-2"); got != HealthAlive {
+		t.Errorf("live DC state %v, want alive", got)
+	}
+
+	// The stale conclusion must rank below the identical live one, carry the
+	// Degraded flag, and show its collapsed reliability.
+	items := f.PDME.PrioritizedList()
+	rank := func(component string) int {
+		for i, it := range items {
+			if it.Component == component && it.Condition == chiller.MotorImbalance.String() {
+				return i
+			}
+		}
+		t.Fatalf("no %q item for %s in %+v", chiller.MotorImbalance, component, items)
+		return -1
+	}
+	stale, live := rank(machine0), rank(machine1)
+	if stale <= live {
+		t.Errorf("stale conclusion ranked %d, above live identical conclusion at %d", stale, live)
+	}
+	if !items[stale].Degraded || items[stale].Reliability > 0.1 {
+		t.Errorf("stale item not flagged: %+v", items[stale])
+	}
+	// The live DC's latest vibration report is itself an hour or two old, so
+	// a mild discount is honest; what matters is the wide margin.
+	if items[live].Reliability < 4*items[stale].Reliability {
+		t.Errorf("live item reliability %g not well above stale %g",
+			items[live].Reliability, items[stale].Reliability)
+	}
+	if items[live].Belief < 2*items[stale].Belief {
+		t.Errorf("live belief %g not well above stale %g",
+			items[live].Belief, items[stale].Belief)
+	}
+
+	// The stuck accelerometer on station 2 surfaces as a suspect-channel
+	// annotation on its stored reports.
+	ids, err := f.PDME.Model().FindByProp(pdme.ReportClass, "suspect", "vib/motor-de")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) == 0 {
+		t.Error("no report carries the stuck channel vib/motor-de")
+	}
+
+	// Heal: the spool drains, a fresh test cycle runs, and the fleet
+	// reconverges on the undisturbed outcome exactly.
+	proxy.SetPartition(false)
+	if err := f.Flush(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Advance(2 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	waitHealthWatermark(t, f, fleetStart.Add(12*time.Hour))
+	if got := f.PDME.Health().StateOf("dc-1"); got != HealthAlive {
+		t.Errorf("healed DC state %v, want alive", got)
+	}
+	for _, it := range f.PDME.PrioritizedList() {
+		if it.Degraded {
+			t.Errorf("degraded item after heal: %+v", it)
+		}
+	}
+	got := collectOutcome(t, f, faults)
+	if got.received != want.received {
+		t.Errorf("PDME received %d reports under chaos, reference %d", got.received, want.received)
+	}
+	for key, wb := range want.beliefs {
+		if gb := got.beliefs[key]; math.Abs(gb-wb) > 1e-12 {
+			t.Errorf("belief[%s] = %v under chaos, reference %v", key, gb, wb)
+		}
+	}
+}
+
+// TestFleetChaosFlapAndDeath extends the chaos coverage with a flapping DC
+// (its uplink restarts three times in the flap window) and a permanently
+// dead DC. The flapping DC is flagged and its conclusions discounted while
+// the flapping lasts; the dead DC ends silent; and the rest of the fleet
+// fuses bit-for-bit what an undisturbed run fuses.
+func TestFleetChaosFlapAndDeath(t *testing.T) {
+	faults := []chiller.Fault{chiller.MotorImbalance, chiller.GearToothWear, chiller.OilWhirl}
+	const seedBase = 7400
+	newCfg := func(spool string) FleetConfig {
+		cfg := chaosFleetConfig(seedBase, spool)
+		cfg.DCCount = 3
+		cfg.Heartbeat = 10 * time.Minute
+		hc := chaosHealthConfig()
+		cfg.Health = &hc
+		return cfg
+	}
+	setFaults := func(f *Fleet) {
+		for i, st := range f.Stations {
+			if err := st.Plant.SetFault(faults[i], 0.8); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Undisturbed reference: 4h + 3 hourly steps + 5h tail = 12h.
+	base, err := NewFleet(newCfg(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	setFaults(base)
+	for _, d := range []time.Duration{4 * time.Hour, time.Hour, time.Hour, time.Hour, 5 * time.Hour} {
+		if err := base.Advance(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitHealthWatermark(t, base, fleetStart.Add(12*time.Hour))
+	want := collectOutcome(t, base, faults)
+	if err := base.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Chaos run. Persistent spools carry reports across uplink restarts.
+	f, err := NewFleet(newCfg(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	setFaults(f)
+	if err := f.Advance(4 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	waitHealthWatermark(t, f, fleetStart.Add(4*time.Hour))
+
+	// Station 2 dies for good: uplink closed, scheduler never advanced
+	// again. Stations 0 and 1 carry on; station 1 flaps — a fresh uplink
+	// incarnation before each of three hourly steps.
+	if err := f.Stations[2].Uplink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	live := f.Stations[:2]
+	for h := 1; h <= 3; h++ {
+		if err := f.RestartUplink(1); err != nil {
+			t.Fatal(err)
+		}
+		for _, st := range live {
+			if err := st.DC.RunFor(time.Hour); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, st := range live {
+			if err := st.Uplink.Flush(time.Minute); err != nil {
+				t.Fatal(err)
+			}
+		}
+		waitHealthWatermark(t, f, fleetStart.Add(time.Duration(4+h)*time.Hour))
+	}
+	if got := f.PDME.Health().StateOf("dc-2"); got != HealthFlapping {
+		t.Errorf("restarted DC state %v, want flapping", got)
+	}
+	machine1 := f.Stations[1].Machine.String()
+	flagged := false
+	for _, it := range f.PDME.PrioritizedList() {
+		if it.Component == machine1 && it.Degraded && it.Reliability < 1 {
+			flagged = true
+		}
+	}
+	if !flagged {
+		t.Error("flapping DC's conclusions not flagged degraded")
+	}
+
+	// Tail: stations 0 and 1 run another 5h with a stable uplink. The flap
+	// records age out of the window, so their evidence is fresh and fully
+	// reliable again at the end — the dead DC stays silent.
+	for _, st := range live {
+		if err := st.DC.RunFor(5 * time.Hour); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, st := range live {
+		if err := st.Uplink.Flush(time.Minute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitHealthWatermark(t, f, fleetStart.Add(12*time.Hour))
+	if got := f.PDME.Health().StateOf("dc-2"); got != HealthAlive {
+		t.Errorf("station 1 state %v after flap window, want alive", got)
+	}
+	if got := f.PDME.Health().StateOf("dc-3"); got != HealthSilent {
+		t.Errorf("dead DC state %v, want silent", got)
+	}
+
+	// The undisturbed stations fuse exactly the reference outcome.
+	got := collectOutcome(t, f, faults)
+	for key, wb := range want.beliefs {
+		if strings.HasPrefix(key, "2|") {
+			continue // the dead station diverges by design
+		}
+		if gb := got.beliefs[key]; math.Abs(gb-wb) > 1e-12 {
+			t.Errorf("belief[%s] = %v under chaos, reference %v", key, gb, wb)
 		}
 	}
 }
