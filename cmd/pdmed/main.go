@@ -1,18 +1,29 @@
 // Command pdmed runs a standalone PDME: it listens for §7 failure
-// prediction reports over TCP, fuses them, and periodically prints the
-// prioritized maintenance list (and optionally persists the ship model).
+// prediction reports over TCP, fuses them, serves the read-side HTTP API
+// (prioritized list, beliefs, trends, streaming watches, fleet health), and
+// periodically prints the prioritized maintenance list (and optionally
+// persists the ship model).
 //
 // Usage:
 //
-//	pdmed -listen 127.0.0.1:7011 -db /var/lib/mpros/ship.db \
-//	      -historian-dir /var/lib/mpros/hist -status 10s
+//	pdmed -listen 127.0.0.1:7011 -serve-addr 127.0.0.1:7080 \
+//	      -db /var/lib/mpros/ship.db -historian-dir /var/lib/mpros/hist \
+//	      -status 10s
 //
 // Point one or more dcsim instances (or any §7-speaking client) at the
-// listen address.
+// listen address; dashboards read from the serve address:
+//
+//	GET /ranked                                  prioritized maintenance list
+//	GET /belief?component=&condition=            one pair's fused state
+//	GET /trend?component=&condition=&threshold=  severity history + projection
+//	GET /watch?component=                        streaming change notices (NDJSON)
+//	GET /health                                  fleet-health snapshot
+//	GET /stats                                   view-cache counters
 package main
 
 import (
-	"encoding/json"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -28,12 +39,22 @@ import (
 	"repro/internal/pdme"
 	"repro/internal/proto"
 	"repro/internal/relstore"
+	"repro/internal/serving"
 
 	mpros "repro"
 )
 
+// shutdownGrace bounds how long in-flight HTTP responses (including open
+// /watch streams) may delay exit after a signal.
+const shutdownGrace = 5 * time.Second
+
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	listen := flag.String("listen", "127.0.0.1:7011", "TCP listen address for DC reports")
+	serveAddr := flag.String("serve-addr", "", "HTTP address for the read-side API (/ranked /belief /trend /watch /health /stats; empty disables)")
 	dbPath := flag.String("db", "", "ship model database path (empty: in-memory)")
 	histDir := flag.String("historian-dir", "", "severity/lifetime historian directory (empty: in-memory)")
 	statusEvery := flag.Duration("status", 15*time.Second, "prioritized-list print interval (0 disables)")
@@ -44,8 +65,12 @@ func main() {
 	healthHorizon := flag.Duration("health-horizon", 24*time.Hour, "evidence reliability reaches its floor at this age")
 	healthFloor := flag.Float64("health-floor", 0, "minimum evidence reliability under staleness discounting [0,1)")
 	healthWallclock := flag.Bool("health-wallclock", false, "judge staleness by the wall clock instead of the event-time watermark (use when DCs report in real time; simulated DCs carry virtual timestamps)")
-	healthAddr := flag.String("health-addr", "", "HTTP address serving the fleet-health snapshot as JSON at /health (empty disables)")
+	healthAddr := flag.String("health-addr", "", "deprecated alias for -serve-addr (the /health endpoint lives there now)")
+	cacheTolerance := flag.Duration("cache-tolerance", time.Second, "with -health-wallclock, how stale a cached view may be before it is recomputed")
 	flag.Parse()
+	if *serveAddr == "" {
+		*serveAddr = *healthAddr
+	}
 
 	var db *relstore.DB
 	var err error
@@ -54,22 +79,22 @@ func main() {
 	} else {
 		db, err = relstore.Open(*dbPath)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	}
 	defer db.Close()
 	hist, err := historian.Open(historian.Options{Dir: *histDir})
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	defer hist.Close()
 	model, err := oosm.NewModel(db)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	engine, err := pdme.NewWithHistorian(model, mpros.ChillerGroups(), hist)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	defer engine.Close()
 	// Default to the event-time watermark: simulated DCs (dcsim) stamp
@@ -86,31 +111,41 @@ func main() {
 		healthCfg.Clock = time.Now
 	}
 	if err := engine.ConfigureHealth(healthCfg); err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	if *healthAddr != "" {
-		ln, err := net.Listen("tcp", *healthAddr)
+
+	// serverDied carries the first fatal listener error: a read-side API
+	// that silently stopped serving must take the daemon down non-zero
+	// instead of leaving a fuser nobody can query.
+	serverDied := make(chan error, 1)
+	var views *serving.Views
+	var httpSrv *http.Server
+	if *serveAddr != "" {
+		views, err = serving.Open(engine, serving.Options{WallClockTolerance: *cacheTolerance})
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		defer ln.Close()
-		mux := http.NewServeMux()
-		mux.HandleFunc("/health", func(w http.ResponseWriter, _ *http.Request) {
-			w.Header().Set("Content-Type", "application/json")
-			_ = json.NewEncoder(w).Encode(engine.Health().Snapshot()) // best-effort: peer may hang up mid-body
-		})
+		defer views.Close()
+		ln, err := net.Listen("tcp", *serveAddr)
+		if err != nil {
+			return fail(err)
+		}
+		httpSrv = serving.Server(views)
 		go func() {
-			_ = http.Serve(ln, mux) // best-effort: dies with the listener at shutdown
+			if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				serverDied <- fmt.Errorf("read-side API server: %w", err)
+			}
 		}()
-		fmt.Printf("pdmed: health endpoint on http://%s/health\n", ln.Addr())
+		fmt.Printf("pdmed: read-side API on http://%s (/ranked /belief /trend /watch /health /stats)\n", ln.Addr())
 	}
+
 	idle := proto.DefaultIdleTimeout
 	if *idleTimeout > 0 {
 		idle = *idleTimeout
 	}
 	addr, server, err := engine.ServeWithIdleTimeout(*listen, idle)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	defer server.Close()
 	fmt.Printf("pdmed: listening on %s (db=%s, historian=%s)\n",
@@ -129,10 +164,28 @@ func main() {
 		select {
 		case <-stop:
 			fmt.Println("\npdmed: shutting down")
-			return
+			shutdownHTTP(httpSrv)
+			return 0
+		case err := <-serverDied:
+			fmt.Fprintln(os.Stderr, "pdmed:", err)
+			return 1
 		case <-tick:
 			printStatus(engine)
 		}
+	}
+}
+
+// shutdownHTTP drains the read-side server: stop accepting, give in-flight
+// responses shutdownGrace to finish, then cut whatever is left (open /watch
+// streams never finish on their own).
+func shutdownHTTP(srv *http.Server) {
+	if srv == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		_ = srv.Close()
 	}
 }
 
@@ -187,7 +240,7 @@ func orMemory(path string) string {
 	return path
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "pdmed:", err)
-	os.Exit(1)
+	return 1
 }

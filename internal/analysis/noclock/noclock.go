@@ -38,6 +38,11 @@ var DeterministicPkgs = map[string]bool{
 	// watermark; reading the wall clock would make fused beliefs depend on
 	// when a test runs.
 	"health": true,
+	// serving's cache validity must be judged by the health registry's clock
+	// (injected or event-time), never the wall clock: the coherence property
+	// (cached == fresh recompute, bit for bit) only holds if nothing in the
+	// tier observes real time.
+	"serving": true,
 }
 
 // bannedTime lists the package-level time functions that read or wait on the

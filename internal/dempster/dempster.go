@@ -249,8 +249,9 @@ func (m *Mass) Validate(tol float64) error {
 // is zero.
 func (m *Mass) Normalize() error {
 	var sum float64
-	for _, v := range m.m {
-		sum += v
+	// Deterministic summation order, as in Belief.
+	for _, s := range m.FocalSets() {
+		sum += m.m[s]
 	}
 	if sum == 0 {
 		return fmt.Errorf("dempster: cannot normalize zero mass")
@@ -262,24 +263,27 @@ func (m *Mass) Normalize() error {
 }
 
 // Belief returns Bel(s): the total mass committed to subsets of s — the
-// degree to which the evidence supports s.
+// degree to which the evidence supports s. Summation runs in ascending
+// focal-set order so repeated calls on equal mass functions are
+// bit-identical (float addition is not associative; map order is random).
 func (m *Mass) Belief(s Set) float64 {
 	var sum float64
-	for focal, v := range m.m {
+	for _, focal := range m.FocalSets() {
 		if s.Contains(focal) && !focal.IsEmpty() {
-			sum += v
+			sum += m.m[focal]
 		}
 	}
 	return sum
 }
 
 // Plausibility returns Pl(s): the total mass not committed against s —
-// the degree to which the evidence fails to refute s.
+// the degree to which the evidence fails to refute s. Deterministic
+// summation order, as in Belief.
 func (m *Mass) Plausibility(s Set) float64 {
 	var sum float64
-	for focal, v := range m.m {
+	for _, focal := range m.FocalSets() {
 		if !focal.Intersect(s).IsEmpty() {
-			sum += v
+			sum += m.m[focal]
 		}
 	}
 	return sum
@@ -339,8 +343,14 @@ func Combine(a, b *Mass) (*Mass, float64, error) {
 	}
 	out := NewMass(a.frame)
 	var conflict float64
-	for sa, va := range a.m {
-		for sb, vb := range b.m {
+	// Accumulate in ascending (sa, sb) order: the sums here are float
+	// additions, so a fixed order makes combination a pure function of the
+	// inputs bit-for-bit — the property the serving tier's cache coherence
+	// check (cached view == fresh fuse) depends on.
+	for _, sa := range a.FocalSets() {
+		va := a.m[sa]
+		for _, sb := range b.FocalSets() {
+			vb := b.m[sb]
 			inter := sa.Intersect(sb)
 			p := va * vb
 			if inter.IsEmpty() {
@@ -389,12 +399,13 @@ func (m *Mass) Pignistic() map[string]float64 {
 		out[n] = 0
 		_ = i
 	}
-	for s, v := range m.m {
+	// Ascending focal-set order keeps the per-atom sums bit-reproducible.
+	for _, s := range m.FocalSets() {
 		c := s.Count()
 		if c == 0 {
 			continue
 		}
-		share := v / float64(c)
+		share := m.m[s] / float64(c)
 		for i, n := range m.frame.names {
 			if s&Singleton(i) != 0 {
 				out[n] += share

@@ -374,6 +374,25 @@ func (df *DiagnosticFuser) Unknown(component, group string) (float64, error) {
 func (df *DiagnosticFuser) Ranked(component string) []ConditionBelief {
 	df.mu.RLock()
 	defer df.mu.RUnlock()
+	return df.rankedLocked(component)
+}
+
+// RankedAll returns Ranked for every component with at least one fused
+// report, keyed by component, computed under a single lock acquisition so
+// the result is one consistent snapshot: no report fused concurrently with
+// the call can appear for one component and be missing for another.
+func (df *DiagnosticFuser) RankedAll() map[string][]ConditionBelief {
+	df.mu.RLock()
+	defer df.mu.RUnlock()
+	out := make(map[string][]ConditionBelief, len(df.states))
+	for component := range df.states {
+		out[component] = df.rankedLocked(component)
+	}
+	return out
+}
+
+// rankedLocked computes Ranked for one component. Callers hold df.mu.
+func (df *DiagnosticFuser) rankedLocked(component string) []ConditionBelief {
 	var out []ConditionBelief
 	for group, st := range df.states[component] {
 		fused, err := df.fusedLocked(st)
@@ -419,6 +438,78 @@ func (df *DiagnosticFuser) Ranked(component string) []ConditionBelief {
 		return out[i].Condition < out[j].Condition
 	})
 	return out
+}
+
+// ConditionState is the complete fused read-side state of one
+// (component, condition) pair: everything a belief query surface serves,
+// computed in one shot.
+type ConditionState struct {
+	ConditionBelief
+	// Unknown is the residual unknown mass of the condition's whole group on
+	// this component (1.0 before any report).
+	Unknown float64
+}
+
+// ConditionState returns the pair's fused belief, plausibility, group
+// unknown, report count, and health-discount fields under a single lock
+// acquisition and a single evidence combination — the atomic equivalent of
+// calling Belief, Plausibility, Unknown, and picking the condition's row out
+// of Ranked, at a quarter of the combination cost.
+func (df *DiagnosticFuser) ConditionState(component, condition string) (ConditionState, error) {
+	group, err := df.GroupOf(condition)
+	if err != nil {
+		return ConditionState{}, err
+	}
+	cs := ConditionState{ConditionBelief: ConditionBelief{
+		Condition: condition, Group: group, Plausibility: 1, Reliability: 1,
+	}, Unknown: 1}
+	df.mu.RLock()
+	defer df.mu.RUnlock()
+	byGroup := df.states[component]
+	if byGroup == nil || byGroup[group] == nil {
+		return cs, nil // vacuous: no reports yet for the pair's group
+	}
+	st := byGroup[group]
+	hyp, err := st.frame.Hypothesis(condition)
+	if err != nil {
+		return ConditionState{}, err
+	}
+	fused, err := df.fusedLocked(st)
+	if err != nil {
+		return ConditionState{}, err
+	}
+	cs.Belief = fused.Belief(hyp)
+	cs.Plausibility = fused.Plausibility(hyp)
+	cs.Unknown = fused.Unknown()
+	cs.Reports = st.reports[condition]
+	// Best reliability across the sources asserting this condition, as in
+	// Ranked: degraded only when no fresh source backs it.
+	alpha, seen := 0.0, false
+	for name, src := range st.sources {
+		if _, ok := src.conditions[condition]; !ok {
+			continue
+		}
+		if a := df.sourceAlpha(name, src); !seen || a > alpha {
+			alpha, seen = a, true
+		}
+	}
+	if seen {
+		cs.Reliability = alpha
+		cs.Degraded = alpha < 1-1e-9
+	}
+	return cs, nil
+}
+
+// GroupMembers returns the member conditions of a logical failure group, in
+// registration order (nil for an unknown group). Evidence for any member
+// reweights every other member's belief and the group's unknown mass, so
+// caches must treat the whole membership as one invalidation unit.
+func (df *DiagnosticFuser) GroupMembers(group string) []string {
+	conds, ok := df.groups[group]
+	if !ok {
+		return nil
+	}
+	return append([]string(nil), conds...)
 }
 
 // Components returns every component with at least one fused report.

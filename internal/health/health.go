@@ -199,6 +199,11 @@ type Registry struct {
 	mu        sync.Mutex
 	watermark time.Time // event-time high-watermark (Clock==nil mode)
 	dcs       map[string]*dcRecord
+	// version counts observations (heartbeats + reports). In event-time mode
+	// every Reliability/StateOf output is a pure function of the observation
+	// history, so an unchanged version means unchanged outputs — the
+	// read-side view cache keys its health-discounted entries on it.
+	version uint64
 }
 
 // NewRegistry builds a registry; zero Config fields take package defaults.
@@ -229,6 +234,24 @@ func (g *Registry) Now() time.Time {
 	return g.now()
 }
 
+// Version returns the registry's observation counter: it changes if and only
+// if a heartbeat or report observation has been folded in. In event-time mode
+// (Clock nil) an unchanged version guarantees every Reliability and StateOf
+// answer is unchanged too, which lets caches reuse health-discounted values
+// without re-asking. With an injected wall clock the guarantee is weaker —
+// outputs also drift with the clock between observations.
+func (g *Registry) Version() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.version
+}
+
+// WallClocked reports whether the registry judges staleness by an injected
+// wall clock rather than the event-time watermark. Wall-clocked registries'
+// outputs change between observations, so caches must bound the age of
+// health-discounted entries instead of relying on Version alone.
+func (g *Registry) WallClocked() bool { return g.cfg.Clock != nil }
+
 func (g *Registry) advance(at time.Time) {
 	if at.After(g.watermark) {
 		g.watermark = at
@@ -252,6 +275,7 @@ func (g *Registry) ObserveHeartbeat(hb *proto.Heartbeat) error {
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.version++
 	g.advance(hb.SentAt)
 	r := g.record(hb.DCID)
 	if hb.SentAt.After(r.lastHeartbeat) {
@@ -288,6 +312,7 @@ func (g *Registry) ObserveReport(dcid, source string, at time.Time) {
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.version++
 	g.advance(at)
 	r := g.record(dcid)
 	if at.After(r.lastReport) {

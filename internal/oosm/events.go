@@ -19,6 +19,11 @@ const (
 	RelationAdded
 	// RelationRemoved fires when a relationship is removed.
 	RelationRemoved
+	// ObjectUpdated fires exactly once per SetProps call, after the
+	// per-property PropertyChanged events. Subscribers that react to a write
+	// as a whole (cache invalidation, display refresh) listen here instead
+	// of once per property.
+	ObjectUpdated
 )
 
 // String names the event kind.
@@ -34,6 +39,8 @@ func (k EventKind) String() string {
 		return "relation-added"
 	case RelationRemoved:
 		return "relation-removed"
+	case ObjectUpdated:
+		return "object-updated"
 	default:
 		return "unknown"
 	}

@@ -269,8 +269,8 @@ func (m *Model) GetProp(id ObjectID, name string) (any, error) {
 	return v, nil
 }
 
-// SetProps updates properties of an object and emits a PropertyChanged event
-// per changed property.
+// SetProps updates properties of an object, emitting a PropertyChanged event
+// per changed property and one ObjectUpdated event for the write as a whole.
 func (m *Model) SetProps(id ObjectID, props map[string]any) error {
 	m.mu.RLock()
 	c, ok := m.classes[id.Class]
@@ -292,6 +292,7 @@ func (m *Model) SetProps(id ObjectID, props map[string]any) error {
 	for k, v := range props {
 		m.events.publish(Event{Kind: PropertyChanged, Object: id, Property: k, Value: v, Time: now})
 	}
+	m.events.publish(Event{Kind: ObjectUpdated, Object: id, Time: now})
 	return nil
 }
 

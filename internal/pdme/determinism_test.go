@@ -1,0 +1,141 @@
+package pdme
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+)
+
+// TestPrioritizedListDeterministicUnderConcurrentDeliver proves the §5.4
+// ranking is a pure function of each source's delivered evidence sequence:
+// the same per-DC report streams, interleaved arbitrarily across delivering
+// goroutines, always rank to the same bit-identical list. Cross-source
+// interleaving cannot perturb the result because sources combine in sorted
+// id order and every float summation runs in a fixed order; within one
+// source the transport already serializes reports (one TCP connection per
+// DC), which the one-goroutine-per-DC fixture models. Run with -race.
+func TestPrioritizedListDeterministicUnderConcurrentDeliver(t *testing.T) {
+	virtual := time.Date(1998, 8, 1, 0, 0, 0, 0, time.UTC)
+	build := func() []MaintenanceItem {
+		p := newTestPDME(t)
+		defer p.Close()
+		// 4 DCs × 25 reports, one goroutine per DC so every interleaving
+		// preserves each source's own report order.
+		conditions := []string{
+			"motor rotor bar problem", "motor imbalance", "oil whirl",
+			"stator electrical unbalance",
+		}
+		var wg sync.WaitGroup
+		errs := make(chan error, 4)
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 25; i++ {
+					r := &proto.Report{
+						DCID:               fmt.Sprintf("dc-%d", g),
+						KnowledgeSourceID:  fmt.Sprintf("ks-%d", g),
+						SensedObjectID:     fmt.Sprintf("pump-%d", i%3),
+						MachineConditionID: conditions[g],
+						Severity:           0.3 + 0.1*float64(i%5),
+						Belief:             0.2 + 0.15*float64(i%5),
+						Timestamp:          virtual.Add(time.Duration(g*100+i) * time.Minute),
+					}
+					if err := p.Deliver(r); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		// Interleaved concurrent reads must not perturb the final list.
+		var rg sync.WaitGroup
+		for r := 0; r < 2; r++ {
+			rg.Add(1)
+			go func() {
+				defer rg.Done()
+				for i := 0; i < 20; i++ {
+					_ = p.PrioritizedList()
+				}
+			}()
+		}
+		rg.Wait()
+		return p.PrioritizedList()
+	}
+
+	want := build()
+	if len(want) == 0 {
+		t.Fatal("empty prioritized list")
+	}
+	for trial := 1; trial <= 4; trial++ {
+		got := build()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: prioritized list depends on delivery interleaving\n got: %+v\nwant: %+v",
+				trial, got, want)
+		}
+	}
+	// The ordering invariant itself: a strict weak order ending in the
+	// unique (component, condition) key, so equal-belief rows (no
+	// prognostics here) still have exactly one legal order.
+	for i := 1; i < len(want); i++ {
+		a, b := want[i-1], want[i]
+		if a.Belief < b.Belief {
+			t.Fatalf("list not sorted by belief at %d: %g < %g", i, a.Belief, b.Belief)
+		}
+		if a.Belief == b.Belief {
+			if a.Component > b.Component || (a.Component == b.Component && a.Condition >= b.Condition) {
+				t.Fatalf("tie at %d not broken by (component, condition): %+v vs %+v", i, a, b)
+			}
+		}
+	}
+}
+
+// TestPrioritizedListStableWhileDelivering reads the list concurrently with
+// live deliveries and checks only invariants every snapshot must satisfy —
+// ordering and internal consistency — since content is in motion. Run with
+// -race to prove the snapshot path is safe against the mutating goroutine.
+func TestPrioritizedListStableWhileDelivering(t *testing.T) {
+	p := newTestPDME(t)
+	defer p.Close()
+	virtual := time.Date(1998, 8, 1, 0, 0, 0, 0, time.UTC)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			r := report("ks-live", fmt.Sprintf("pump-%d", i%4), "motor misalignment",
+				0.5, 0.4, virtual.Add(time.Duration(i)*time.Minute), nil)
+			if err := p.Deliver(r); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		items := p.PrioritizedList()
+		for i := 1; i < len(items); i++ {
+			if items[i-1].Belief < items[i].Belief {
+				t.Fatalf("snapshot not sorted: %+v", items)
+			}
+		}
+		for _, it := range items {
+			if it.Belief < 0 || it.Belief > 1 || it.Plausibility < it.Belief-1e-9 {
+				t.Fatalf("inconsistent snapshot row: %+v", it)
+			}
+		}
+	}
+}

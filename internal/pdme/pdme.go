@@ -73,6 +73,21 @@ type PDME struct {
 	// work out of the box; staleness discounting of fused evidence only
 	// engages after ConfigureHealth.
 	registry *health.Registry
+	// inv, when set, brackets every delivery's fusion-state mutation so a
+	// read-side cache can refuse to serve or store across the write window.
+	inv Invalidator
+}
+
+// Invalidator is the read-side cache's write-window hook. BeginMutation is
+// called before a delivered report touches any fusion state for the
+// (component, condition) pair, EndMutation after the report's fusion,
+// conclusion post, and health observation have all completed — between the
+// two, cached views of the pair (and of anything aggregating it) are neither
+// served nor stored. Both run synchronously on the delivering goroutine and
+// must not call back into the PDME.
+type Invalidator interface {
+	BeginMutation(component, condition string)
+	EndMutation(component, condition string)
 }
 
 // New builds a PDME over a ship model and the logical failure groups for
@@ -174,6 +189,21 @@ func (p *PDME) Historian() *historian.Store { return p.hist }
 // Model returns the PDME's ship model.
 func (p *PDME) Model() *oosm.Model { return p.model }
 
+// SetInvalidator installs (or, with nil, removes) the read-side cache's
+// write-window hook. Install before traffic: deliveries already in flight
+// when the hook lands are not bracketed.
+func (p *PDME) SetInvalidator(inv Invalidator) {
+	p.mu.Lock()
+	p.inv = inv
+	p.mu.Unlock()
+}
+
+func (p *PDME) invalidator() Invalidator {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.inv
+}
+
 // Deliver implements proto.Sink: §5.1 step 1 — post the report into the
 // OOSM. Fusion then runs via the model's event notification.
 func (p *PDME) Deliver(r *proto.Report) error {
@@ -184,6 +214,13 @@ func (p *PDME) Deliver(r *proto.Report) error {
 	// the door so the sender sees the configuration problem.
 	if _, err := p.diag.GroupOf(r.MachineConditionID); err != nil {
 		return err
+	}
+	// Open the read-side write window before any fusion state can change
+	// (the OOSM create below runs fusion synchronously via the event model)
+	// and close it only after the health observation lands too.
+	if inv := p.invalidator(); inv != nil {
+		inv.BeginMutation(r.SensedObjectID, r.MachineConditionID)
+		defer inv.EndMutation(r.SensedObjectID, r.MachineConditionID)
 	}
 	progJSON, err := json.Marshal(r.Prognostics)
 	if err != nil {
@@ -365,6 +402,34 @@ func (p *PDME) Unknown(component, group string) (float64, error) {
 	return p.diag.Unknown(component, group)
 }
 
+// Plausibility returns the fused plausibility of a condition on a component.
+func (p *PDME) Plausibility(component, condition string) (float64, error) {
+	return p.diag.Plausibility(component, condition)
+}
+
+// GroupOf returns the logical failure group of a condition.
+func (p *PDME) GroupOf(condition string) (string, error) {
+	return p.diag.GroupOf(condition)
+}
+
+// GroupMembers returns the member conditions of a logical failure group —
+// the invalidation unit for read-side caches, since evidence for any member
+// reweights every other member's belief and the group's unknown mass.
+func (p *PDME) GroupMembers(group string) []string {
+	return p.diag.GroupMembers(group)
+}
+
+// ConditionSnapshot returns the full fused read-side state of a pair
+// (belief, plausibility, group unknown, report count, reliability/degraded)
+// in one atomic fusion read, plus the pair's fused prognostic vector.
+func (p *PDME) ConditionSnapshot(component, condition string) (fusion.ConditionState, proto.PrognosticVector, error) {
+	cs, err := p.diag.ConditionState(component, condition)
+	if err != nil {
+		return fusion.ConditionState{}, nil, err
+	}
+	return cs, p.prog.Fused(component, condition), nil
+}
+
 // FusedPrognostic returns the fused §7.3 vector for a pair.
 func (p *PDME) FusedPrognostic(component, condition string) proto.PrognosticVector {
 	return p.prog.Fused(component, condition)
@@ -382,12 +447,20 @@ type MaintenanceItem struct {
 
 // PrioritizedList returns fused conclusions across all components ranked
 // most-urgent first: primarily by fused belief, with prognostic urgency
-// (shorter time to 50% failure) breaking ties.
+// (shorter time to 50% failure) breaking ties. The diagnostic half is one
+// consistent snapshot (fusion.RankedAll): a report fused mid-call never
+// appears for one component while missing for another.
 func (p *PDME) PrioritizedList() []MaintenanceItem {
 	var out []MaintenanceItem
 	const horizon = 2 * 365 * 24 * time.Hour
-	for _, component := range p.diag.Components() {
-		for _, cb := range p.diag.Ranked(component) {
+	ranked := p.diag.RankedAll()
+	components := make([]string, 0, len(ranked))
+	for component := range ranked {
+		components = append(components, component)
+	}
+	sort.Strings(components)
+	for _, component := range components {
+		for _, cb := range ranked[component] {
 			item := MaintenanceItem{Component: component, ConditionBelief: cb}
 			if d, ok := p.prog.TimeToFailure(component, cb.Condition, 0.5, horizon); ok {
 				item.TimeToHalf = d

@@ -1,0 +1,109 @@
+package serving
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/oosm"
+	"repro/internal/pdme"
+	"repro/internal/proto"
+	"repro/internal/relstore"
+)
+
+func benchEngine(b *testing.B, components int) *pdme.PDME {
+	b.Helper()
+	model, err := oosm.NewModel(relstore.NewMemory())
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine, err := pdme.New(model, testGroups())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(engine.Close)
+	for i := 0; i < components; i++ {
+		comp := string(rune('a' + i%26))
+		for _, cond := range []string{"inner race fault", "imbalance"} {
+			if err := engine.Deliver(&proto.Report{
+				DCID:               "dc-bench",
+				KnowledgeSourceID:  "ks-bench",
+				SensedObjectID:     "machine-" + comp,
+				MachineConditionID: cond,
+				Severity:           0.5,
+				Belief:             0.6,
+				Timestamp:          base.Add(time.Duration(i) * time.Minute),
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return engine
+}
+
+// BenchmarkRankedFresh is the no-cache baseline: every read re-fuses.
+func BenchmarkRankedFresh(b *testing.B) {
+	engine := benchEngine(b, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if items := engine.PrioritizedList(); len(items) == 0 {
+			b.Fatal("empty list")
+		}
+	}
+}
+
+// BenchmarkRankedCached reads through the materialized view under steady
+// state (no ingest): every read after the first is a hit.
+func BenchmarkRankedCached(b *testing.B) {
+	engine := benchEngine(b, 16)
+	v, err := Open(engine, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(v.Close)
+	v.Ranked()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rv := v.Ranked(); len(rv.Items) == 0 {
+			b.Fatal("empty view")
+		}
+	}
+}
+
+// BenchmarkRankedCachedParallel is the serving-tier hot path: many readers,
+// one materialized entry.
+func BenchmarkRankedCachedParallel(b *testing.B) {
+	engine := benchEngine(b, 16)
+	v, err := Open(engine, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(v.Close)
+	v.Ranked()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if rv := v.Ranked(); len(rv.Items) == 0 {
+				b.Fatal("empty view")
+			}
+		}
+	})
+}
+
+// BenchmarkBeliefCached measures the per-pair view path.
+func BenchmarkBeliefCached(b *testing.B) {
+	engine := benchEngine(b, 16)
+	v, err := Open(engine, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(v.Close)
+	if _, err := v.Belief("machine-a", "imbalance"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.Belief("machine-a", "imbalance"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package serving
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/health"
+	"repro/internal/proto"
+)
+
+// These tests pin the tier's one non-negotiable property: a cached response
+// is bit-identical to a fresh fuse at the same instant, including the
+// health-discounted Degraded/Reliability fields. The sequential test drives
+// random interleavings of deliveries, heartbeats, and reads and compares
+// every read against a recompute; the concurrent test runs readers against
+// live ingest under -race and uses the Epoch guard to compare without racing.
+
+// stripRanked zeroes serve-time metadata so only fused content is compared.
+func stripRanked(rv RankedView) RankedView {
+	rv.Gen, rv.Cached, rv.Epoch = 0, false, 0
+	return rv
+}
+
+func stripBelief(bv BeliefView) BeliefView {
+	bv.Gen, bv.Cached, bv.Epoch = 0, false, 0
+	return bv
+}
+
+func TestCoherenceProperty(t *testing.T) {
+	const ops = 400
+	components := []string{"m1", "m2", "m3"}
+	conditions := []string{"inner race fault", "outer race fault", "imbalance"}
+	dcs := []string{"dc-1", "dc-2", "dc-3"}
+
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			engine := newTestEngine(t)
+			// Short freshness window so watermark advances push evidence into
+			// the degraded band and the discounted fields actually vary.
+			if err := engine.ConfigureHealth(health.Config{
+				FreshFor:         30 * time.Minute,
+				StalenessHorizon: 4 * time.Hour,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			v := openTestViews(t, engine)
+			now := base
+
+			for op := 0; op < ops; op++ {
+				now = now.Add(time.Duration(rng.Intn(20)+1) * time.Minute)
+				switch rng.Intn(6) {
+				case 0, 1: // delivery
+					r := report(
+						dcs[rng.Intn(len(dcs))],
+						components[rng.Intn(len(components))],
+						conditions[rng.Intn(len(conditions))],
+						0.1+0.8*rng.Float64(),
+						now,
+					)
+					r.Severity = rng.Float64()
+					if rng.Intn(4) == 0 {
+						r.Prognostics = proto.PrognosticVector{{
+							Probability:    0.3 + 0.6*rng.Float64(),
+							HorizonSeconds: float64(rng.Intn(200)+10) * 3600,
+						}}
+					}
+					deliver(t, engine, r)
+				case 2: // heartbeat (advances the event-time watermark)
+					if err := engine.ObserveHeartbeat(&proto.Heartbeat{
+						DCID:        dcs[rng.Intn(len(dcs))],
+						SentAt:      now,
+						Incarnation: 1,
+					}); err != nil {
+						t.Fatal(err)
+					}
+				case 3, 4: // ranked read vs fresh fuse
+					got := v.Ranked()
+					want := RankedView{Items: engine.PrioritizedList()}
+					if !reflect.DeepEqual(stripRanked(got), want) {
+						t.Fatalf("op %d: ranked view diverged (cached=%v)\n got: %+v\nwant: %+v",
+							op, got.Cached, got.Items, want.Items)
+					}
+				default: // belief read vs fresh fuse
+					component := components[rng.Intn(len(components))]
+					condition := conditions[rng.Intn(len(conditions))]
+					got, err := v.Belief(component, condition)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, err := v.freshBelief(component, condition)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(stripBelief(got), stripBelief(want)) {
+						t.Fatalf("op %d: belief view diverged (cached=%v)\n got: %+v\nwant: %+v",
+							op, got.Cached, got, want)
+					}
+				}
+			}
+			st := v.Stats()
+			if st.Hits == 0 {
+				t.Fatal("property run never served a cache hit — the cache is not being exercised")
+			}
+			if st.Stores == 0 || st.Invalidations == 0 {
+				t.Fatalf("degenerate run: %+v", st)
+			}
+		})
+	}
+}
+
+// TestCoherenceConcurrent hammers the tier from reader goroutines while an
+// ingest goroutine delivers reports and heartbeats. A mid-flight cached/fresh
+// comparison would race ingest, so readers use the Epoch guard: two hits with
+// the same non-zero Epoch bracket an interval with no invalidation and no
+// health observation, so a fresh fuse taken between them must match the
+// cached items exactly.
+func TestCoherenceConcurrent(t *testing.T) {
+	engine := newTestEngine(t)
+	if err := engine.ConfigureHealth(health.Config{
+		FreshFor:         30 * time.Minute,
+		StalenessHorizon: 4 * time.Hour,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	v := openTestViews(t, engine)
+
+	const (
+		readers    = 8
+		deliveries = 300
+		reads      = 400
+	)
+	var (
+		wg       sync.WaitGroup
+		checks   atomic.Uint64
+		violated atomic.Value // first violation message
+	)
+	stop := make(chan struct{})
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		rng := rand.New(rand.NewSource(42))
+		now := base
+		for i := 0; i < deliveries; i++ {
+			now = now.Add(time.Duration(rng.Intn(10)+1) * time.Minute)
+			if rng.Intn(5) == 0 {
+				_ = engine.ObserveHeartbeat(&proto.Heartbeat{DCID: "dc-hb", SentAt: now, Incarnation: 1})
+				continue
+			}
+			r := report("dc-1", fmt.Sprintf("m%d", rng.Intn(3)+1), "imbalance", 0.2+0.7*rng.Float64(), now)
+			if err := engine.Deliver(r); err != nil {
+				violated.CompareAndSwap(nil, fmt.Sprintf("deliver: %v", err))
+				return
+			}
+		}
+	}()
+
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < reads; i++ {
+				first := v.Ranked()
+				if !first.Cached || first.Epoch == 0 {
+					continue
+				}
+				fresh := engine.PrioritizedList()
+				second := v.Ranked()
+				if !second.Cached || second.Epoch != first.Epoch {
+					continue // something changed mid-check: inconclusive
+				}
+				checks.Add(1)
+				if !reflect.DeepEqual(first.Items, fresh) {
+					violated.CompareAndSwap(nil, fmt.Sprintf(
+						"reader %d check %d: cached items != fresh fuse inside a stable epoch\ncached: %+v\n fresh: %+v",
+						w, i, first.Items, fresh))
+					return
+				}
+				if rng.Intn(8) == 0 {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if msg := violated.Load(); msg != nil {
+		t.Fatal(msg)
+	}
+	if checks.Load() == 0 {
+		t.Fatal("no conclusive epoch-guarded checks ran — guard too strict or cache never hit")
+	}
+}

@@ -1,0 +1,167 @@
+package serving
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *Views) {
+	t.Helper()
+	engine := newTestEngine(t)
+	v := openTestViews(t, engine)
+	srv := httptest.NewServer(NewHandler(v))
+	t.Cleanup(srv.Close)
+	deliver(t, engine, report("dc-1", "m1", "imbalance", 0.8, base))
+	deliver(t, engine, report("dc-1", "m1", "inner race fault", 0.6, base.Add(time.Minute)))
+	return srv, v
+}
+
+func getJSON(t *testing.T, url string, wantStatus int, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decode: %v", url, err)
+		}
+	}
+}
+
+func TestHTTPRanked(t *testing.T) {
+	srv, _ := newTestServer(t)
+	var got rankedJSON
+	getJSON(t, srv.URL+"/ranked", http.StatusOK, &got)
+	if len(got.Items) != 2 {
+		t.Fatalf("expected 2 ranked items, got %+v", got)
+	}
+	if got.Items[0].Belief < got.Items[1].Belief {
+		t.Fatal("ranked items must be most-urgent-first")
+	}
+	if got.Items[0].Component != "m1" || got.Items[0].Group == "" {
+		t.Fatalf("missing fields: %+v", got.Items[0])
+	}
+	// A repeat read serves the materialized view and says so.
+	var again rankedJSON
+	getJSON(t, srv.URL+"/ranked", http.StatusOK, &again)
+	if !again.Cached || again.Epoch == 0 {
+		t.Fatalf("second read should be a cache hit with an epoch, got %+v", again)
+	}
+}
+
+func TestHTTPBelief(t *testing.T) {
+	srv, _ := newTestServer(t)
+	var bv BeliefView
+	getJSON(t, srv.URL+"/belief?component=m1&condition=imbalance", http.StatusOK, &bv)
+	if bv.Component != "m1" || bv.Condition != "imbalance" || bv.Belief <= 0 {
+		t.Fatalf("unexpected belief view: %+v", bv)
+	}
+	if bv.Unknown <= 0 || bv.Unknown >= 1 {
+		t.Fatalf("expected residual unknown mass in (0,1), got %g", bv.Unknown)
+	}
+	getJSON(t, srv.URL+"/belief?component=m1", http.StatusBadRequest, nil)
+	getJSON(t, srv.URL+"/belief?component=m1&condition=nope", http.StatusNotFound, nil)
+}
+
+func TestHTTPTrend(t *testing.T) {
+	srv, _ := newTestServer(t)
+	var tv TrendView
+	getJSON(t, srv.URL+"/trend?component=m1&condition=imbalance", http.StatusOK, &tv)
+	if len(tv.History) != 1 || tv.Threshold != 0.75 {
+		t.Fatalf("unexpected trend view: %+v", tv)
+	}
+	getJSON(t, srv.URL+"/trend?component=m1&condition=imbalance&threshold=0.5", http.StatusOK, &tv)
+	if tv.Threshold != 0.5 {
+		t.Fatalf("threshold not applied: %+v", tv)
+	}
+	getJSON(t, srv.URL+"/trend?component=m1&condition=imbalance&threshold=2", http.StatusBadRequest, nil)
+	getJSON(t, srv.URL+"/trend?condition=imbalance", http.StatusBadRequest, nil)
+}
+
+func TestHTTPHealthAndStats(t *testing.T) {
+	srv, v := newTestServer(t)
+	getJSON(t, srv.URL+"/ranked", http.StatusOK, new(rankedJSON))
+	getJSON(t, srv.URL+"/ranked", http.StatusOK, new(rankedJSON))
+	var st Stats
+	getJSON(t, srv.URL+"/stats", http.StatusOK, &st)
+	if st.Hits == 0 || st != v.Stats() {
+		t.Fatalf("stats endpoint out of sync: %+v vs %+v", st, v.Stats())
+	}
+	getJSON(t, srv.URL+"/health", http.StatusOK, new([]map[string]any))
+	// Non-GET methods are rejected by the method-scoped mux patterns.
+	resp, err := http.Post(srv.URL+"/ranked", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /ranked: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestHTTPWatchStream(t *testing.T) {
+	srv, v := newTestServer(t)
+	engine := v.Engine()
+
+	resp, err := http.Get(srv.URL + "/watch?component=m1&buffer=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("unexpected content type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+
+	// First line is the baseline ranked view filtered to m1.
+	if !sc.Scan() {
+		t.Fatalf("no baseline line: %v", sc.Err())
+	}
+	var baseline rankedJSON
+	if err := json.Unmarshal(sc.Bytes(), &baseline); err != nil {
+		t.Fatal(err)
+	}
+	if len(baseline.Items) != 2 {
+		t.Fatalf("baseline should carry m1's 2 items, got %+v", baseline)
+	}
+
+	// A delivery for the watched component streams an event with the fresh
+	// view attached.
+	deliver(t, engine, report("dc-2", "m1", "imbalance", 0.9, base.Add(time.Hour)))
+	if !sc.Scan() {
+		t.Fatalf("no event line: %v", sc.Err())
+	}
+	var ev watchEventJSON
+	if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Notice.Component != "m1" || ev.Notice.Condition != "imbalance" {
+		t.Fatalf("unexpected notice: %+v", ev.Notice)
+	}
+	if ev.View == nil || ev.View.Reports != 2 {
+		t.Fatalf("event should carry the updated view, got %+v", ev.View)
+	}
+
+	// Closing the tier ends the stream.
+	v.Close()
+	for sc.Scan() {
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream should end cleanly, got %v", err)
+	}
+}
+
+func TestHTTPWatchBadBuffer(t *testing.T) {
+	srv, _ := newTestServer(t)
+	getJSON(t, srv.URL+"/watch?buffer=0", http.StatusBadRequest, nil)
+	getJSON(t, srv.URL+"/watch?buffer=9999", http.StatusBadRequest, nil)
+}

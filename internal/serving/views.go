@@ -1,0 +1,599 @@
+// Package serving is the MPROS read-side serving tier: event-invalidated
+// materialized views over the PDME, so operator dashboards and APIs read
+// cached fused conclusions instead of recomputing Dempster fusion on every
+// query.
+//
+// The paper's PDME serves one console; the ROADMAP's north star serves
+// millions of readers against live ingest. The tier's coherence rule is
+//
+//	OOSM event ⇒ invalidate ⇒ bit-identical refuse
+//
+// a cache hit is bit-identical to a freshly recomputed fusion, including the
+// health-discounted Reliability/Degraded fields. Three mechanisms enforce it:
+//
+//  1. Event invalidation, never polling: the tier subscribes to the ship
+//     model's conclusion post/update events (§4.5's "without the need to
+//     poll"), and every event bumps the generation of the affected keys.
+//  2. A write window: the PDME brackets each delivery's fusion mutation with
+//     BeginMutation/EndMutation (pdme.Invalidator). While a pair's window is
+//     open, reads of views aggregating it bypass the cache (they recompute,
+//     serving a fresh value) and nothing computed across the window is ever
+//     stored — the seqlock discipline that keeps half-updated fusion state
+//     out of the cache.
+//  3. A health-registry version guard: staleness discounting makes fused
+//     values depend on the health registry as well as on deliveries, and
+//     heartbeats reach the registry without touching the OOSM. Every cached
+//     entry records the registry identity and observation version it was
+//     computed under, and a hit requires both to be unchanged. In event-time
+//     mode (the default) registry outputs are a pure function of the
+//     observation history, so the guard is exact; with an injected wall
+//     clock, entries additionally expire after Options.WallClockTolerance.
+//
+// Invalidation granularity is the logical failure group: evidence for any
+// member condition reweights every other member and the group's unknown
+// mass, so a delivery invalidates the global ranked view plus every
+// (component, member) belief view of its group.
+package serving
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/health"
+	"repro/internal/historian"
+	"repro/internal/oosm"
+	"repro/internal/pdme"
+	"repro/internal/proto"
+	"repro/internal/trend"
+)
+
+// Options tunes the tier.
+type Options struct {
+	// WallClockTolerance bounds the age of health-discounted entries when
+	// the PDME's health registry runs on an injected wall clock (whose
+	// discount factors drift between observations, outside the version
+	// guard). Zero — the default — disables caching of discounted values
+	// under a wall-clocked registry entirely: every read recomputes. In
+	// event-time mode (no injected clock) the option is ignored and hits
+	// stay bit-exact indefinitely.
+	WallClockTolerance time.Duration
+	// WatchBuffer is the default per-subscription notice buffer (0: 16).
+	WatchBuffer int
+}
+
+const defaultWatchBuffer = 16
+
+// viewKey identifies one cached artifact.
+type viewKey struct {
+	kind      uint8 // kindRanked or kindBelief
+	component string
+	condition string
+}
+
+const (
+	kindRanked uint8 = iota
+	kindBelief
+)
+
+var rankedKey = viewKey{kind: kindRanked}
+
+// entry is one materialized view, stamped with everything that must be
+// unchanged for it to still be bit-identical to a fresh fuse.
+type entry struct {
+	seq    uint64           // unique materialization id (Epoch on hits)
+	gen    uint64           // key generation the compute ran under
+	reg    *health.Registry // registry identity at compute time
+	regVer uint64           // registry observation version at compute time
+	at     time.Time        // registry clock at compute time (wall-clock mode)
+
+	ranked []pdme.MaintenanceItem // kindRanked payload (shared, read-only)
+	belief *BeliefView            // kindBelief payload (shared, read-only)
+}
+
+// keyState is the invalidation state of one key: a generation bumped by
+// every invalidation and write-window edge, and the count of open windows.
+type keyState struct {
+	gen    uint64
+	active int
+	entry  *entry
+}
+
+// Stats are the tier's cumulative counters.
+type Stats struct {
+	// Hits served straight from a valid materialized view.
+	Hits uint64 `json:"hits"`
+	// Misses recomputed because no valid view existed.
+	Misses uint64 `json:"misses"`
+	// Bypasses recomputed because a write window was open on the key.
+	Bypasses uint64 `json:"bypasses"`
+	// Coalesced reads joined another reader's in-flight recompute instead
+	// of fusing again (thundering-herd protection after an invalidation).
+	Coalesced uint64 `json:"coalesced"`
+	// Stores counts recomputed views accepted into the cache.
+	Stores uint64 `json:"stores"`
+	// Invalidations counts invalidation events (write windows + OOSM
+	// conclusion events), not per-key generation bumps.
+	Invalidations uint64 `json:"invalidations"`
+	// Notices counts watch notices delivered to subscribers.
+	Notices uint64 `json:"notices"`
+	// NoticeDrops counts notices dropped on slow subscribers' full buffers.
+	NoticeDrops uint64 `json:"notice_drops"`
+	// Watchers is the current subscription count.
+	Watchers int `json:"watchers"`
+}
+
+// HitRatio returns the fraction of reads served without running a fuse of
+// their own: hits / (hits + misses + bypasses + coalesced), 0 before any
+// read.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses + s.Bypasses + s.Coalesced
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Views is the read-side serving tier over one PDME. Safe for concurrent
+// use by any number of readers while deliveries run at full rate.
+type Views struct {
+	engine *pdme.PDME
+	opts   Options
+
+	mu     sync.RWMutex
+	keys   map[viewKey]*keyState
+	closed bool
+
+	subMu sync.Mutex
+	subs  map[*Subscription]struct{}
+
+	flightMu sync.Mutex
+	flights  map[viewKey]*flight
+
+	entrySeq      atomic.Uint64
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	bypasses      atomic.Uint64
+	coalesced     atomic.Uint64
+	stores        atomic.Uint64
+	invalidations atomic.Uint64
+	notices       atomic.Uint64
+	noticeDrops   atomic.Uint64
+
+	oosmCreated *oosm.Subscription
+	oosmUpdated *oosm.Subscription
+}
+
+// Open attaches a serving tier to the engine: it installs the write-window
+// hook (one tier per PDME — a second Open replaces the first's hook) and
+// subscribes to the ship model's conclusion post/update events. Close
+// detaches both.
+func Open(engine *pdme.PDME, opts Options) (*Views, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("serving: nil engine")
+	}
+	if opts.WatchBuffer <= 0 {
+		opts.WatchBuffer = defaultWatchBuffer
+	}
+	v := &Views{
+		engine:  engine,
+		opts:    opts,
+		keys:    make(map[viewKey]*keyState),
+		subs:    make(map[*Subscription]struct{}),
+		flights: make(map[viewKey]*flight),
+	}
+	// §4.5 event model, not polling: conclusion posts (first report for a
+	// pair) and updates (every refuse) invalidate the affected views. The
+	// handlers run synchronously on the delivering goroutine, inside the
+	// write window the Invalidator hook opens.
+	model := engine.Model()
+	v.oosmCreated = model.SubscribeClass(pdme.ConclusionClass, oosm.ObjectCreated, v.onConclusionEvent)
+	v.oosmUpdated = model.SubscribeClass(pdme.ConclusionClass, oosm.ObjectUpdated, v.onConclusionEvent)
+	engine.SetInvalidator(v)
+	return v, nil
+}
+
+// Close detaches the tier from the engine and closes every subscription.
+// Cached entries are dropped; reads after Close recompute fresh.
+func (v *Views) Close() {
+	v.engine.SetInvalidator(nil)
+	v.oosmCreated.Cancel()
+	v.oosmUpdated.Cancel()
+	v.mu.Lock()
+	v.closed = true
+	v.keys = make(map[viewKey]*keyState)
+	v.mu.Unlock()
+	v.subMu.Lock()
+	subs := make([]*Subscription, 0, len(v.subs))
+	for s := range v.subs {
+		subs = append(subs, s)
+	}
+	v.subMu.Unlock()
+	for _, s := range subs {
+		s.Close()
+	}
+}
+
+// Engine returns the PDME the tier serves.
+func (v *Views) Engine() *pdme.PDME { return v.engine }
+
+// Stats returns the tier's cumulative counters.
+func (v *Views) Stats() Stats {
+	v.subMu.Lock()
+	watchers := len(v.subs)
+	v.subMu.Unlock()
+	return Stats{
+		Hits:          v.hits.Load(),
+		Misses:        v.misses.Load(),
+		Bypasses:      v.bypasses.Load(),
+		Coalesced:     v.coalesced.Load(),
+		Stores:        v.stores.Load(),
+		Invalidations: v.invalidations.Load(),
+		Notices:       v.notices.Load(),
+		NoticeDrops:   v.noticeDrops.Load(),
+		Watchers:      watchers,
+	}
+}
+
+// affectedKeys returns every key a mutation of (component, condition)
+// invalidates: the global ranked view plus the pair's whole failure group on
+// that component.
+func (v *Views) affectedKeys(component, condition string) []viewKey {
+	keys := []viewKey{rankedKey}
+	group, err := v.engine.GroupOf(condition)
+	if err != nil {
+		// A condition outside every group cannot have been fused; the ranked
+		// bump alone is already conservative.
+		return keys
+	}
+	for _, member := range v.engine.GroupMembers(group) {
+		keys = append(keys, viewKey{kind: kindBelief, component: component, condition: member})
+	}
+	return keys
+}
+
+// BeginMutation implements pdme.Invalidator: open the write window on every
+// affected key before any fusion state changes.
+func (v *Views) BeginMutation(component, condition string) {
+	v.invalidations.Add(1)
+	v.mu.Lock()
+	for _, k := range v.affectedKeys(component, condition) {
+		ks := v.keyState(k)
+		ks.active++
+		ks.gen++
+	}
+	v.mu.Unlock()
+}
+
+// EndMutation implements pdme.Invalidator: close the write window (bumping
+// the generation again, so views computed across it can never be stored) and
+// notify watchers of the component.
+func (v *Views) EndMutation(component, condition string) {
+	v.mu.Lock()
+	for _, k := range v.affectedKeys(component, condition) {
+		ks := v.keyState(k)
+		if ks.active > 0 {
+			ks.active--
+		}
+		ks.gen++
+	}
+	v.mu.Unlock()
+	v.notify(component, condition)
+}
+
+// onConclusionEvent is the §4.5 hook: a conclusion object was posted or
+// updated in the ship model. Reads the conclusion's pair back from the model
+// and bumps the affected keys.
+func (v *Views) onConclusionEvent(e oosm.Event) {
+	props, err := v.engine.Model().Get(e.Object)
+	if err != nil {
+		return // conclusion deleted between event and read: nothing to map
+	}
+	component, _ := props["component"].(string)
+	condition, _ := props["condition"].(string)
+	if component == "" || condition == "" {
+		return
+	}
+	v.invalidations.Add(1)
+	v.mu.Lock()
+	for _, k := range v.affectedKeys(component, condition) {
+		v.keyState(k).gen++
+	}
+	v.mu.Unlock()
+}
+
+// keyState returns (creating if absent) a key's state. Callers hold v.mu.
+func (v *Views) keyState(k viewKey) *keyState {
+	ks, ok := v.keys[k]
+	if !ok {
+		ks = &keyState{}
+		v.keys[k] = ks
+	}
+	return ks
+}
+
+// snapshotKey reads a key's current (generation, window count, entry).
+func (v *Views) snapshotKey(k viewKey) (gen uint64, active int, e *entry) {
+	v.mu.RLock()
+	if ks, ok := v.keys[k]; ok {
+		gen, active, e = ks.gen, ks.active, ks.entry
+	}
+	v.mu.RUnlock()
+	return gen, active, e
+}
+
+// entryValid reports whether a cached entry's health stamp still holds: same
+// registry, same observation version, and (wall-clock mode only) younger
+// than the tolerance.
+func (v *Views) entryValid(e *entry) bool {
+	reg := v.engine.Health()
+	if e.reg != reg || reg.Version() != e.regVer {
+		return false
+	}
+	if reg.WallClocked() {
+		if v.opts.WallClockTolerance <= 0 {
+			return false
+		}
+		if reg.Now().Sub(e.at) > v.opts.WallClockTolerance {
+			return false
+		}
+	}
+	return true
+}
+
+// healthStamp samples the registry state a compute is about to run under.
+func (v *Views) healthStamp() (*health.Registry, uint64, time.Time) {
+	reg := v.engine.Health()
+	ver := reg.Version()
+	var at time.Time
+	if reg.WallClocked() {
+		at = reg.Now()
+	}
+	return reg, ver, at
+}
+
+// flight is one in-progress recompute that concurrent readers of the same
+// key share instead of fusing again. Without it, every reader arriving
+// while a key is invalid (or inside a write window) runs its own full fuse
+// — a thundering herd that can keep the CPU so busy the write window never
+// closes. A coalesced read returns the leader's result, marked Cached=false
+// with no Epoch: it reflects a fuse that was in flight during the call, so
+// it may lag the very newest delivery by at most one compute duration.
+type flight struct {
+	done   chan struct{}
+	ranked []pdme.MaintenanceItem
+	belief BeliefView
+	err    error
+}
+
+// joinFlight returns the key's in-progress flight (leader=false) or
+// registers a new one owned by the caller (leader=true), who must
+// finishFlight it.
+func (v *Views) joinFlight(k viewKey) (f *flight, leader bool) {
+	v.flightMu.Lock()
+	defer v.flightMu.Unlock()
+	if f, ok := v.flights[k]; ok {
+		return f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	v.flights[k] = f
+	return f, true
+}
+
+// finishFlight publishes the leader's result and releases the joiners.
+func (v *Views) finishFlight(k viewKey, f *flight) {
+	v.flightMu.Lock()
+	delete(v.flights, k)
+	v.flightMu.Unlock()
+	close(f.done)
+}
+
+// tryStore installs a freshly computed entry, unless an invalidation, a
+// write window, or a health observation raced the compute — then the value
+// is still served to the caller, just never cached.
+func (v *Views) tryStore(k viewKey, g0 uint64, reg *health.Registry, regVer uint64, at time.Time, e *entry) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return
+	}
+	ks := v.keyState(k)
+	if ks.gen != g0 || ks.active != 0 {
+		return
+	}
+	if v.engine.Health() != reg || reg.Version() != regVer {
+		return
+	}
+	e.seq = v.entrySeq.Add(1)
+	e.gen, e.reg, e.regVer, e.at = g0, reg, regVer, at
+	ks.entry = e
+	v.stores.Add(1)
+}
+
+// RankedView is the materialized prioritized maintenance list.
+type RankedView struct {
+	// Items is most-urgent-first, exactly pdme.PrioritizedList. Shared with
+	// other readers of the same generation: treat as read-only.
+	Items []pdme.MaintenanceItem
+	// Gen is the ranked key's generation at serve time.
+	Gen uint64
+	// Cached reports whether the view came from the cache (true) or was
+	// recomputed for this call (false).
+	Cached bool
+	// Epoch identifies the materialization a hit served (0 on recompute).
+	// Two hits with equal non-zero Epoch served the identical entry, with no
+	// invalidation and no health observation in between — the handle
+	// coherence checkers use to compare a hit against a fresh fuse without
+	// racing ingest.
+	Epoch uint64
+}
+
+// Ranked serves the prioritized maintenance list: from the materialized
+// view when coherent, recomputed (and, when safe, re-materialized)
+// otherwise. A served cache hit is bit-identical to what
+// engine.PrioritizedList() would return at the same instant.
+func (v *Views) Ranked() RankedView {
+	gen, active, e := v.snapshotKey(rankedKey)
+	if e != nil && active == 0 && e.gen == gen && v.entryValid(e) {
+		v.hits.Add(1)
+		return RankedView{Items: e.ranked, Gen: gen, Cached: true, Epoch: e.seq}
+	}
+	f, leader := v.joinFlight(rankedKey)
+	if !leader {
+		<-f.done
+		v.coalesced.Add(1)
+		return RankedView{Items: f.ranked, Gen: gen, Cached: false}
+	}
+	if active > 0 {
+		v.bypasses.Add(1)
+	} else {
+		v.misses.Add(1)
+	}
+	reg, regVer, at := v.healthStamp()
+	items := v.engine.PrioritizedList()
+	f.ranked = items
+	v.finishFlight(rankedKey, f)
+	if active == 0 {
+		v.tryStore(rankedKey, gen, reg, regVer, at, &entry{ranked: items})
+	}
+	return RankedView{Items: items, Gen: gen, Cached: false}
+}
+
+// BeliefView is the materialized per-pair belief state: the full fused
+// diagnostic read (belief, plausibility, group unknown, health-discounted
+// reliability) plus the fused prognostic vector.
+type BeliefView struct {
+	Component    string                 `json:"component"`
+	Condition    string                 `json:"condition"`
+	Group        string                 `json:"group"`
+	Belief       float64                `json:"belief"`
+	Plausibility float64                `json:"plausibility"`
+	Unknown      float64                `json:"unknown"`
+	Reports      int                    `json:"reports"`
+	Reliability  float64                `json:"reliability"`
+	Degraded     bool                   `json:"degraded"`
+	Prognostic   proto.PrognosticVector `json:"prognostics,omitempty"`
+	// Gen, Cached, and Epoch mirror RankedView's serve metadata.
+	Gen    uint64 `json:"gen"`
+	Cached bool   `json:"cached"`
+	Epoch  uint64 `json:"epoch,omitempty"`
+}
+
+// Belief serves one pair's fused state, cached per (component, condition)
+// and invalidated whenever any condition in the pair's failure group
+// receives evidence on that component.
+func (v *Views) Belief(component, condition string) (BeliefView, error) {
+	if component == "" {
+		return BeliefView{}, fmt.Errorf("serving: empty component")
+	}
+	k := viewKey{kind: kindBelief, component: component, condition: condition}
+	gen, active, e := v.snapshotKey(k)
+	if e != nil && active == 0 && e.gen == gen && v.entryValid(e) {
+		v.hits.Add(1)
+		bv := *e.belief
+		bv.Gen, bv.Cached, bv.Epoch = gen, true, e.seq
+		return bv, nil
+	}
+	f, leader := v.joinFlight(k)
+	if !leader {
+		<-f.done
+		if f.err != nil {
+			return BeliefView{}, f.err
+		}
+		v.coalesced.Add(1)
+		bv := f.belief
+		bv.Gen = gen
+		return bv, nil
+	}
+	if active > 0 {
+		v.bypasses.Add(1)
+	} else {
+		v.misses.Add(1)
+	}
+	reg, regVer, at := v.healthStamp()
+	cs, vec, err := v.engine.ConditionSnapshot(component, condition)
+	if err != nil {
+		f.err = err
+		v.finishFlight(k, f)
+		return BeliefView{}, err
+	}
+	bv := BeliefView{
+		Component:    component,
+		Condition:    condition,
+		Group:        cs.Group,
+		Belief:       cs.Belief,
+		Plausibility: cs.Plausibility,
+		Unknown:      cs.Unknown,
+		Reports:      cs.Reports,
+		Reliability:  cs.Reliability,
+		Degraded:     cs.Degraded,
+		Prognostic:   vec,
+	}
+	f.belief = bv
+	v.finishFlight(k, f)
+	if active == 0 {
+		stored := bv
+		v.tryStore(k, gen, reg, regVer, at, &entry{belief: &stored})
+	}
+	bv.Gen = gen
+	return bv, nil
+}
+
+// freshBelief recomputes a pair's view without touching the cache — the
+// reference value coherence checks compare hits against.
+func (v *Views) freshBelief(component, condition string) (BeliefView, error) {
+	cs, vec, err := v.engine.ConditionSnapshot(component, condition)
+	if err != nil {
+		return BeliefView{}, err
+	}
+	return BeliefView{
+		Component:    component,
+		Condition:    condition,
+		Group:        cs.Group,
+		Belief:       cs.Belief,
+		Plausibility: cs.Plausibility,
+		Unknown:      cs.Unknown,
+		Reports:      cs.Reports,
+		Reliability:  cs.Reliability,
+		Degraded:     cs.Degraded,
+		Prognostic:   vec,
+	}, nil
+}
+
+// TrendView is a snapshot-isolated severity-history read: the raw points,
+// the per-day rollup envelope, and (when three or more points exist) the
+// fitted projection to the severity threshold.
+type TrendView struct {
+	Component string             `json:"component"`
+	Condition string             `json:"condition"`
+	Threshold float64            `json:"threshold"`
+	History   []trend.Point      `json:"history,omitempty"`
+	Rollups   []historian.Rollup `json:"rollups,omitempty"`
+	// Projection is nil when the pair has too few points to fit.
+	Projection *trend.Projection `json:"projection,omitempty"`
+	// ProjectionError explains a nil Projection.
+	ProjectionError string `json:"projection_error,omitempty"`
+}
+
+// Trend reads a pair's severity history, rollup envelope, and threshold
+// projection from the historian. The read is snapshot-isolated (sealed
+// segments are shared immutably, the head is copied under a read lock), so
+// arbitrarily long range reads never block ingest — and are never cached,
+// since the snapshot is already consistent by construction.
+func (v *Views) Trend(component, condition string, threshold float64) TrendView {
+	tv := TrendView{
+		Component: component,
+		Condition: condition,
+		Threshold: threshold,
+		History:   v.engine.SeverityHistory(component, condition),
+		Rollups:   v.engine.SeverityRollups(component, condition),
+	}
+	proj, err := trend.ProjectPoints(tv.History, threshold)
+	if err != nil {
+		tv.ProjectionError = err.Error()
+		return tv
+	}
+	tv.Projection = &proj
+	return tv
+}

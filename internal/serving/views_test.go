@@ -1,0 +1,328 @@
+package serving
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/fusion"
+	"repro/internal/health"
+	"repro/internal/oosm"
+	"repro/internal/pdme"
+	"repro/internal/proto"
+	"repro/internal/relstore"
+)
+
+// base is the fixture's virtual epoch (the paper's PDME first ran 1998-08).
+var base = time.Date(1998, 8, 1, 0, 0, 0, 0, time.UTC)
+
+func testGroups() fusion.Groups {
+	return fusion.Groups{
+		"bearing": {"inner race fault", "outer race fault"},
+		"motor":   {"imbalance"},
+	}
+}
+
+func newTestEngine(t *testing.T) *pdme.PDME {
+	t.Helper()
+	model, err := oosm.NewModel(relstore.NewMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := pdme.New(model, testGroups())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(engine.Close)
+	return engine
+}
+
+func openTestViews(t *testing.T, engine *pdme.PDME) *Views {
+	t.Helper()
+	v, err := Open(engine, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(v.Close)
+	return v
+}
+
+func report(dc, component, condition string, belief float64, at time.Time) *proto.Report {
+	return &proto.Report{
+		DCID:               dc,
+		KnowledgeSourceID:  "ks-" + dc,
+		SensedObjectID:     component,
+		MachineConditionID: condition,
+		Severity:           belief,
+		Belief:             belief,
+		Timestamp:          at,
+	}
+}
+
+func deliver(t *testing.T, engine *pdme.PDME, r *proto.Report) {
+	t.Helper()
+	if err := engine.Deliver(r); err != nil {
+		t.Fatalf("deliver: %v", err)
+	}
+}
+
+func TestRankedCacheHitAndInvalidation(t *testing.T) {
+	engine := newTestEngine(t)
+	v := openTestViews(t, engine)
+	deliver(t, engine, report("dc-1", "m1", "imbalance", 0.8, base))
+
+	first := v.Ranked()
+	if first.Cached {
+		t.Fatal("first read should be a miss")
+	}
+	second := v.Ranked()
+	if !second.Cached {
+		t.Fatal("second read should hit the materialized view")
+	}
+	if len(second.Items) != 1 || second.Items[0].Condition != "imbalance" {
+		t.Fatalf("unexpected items: %+v", second.Items)
+	}
+	// A delivery invalidates: the next read recomputes, then re-materializes.
+	deliver(t, engine, report("dc-1", "m1", "imbalance", 0.8, base.Add(time.Minute)))
+	third := v.Ranked()
+	if third.Cached {
+		t.Fatal("read after delivery should recompute")
+	}
+	if !v.Ranked().Cached {
+		t.Fatal("read after recompute should hit again")
+	}
+	st := v.Stats()
+	if st.Hits != 2 || st.Invalidations == 0 || st.Stores == 0 {
+		t.Fatalf("unexpected stats: %+v", st)
+	}
+}
+
+func TestBeliefGroupInvalidation(t *testing.T) {
+	engine := newTestEngine(t)
+	v := openTestViews(t, engine)
+	deliver(t, engine, report("dc-1", "m1", "inner race fault", 0.7, base))
+
+	inner, err := v.Belief("m1", "inner race fault")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner.Cached {
+		t.Fatal("first belief read should miss")
+	}
+	outer, err := v.Belief("m1", "outer race fault")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outer.Group != "bearing" || outer.Reports != 0 {
+		t.Fatalf("unexpected outer view: %+v", outer)
+	}
+	// Evidence for the sibling condition reweights the whole group: both
+	// cached views must be invalidated.
+	deliver(t, engine, report("dc-1", "m1", "outer race fault", 0.6, base.Add(time.Minute)))
+	inner2, err := v.Belief("m1", "inner race fault")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner2.Cached {
+		t.Fatal("sibling delivery must invalidate the cached inner view")
+	}
+	if inner2.Belief == inner.Belief {
+		t.Fatal("conflicting sibling evidence should have reweighted inner belief")
+	}
+	// Invalidation granularity is the logical failure group: a delivery for
+	// a different group on a different component must not bump the bearing
+	// key's generation. (The read after it still recomputes — every report
+	// observation bumps the health-registry version, which conservatively
+	// covers watermark-driven reliability changes — but that path re-stores
+	// under the same generation.)
+	if _, err := v.Belief("m1", "inner race fault"); err != nil {
+		t.Fatal(err)
+	}
+	innerKey := viewKey{kind: kindBelief, component: "m1", condition: "inner race fault"}
+	genBefore, _, _ := v.snapshotKey(innerKey)
+	deliver(t, engine, report("dc-1", "m2", "imbalance", 0.5, base.Add(2*time.Minute)))
+	genAfter, _, _ := v.snapshotKey(innerKey)
+	if genAfter != genBefore {
+		t.Fatalf("group-unrelated delivery bumped the bearing generation: %d -> %d", genBefore, genAfter)
+	}
+	inner3, err := v.Belief("m1", "inner race fault")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner3.Belief != inner2.Belief {
+		t.Fatal("unrelated delivery must not change the bearing belief")
+	}
+}
+
+func TestBeliefUnknownCondition(t *testing.T) {
+	engine := newTestEngine(t)
+	v := openTestViews(t, engine)
+	if _, err := v.Belief("m1", "no such condition"); err == nil {
+		t.Fatal("expected error for condition outside every group")
+	}
+	if _, err := v.Belief("", "imbalance"); err == nil {
+		t.Fatal("expected error for empty component")
+	}
+}
+
+func TestHeartbeatInvalidatesDiscountedViews(t *testing.T) {
+	engine := newTestEngine(t)
+	if err := engine.ConfigureHealth(health.Config{
+		FreshFor:         time.Hour,
+		StalenessHorizon: 10 * time.Hour,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	v := openTestViews(t, engine)
+	deliver(t, engine, report("dc-1", "m1", "imbalance", 0.9, base))
+	fresh := v.Ranked()
+	if got := v.Ranked(); !got.Cached || got.Items[0].Degraded {
+		t.Fatalf("expected cached undegraded view, got %+v", got)
+	}
+	// A heartbeat from another DC advances the event-time watermark far past
+	// dc-1's report: its evidence is now stale, so the cached view — computed
+	// under the old registry version — must not be served.
+	if err := engine.ObserveHeartbeat(&proto.Heartbeat{
+		DCID: "dc-2", SentAt: base.Add(8 * time.Hour), Incarnation: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	after := v.Ranked()
+	if after.Cached {
+		t.Fatal("heartbeat must invalidate health-discounted views")
+	}
+	if !after.Items[0].Degraded || after.Items[0].Reliability >= fresh.Items[0].Reliability {
+		t.Fatalf("expected degraded view after watermark advance, got %+v", after.Items[0])
+	}
+	if after.Items[0].Belief >= fresh.Items[0].Belief {
+		t.Fatalf("stale evidence should have drained belief: %g -> %g",
+			fresh.Items[0].Belief, after.Items[0].Belief)
+	}
+}
+
+func TestWallClockToleranceBoundsStaleness(t *testing.T) {
+	engine := newTestEngine(t)
+	now := base
+	clock := func() time.Time { return now }
+	if err := engine.ConfigureHealth(health.Config{Clock: clock}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tolerance 0 (default): wall-clocked registries disable caching of
+	// discounted views entirely.
+	v, err := Open(engine, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deliver(t, engine, report("dc-1", "m1", "imbalance", 0.8, base))
+	v.Ranked()
+	if v.Ranked().Cached {
+		t.Fatal("wall-clocked registry with zero tolerance must never serve cached views")
+	}
+	v.Close()
+
+	// With a tolerance, hits are served until the clock outruns it.
+	v2, err := Open(engine, Options{WallClockTolerance: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2.Close()
+	v2.Ranked()
+	if !v2.Ranked().Cached {
+		t.Fatal("expected a hit within the tolerance")
+	}
+	now = now.Add(2 * time.Minute)
+	if v2.Ranked().Cached {
+		t.Fatal("entry older than the tolerance must not be served")
+	}
+}
+
+func TestTrendViewProjectsThreshold(t *testing.T) {
+	engine := newTestEngine(t)
+	v := openTestViews(t, engine)
+	for i := 0; i < 5; i++ {
+		sev := 0.2 + 0.1*float64(i)
+		r := report("dc-1", "m1", "imbalance", 0.8, base.Add(time.Duration(i)*24*time.Hour))
+		r.Severity = sev
+		deliver(t, engine, r)
+	}
+	tv := v.Trend("m1", "imbalance", 0.75)
+	if len(tv.History) != 5 {
+		t.Fatalf("expected 5 history points, got %d", len(tv.History))
+	}
+	if tv.Projection == nil {
+		t.Fatalf("expected a projection, got error %q", tv.ProjectionError)
+	}
+	if len(tv.Rollups) == 0 {
+		t.Fatal("expected rollup envelope buckets")
+	}
+	// A pair with no reports yields an empty, projection-less view.
+	empty := v.Trend("m1", "outer race fault", 0.75)
+	if len(empty.History) != 0 || empty.Projection != nil || empty.ProjectionError == "" {
+		t.Fatalf("unexpected empty-pair trend view: %+v", empty)
+	}
+}
+
+func TestWatchNoticesAndSlowConsumerDrops(t *testing.T) {
+	engine := newTestEngine(t)
+	v := openTestViews(t, engine)
+	all := v.Watch("", 4)
+	only := v.Watch("m2", 4)
+	defer all.Close()
+	defer only.Close()
+
+	deliver(t, engine, report("dc-1", "m1", "imbalance", 0.8, base))
+	n := <-all.C
+	if n.Component != "m1" || n.Condition != "imbalance" || n.Seq != 1 {
+		t.Fatalf("unexpected notice: %+v", n)
+	}
+	select {
+	case n := <-only.C:
+		t.Fatalf("m2 watcher should not see m1 traffic, got %+v", n)
+	default:
+	}
+	deliver(t, engine, report("dc-1", "m2", "imbalance", 0.5, base.Add(time.Minute)))
+	if n := <-only.C; n.Component != "m2" {
+		t.Fatalf("unexpected notice: %+v", n)
+	}
+	if n := <-all.C; n.Component != "m2" || n.Seq != 2 {
+		t.Fatalf("all-watcher should see m2 traffic too, got %+v", n)
+	}
+
+	// Overflow the all-watcher's drained 4-slot buffer:
+	// deliveries never block, the excess is dropped and counted.
+	for i := 0; i < 8; i++ {
+		deliver(t, engine, report("dc-1", "m1", "imbalance", 0.8, base.Add(time.Duration(i+2)*time.Minute)))
+	}
+	if got := all.Dropped(); got != 4 {
+		t.Fatalf("expected 4 dropped notices, got %d", got)
+	}
+	st := v.Stats()
+	if st.NoticeDrops != 4 || st.Watchers != 2 {
+		t.Fatalf("unexpected stats: %+v", st)
+	}
+	// Closing stops delivery (no drop counting either); Close is idempotent.
+	all.Close()
+	all.Close()
+	deliver(t, engine, report("dc-1", "m2", "imbalance", 0.5, base.Add(time.Hour)))
+	if n, ok := <-only.C; !ok || n.Component != "m2" {
+		t.Fatalf("m2 watcher should outlive the closed all-watcher, got %+v (ok=%v)", n, ok)
+	}
+	if got := all.Dropped(); got != 4 {
+		t.Fatalf("closed subscription must stop counting drops, got %d", got)
+	}
+}
+
+func TestCloseDetachesFromEngine(t *testing.T) {
+	engine := newTestEngine(t)
+	v := openTestViews(t, engine)
+	sub := v.Watch("", 1)
+	v.Close()
+	if _, ok := <-sub.C; ok {
+		t.Fatal("Close must close subscriptions")
+	}
+	// Deliveries after Close must not panic or notify.
+	deliver(t, engine, report("dc-1", "m1", "imbalance", 0.8, base))
+	if got := v.Ranked(); got.Cached {
+		t.Fatal("closed tier must not serve cached views")
+	}
+}

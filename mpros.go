@@ -27,6 +27,7 @@ import (
 	"repro/internal/pdme"
 	"repro/internal/proto"
 	"repro/internal/relstore"
+	"repro/internal/serving"
 	"repro/internal/uplink"
 )
 
@@ -56,6 +57,25 @@ type (
 	// Source is the plant interface a DC instruments; FleetConfig.WrapSource
 	// interposes on it for sensor-fault injection.
 	Source = dc.Source
+	// Views is the read-side serving tier: event-invalidated materialized
+	// views over the PDME, streaming subscriptions, and the HTTP API
+	// (see serving.Open / serving.Server).
+	Views = serving.Views
+	// ServingOptions configures a Views tier.
+	ServingOptions = serving.Options
+	// RankedView is a cached prioritized-list read.
+	RankedView = serving.RankedView
+	// BeliefView is a cached per-condition fused state.
+	BeliefView = serving.BeliefView
+	// TrendView is a snapshot-isolated severity history with threshold
+	// projection.
+	TrendView = serving.TrendView
+	// ServingStats are the view cache's coherence counters.
+	ServingStats = serving.Stats
+	// Notice is one change notification on a watch subscription.
+	Notice = serving.Notice
+	// Subscription is a bounded-buffer change feed from Views.Watch.
+	Subscription = serving.Subscription
 )
 
 // Health state constants.
@@ -239,6 +259,14 @@ func (s *Station) PrioritizedList() []MaintenanceItem { return s.PDME.Prioritize
 // Browser renders the Figure 2-style machine display.
 func (s *Station) Browser() (string, error) {
 	return s.PDME.RenderBrowser(s.Machine.String())
+}
+
+// OpenViews attaches a read-side serving tier to the station's PDME:
+// materialized ranked/belief/trend views invalidated by fusion events, plus
+// Watch subscriptions. Close the returned Views before closing the station.
+// Serve its HTTP API with serving.Server or serving.NewHandler.
+func (s *Station) OpenViews(opts ServingOptions) (*Views, error) {
+	return serving.Open(s.PDME, opts)
 }
 
 // Close releases the PDME subscription, the shared historian, and the
@@ -479,6 +507,13 @@ func (f *Fleet) RestartUplink(i int) error {
 	}
 	s.Uplink = up
 	return nil
+}
+
+// OpenViews attaches a read-side serving tier to the fleet's central PDME,
+// so dashboards read cached views while the stations' reports stream in over
+// TCP. Close the returned Views before closing the fleet.
+func (f *Fleet) OpenViews(opts ServingOptions) (*Views, error) {
+	return serving.Open(f.PDME, opts)
 }
 
 // StopServer closes the PDME's report server, severing every station
