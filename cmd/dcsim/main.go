@@ -16,8 +16,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/chiller"
@@ -113,8 +115,25 @@ func run() int {
 	fmt.Printf("dcsim %s: monitoring %s, reporting to %s, %g virtual hours\n",
 		*id, *machine, *pdmeAddr, *hours)
 
+	// On SIGINT/SIGTERM the loop stops at the next hour boundary and falls
+	// through to the normal exit path: the spool flush below drains queued
+	// reports (bounded by -flush-timeout), so an interrupted run leaves
+	// nothing behind that the spool file can't carry into the next one.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	interrupted := false
+
 	stepHours := 1.0
 	for done := 0.0; done < *hours; done += stepHours {
+		select {
+		case sig := <-stop:
+			fmt.Printf("dcsim %s: %v — stopping at t+%.1fh, draining spool\n", *id, sig, done)
+			interrupted = true
+		default:
+		}
+		if interrupted {
+			break
+		}
 		step := stepHours
 		if remaining := *hours - done; remaining < step {
 			step = remaining

@@ -39,6 +39,9 @@ var RecoveryPkgs = map[string]bool{
 	"relstore":  true,
 	"historian": true,
 	"proto":     true,
+	// journal is the PDME's write-ahead log: a dropped error between append
+	// and ack breaks the durability guarantee outright.
+	"journal": true,
 	// serving reads the historian on the trend path and hands errors to HTTP
 	// clients; a discarded error there silently serves an empty trend.
 	"serving": true,

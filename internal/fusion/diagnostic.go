@@ -171,6 +171,12 @@ func (df *DiagnosticFuser) GroupOf(condition string) (string, error) {
 	return g, nil
 }
 
+// newGroupFrame builds a group's frame of discernment: its configured
+// conditions plus the reserved unknown hypothesis.
+func newGroupFrame(groups Groups, group string) (*dempster.Frame, error) {
+	return dempster.NewFrame(append(append([]string(nil), groups[group]...), otherHypothesis)...)
+}
+
 func (df *DiagnosticFuser) state(component, group string) (*groupState, error) {
 	byGroup, ok := df.states[component]
 	if !ok {
@@ -179,7 +185,7 @@ func (df *DiagnosticFuser) state(component, group string) (*groupState, error) {
 	}
 	st, ok := byGroup[group]
 	if !ok {
-		frame, err := dempster.NewFrame(append(append([]string(nil), df.groups[group]...), otherHypothesis)...)
+		frame, err := newGroupFrame(df.groups, group)
 		if err != nil {
 			return nil, err
 		}

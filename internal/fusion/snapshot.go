@@ -1,0 +1,204 @@
+package fusion
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/dempster"
+	"repro/internal/proto"
+)
+
+// Checkpoint snapshots for the PDME's durable journal. Every slice is
+// sorted so identical fusion states encode identically, and masses are
+// carried as focal-set member lists so a snapshot survives frame-layout
+// changes as long as group membership itself is unchanged. Float64 values
+// round-trip bit-exactly through JSON (Go emits the shortest
+// uniquely-decoding representation), which is what lets a recovered PDME
+// reproduce Ranked/Belief output bit-for-bit.
+
+// FocalMass is one focal set of a source's accumulated evidence.
+type FocalMass struct {
+	// Members are the frame hypotheses in the focal set (condition names
+	// plus the reserved unknown hypothesis), sorted by frame order.
+	Members []string `json:"members"`
+	Mass    float64  `json:"mass"`
+}
+
+// SourceSnapshot is one knowledge source's evidence within a group state.
+type SourceSnapshot struct {
+	Source     string      `json:"source"`
+	LastReport time.Time   `json:"last_report,omitempty"`
+	Conditions []string    `json:"conditions,omitempty"`
+	Focal      []FocalMass `json:"focal"`
+}
+
+// GroupSnapshot is the full per-(component, logical failure group) state.
+type GroupSnapshot struct {
+	Component string           `json:"component"`
+	Group     string           `json:"group"`
+	Sources   []SourceSnapshot `json:"sources"`
+	// Reports counts per-condition report arrivals, keyed by condition.
+	Reports map[string]int `json:"reports,omitempty"`
+}
+
+// DiagnosticState is a serializable snapshot of a DiagnosticFuser.
+type DiagnosticState struct {
+	Groups     []GroupSnapshot `json:"groups"`
+	TotalFused int             `json:"total_fused"`
+}
+
+// Snapshot captures the fuser's accumulated evidence for checkpointing.
+func (df *DiagnosticFuser) Snapshot() DiagnosticState {
+	df.mu.RLock()
+	defer df.mu.RUnlock()
+	st := DiagnosticState{TotalFused: df.totalFusedN}
+	for component, byGroup := range df.states {
+		for group, gs := range byGroup {
+			snap := GroupSnapshot{Component: component, Group: group}
+			for id, src := range gs.sources {
+				ss := SourceSnapshot{Source: id, LastReport: src.lastReport}
+				for c := range src.conditions {
+					ss.Conditions = append(ss.Conditions, c)
+				}
+				sort.Strings(ss.Conditions)
+				for _, set := range src.mass.FocalSets() {
+					ss.Focal = append(ss.Focal, FocalMass{
+						Members: gs.frame.Names(set),
+						Mass:    src.mass.Get(set),
+					})
+				}
+				snap.Sources = append(snap.Sources, ss)
+			}
+			sort.Slice(snap.Sources, func(i, k int) bool { return snap.Sources[i].Source < snap.Sources[k].Source })
+			if len(gs.reports) > 0 {
+				snap.Reports = make(map[string]int, len(gs.reports))
+				for c, n := range gs.reports {
+					snap.Reports[c] = n
+				}
+			}
+			st.Groups = append(st.Groups, snap)
+		}
+	}
+	sort.Slice(st.Groups, func(i, k int) bool {
+		if st.Groups[i].Component != st.Groups[k].Component {
+			return st.Groups[i].Component < st.Groups[k].Component
+		}
+		return st.Groups[i].Group < st.Groups[k].Group
+	})
+	return st
+}
+
+// Restore replaces the fuser's evidence with a snapshot. The group
+// configuration is NOT part of the snapshot — it comes from construction —
+// so a snapshot naming a group or condition the current configuration does
+// not know is refused rather than silently misfiled.
+func (df *DiagnosticFuser) Restore(st DiagnosticState) error {
+	df.mu.Lock()
+	defer df.mu.Unlock()
+	states := make(map[string]map[string]*groupState)
+	restore := func(snap GroupSnapshot) error {
+		if _, ok := df.groups[snap.Group]; !ok {
+			return fmt.Errorf("fusion: restore: unknown group %q", snap.Group)
+		}
+		frame, err := newGroupFrame(df.groups, snap.Group)
+		if err != nil {
+			return err
+		}
+		gs := &groupState{
+			frame:   frame,
+			sources: make(map[string]*sourceEvidence),
+			reports: make(map[string]int),
+		}
+		for c, n := range snap.Reports {
+			gs.reports[c] = n
+		}
+		for _, ss := range snap.Sources {
+			src := &sourceEvidence{
+				mass:       dempster.NewMass(frame),
+				lastReport: ss.LastReport,
+				conditions: make(map[string]struct{}, len(ss.Conditions)),
+			}
+			for _, c := range ss.Conditions {
+				src.conditions[c] = struct{}{}
+			}
+			for _, fm := range ss.Focal {
+				set, err := frame.SetOf(fm.Members...)
+				if err != nil {
+					return fmt.Errorf("fusion: restore %s/%s source %q: %w",
+						snap.Component, snap.Group, ss.Source, err)
+				}
+				if err := src.mass.Set(set, fm.Mass); err != nil {
+					return fmt.Errorf("fusion: restore %s/%s source %q: %w",
+						snap.Component, snap.Group, ss.Source, err)
+				}
+			}
+			gs.sources[ss.Source] = src
+		}
+		byGroup, ok := states[snap.Component]
+		if !ok {
+			byGroup = make(map[string]*groupState)
+			states[snap.Component] = byGroup
+		}
+		byGroup[snap.Group] = gs
+		return nil
+	}
+	for _, snap := range st.Groups {
+		if err := restore(snap); err != nil {
+			return err
+		}
+	}
+	df.states = states
+	df.totalFusedN = st.TotalFused
+	return nil
+}
+
+// PrognosticEntry is one fused (component, condition) prognostic vector.
+type PrognosticEntry struct {
+	Component string                 `json:"component"`
+	Condition string                 `json:"condition"`
+	Vector    proto.PrognosticVector `json:"vector"`
+}
+
+// PrognosticState is a serializable snapshot of a PrognosticFuser, sorted
+// by (component, condition).
+type PrognosticState []PrognosticEntry
+
+// Snapshot captures the fused prognostic vectors for checkpointing.
+func (pf *PrognosticFuser) Snapshot() PrognosticState {
+	pf.mu.RLock()
+	defer pf.mu.RUnlock()
+	st := make(PrognosticState, 0, len(pf.fused))
+	for k, v := range pf.fused {
+		st = append(st, PrognosticEntry{
+			Component: k.component,
+			Condition: k.condition,
+			Vector:    append(proto.PrognosticVector(nil), v...),
+		})
+	}
+	sort.Slice(st, func(i, k int) bool {
+		if st[i].Component != st[k].Component {
+			return st[i].Component < st[k].Component
+		}
+		return st[i].Condition < st[k].Condition
+	})
+	return st
+}
+
+// Restore replaces the fuser's vectors with a snapshot.
+func (pf *PrognosticFuser) Restore(st PrognosticState) error {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	fused := make(map[progKey]proto.PrognosticVector, len(st))
+	for _, e := range st {
+		if e.Component == "" || e.Condition == "" {
+			return fmt.Errorf("fusion: restore: entry missing component or condition")
+		}
+		if err := e.Vector.Validate(); err != nil {
+			return fmt.Errorf("fusion: restore %s/%s: %w", e.Component, e.Condition, err)
+		}
+		fused[progKey{e.Component, e.Condition}] = append(proto.PrognosticVector(nil), e.Vector...)
+	}
+	pf.fused = fused
+	return nil
+}

@@ -1,0 +1,93 @@
+package health
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/proto"
+)
+
+// Checkpoint snapshots for the PDME's durable journal. The registry's
+// Config is deliberately NOT part of the snapshot: thresholds come from
+// flags at boot (ConfigureHealth), while the snapshot carries only the
+// observation history — watermark, per-DC last-seen state, and the version
+// counter the serving tier keys its cache on.
+
+// DCObservationState is one DC's recorded observation history.
+type DCObservationState struct {
+	DCID          string              `json:"dcid"`
+	LastHeartbeat time.Time           `json:"last_heartbeat,omitempty"`
+	LastReport    time.Time           `json:"last_report,omitempty"`
+	Boot          uint64              `json:"boot,omitempty"`
+	Incarnation   uint64              `json:"incarnation,omitempty"`
+	Restarts      []time.Time         `json:"restarts,omitempty"`
+	SpoolDepth    int                 `json:"spool_depth,omitempty"`
+	Suites        []proto.SuiteStatus `json:"suites,omitempty"`
+	Sources       []SourceObservation `json:"sources,omitempty"`
+}
+
+// SourceObservation is a knowledge source's last report timestamp.
+type SourceObservation struct {
+	Source string    `json:"source"`
+	At     time.Time `json:"at"`
+}
+
+// RegistryState is a serializable snapshot of a Registry's observation
+// history, sorted for a deterministic encoding.
+type RegistryState struct {
+	Watermark time.Time            `json:"watermark,omitempty"`
+	Version   uint64               `json:"version"`
+	DCs       []DCObservationState `json:"dcs,omitempty"`
+}
+
+// ExportState snapshots the observation history for checkpointing.
+func (g *Registry) ExportState() RegistryState {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st := RegistryState{Watermark: g.watermark, Version: g.version}
+	for dcid, r := range g.dcs {
+		ds := DCObservationState{
+			DCID:          dcid,
+			LastHeartbeat: r.lastHeartbeat,
+			LastReport:    r.lastReport,
+			Boot:          r.boot,
+			Incarnation:   r.incarnation,
+			Restarts:      append([]time.Time(nil), r.restarts...),
+			SpoolDepth:    r.spoolDepth,
+			Suites:        append([]proto.SuiteStatus(nil), r.suites...),
+		}
+		for src, at := range r.sources {
+			ds.Sources = append(ds.Sources, SourceObservation{Source: src, At: at})
+		}
+		sort.Slice(ds.Sources, func(i, k int) bool { return ds.Sources[i].Source < ds.Sources[k].Source })
+		st.DCs = append(st.DCs, ds)
+	}
+	sort.Slice(st.DCs, func(i, k int) bool { return st.DCs[i].DCID < st.DCs[k].DCID })
+	return st
+}
+
+// RestoreState replaces the observation history with a snapshot; the
+// configured thresholds (Config) are untouched.
+func (g *Registry) RestoreState(st RegistryState) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.watermark = st.Watermark
+	g.version = st.Version
+	g.dcs = make(map[string]*dcRecord, len(st.DCs))
+	for _, ds := range st.DCs {
+		r := &dcRecord{
+			lastHeartbeat: ds.LastHeartbeat,
+			lastReport:    ds.LastReport,
+			boot:          ds.Boot,
+			incarnation:   ds.Incarnation,
+			restarts:      append([]time.Time(nil), ds.Restarts...),
+			spoolDepth:    ds.SpoolDepth,
+			suites:        append([]proto.SuiteStatus(nil), ds.Suites...),
+			sources:       make(map[string]time.Time, len(ds.Sources)),
+		}
+		for _, s := range ds.Sources {
+			r.sources[s.Source] = s.At
+		}
+		g.dcs[ds.DCID] = r
+	}
+}

@@ -1,0 +1,298 @@
+package journal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mustOpen(t *testing.T, dir string) (*Journal, *Recovery) {
+	t.Helper()
+	j, rec, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return j, rec
+}
+
+func appendN(t *testing.T, j *Journal, kind byte, n int, label string) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := j.Append(kind, []byte(fmt.Sprintf("%s-%d", label, i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+}
+
+func TestAppendReopenRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	j, rec := mustOpen(t, dir)
+	if rec.Checkpoint != nil || len(rec.Tail) != 0 {
+		t.Fatalf("fresh journal recovered state: %+v", rec)
+	}
+	bodies := [][]byte{[]byte("alpha"), []byte(""), bytes.Repeat([]byte{0xAB}, 4096)}
+	for i, b := range bodies {
+		seq, err := j.Append(byte(i+1), b)
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("seq = %d, want %d", seq, i+1)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	j2, rec2 := mustOpen(t, dir)
+	defer func() { _ = j2.Close() }()
+	if len(rec2.Tail) != len(bodies) {
+		t.Fatalf("recovered %d records, want %d", len(rec2.Tail), len(bodies))
+	}
+	for i, r := range rec2.Tail {
+		if r.Seq != uint64(i+1) || r.Kind != byte(i+1) || !bytes.Equal(r.Body, bodies[i]) {
+			t.Fatalf("record %d = %+v, want seq %d kind %d body %q", i, r, i+1, i+1, bodies[i])
+		}
+	}
+	if got := j2.LastSeq(); got != uint64(len(bodies)) {
+		t.Fatalf("LastSeq = %d, want %d", got, len(bodies))
+	}
+	if seq, err := j2.Append(9, []byte("next")); err != nil || seq != uint64(len(bodies)+1) {
+		t.Fatalf("post-reopen Append = (%d, %v), want seq %d", seq, err, len(bodies)+1)
+	}
+}
+
+func TestTornTailTruncatedAndReopenStable(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir)
+	appendN(t, j, 1, 5, "rec")
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	path := filepath.Join(dir, walName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read wal: %v", err)
+	}
+	// Chop into the last record's body: a torn single-write append.
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatalf("write torn wal: %v", err)
+	}
+
+	j2, rec := mustOpen(t, dir)
+	if rec.TornBytes == 0 {
+		t.Fatalf("torn tail not detected")
+	}
+	if len(rec.Tail) != 4 {
+		t.Fatalf("recovered %d records after torn tail, want 4", len(rec.Tail))
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Reopen-stable: the truncation is durable, a second recovery sees a
+	// clean file with the same prefix.
+	j3, rec3 := mustOpen(t, dir)
+	defer func() { _ = j3.Close() }()
+	if rec3.TornBytes != 0 {
+		t.Fatalf("second recovery still torn: %d bytes", rec3.TornBytes)
+	}
+	if len(rec3.Tail) != 4 {
+		t.Fatalf("second recovery %d records, want 4", len(rec3.Tail))
+	}
+}
+
+func TestInteriorCorruptionRefused(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir)
+	appendN(t, j, 1, 5, "rec")
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	path := filepath.Join(dir, walName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read wal: %v", err)
+	}
+	// Flip a byte in the middle of the file: a complete record with a bad
+	// CRC is not a torn tail.
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("write corrupted wal: %v", err)
+	}
+	if _, _, err := Open(dir); err == nil {
+		t.Fatalf("Open accepted interior corruption")
+	} else if !strings.Contains(err.Error(), "corrupted") {
+		t.Fatalf("corruption error %q lacks diagnosis", err)
+	}
+}
+
+func TestCheckpointCompactsAndFiltersTail(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir)
+	appendN(t, j, 1, 10, "rec")
+	if err := j.WriteCheckpoint(7, []byte("state@7")); err != nil {
+		t.Fatalf("WriteCheckpoint: %v", err)
+	}
+	if got := j.SinceCheckpoint(); got != 3 {
+		t.Fatalf("SinceCheckpoint = %d, want 3", got)
+	}
+	appendN(t, j, 2, 2, "post")
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	j2, rec := mustOpen(t, dir)
+	defer func() { _ = j2.Close() }()
+	if string(rec.Checkpoint) != "state@7" || rec.CheckpointSeq != 7 {
+		t.Fatalf("checkpoint = (%q, %d), want (state@7, 7)", rec.Checkpoint, rec.CheckpointSeq)
+	}
+	wantSeqs := []uint64{8, 9, 10, 11, 12}
+	if len(rec.Tail) != len(wantSeqs) {
+		t.Fatalf("tail %d records, want %d", len(rec.Tail), len(wantSeqs))
+	}
+	for i, r := range rec.Tail {
+		if r.Seq != wantSeqs[i] {
+			t.Fatalf("tail[%d].Seq = %d, want %d", i, r.Seq, wantSeqs[i])
+		}
+	}
+	if got := j2.LastSeq(); got != 12 {
+		t.Fatalf("LastSeq = %d, want 12", got)
+	}
+}
+
+func TestCrashBetweenCheckpointAndCompactSkipsStaleRecords(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir)
+	appendN(t, j, 1, 6, "rec")
+	// Capture the WAL as it looks before the checkpoint's compaction...
+	preCompact, err := os.ReadFile(filepath.Join(dir, walName))
+	if err != nil {
+		t.Fatalf("read wal: %v", err)
+	}
+	if err := j.WriteCheckpoint(4, []byte("state@4")); err != nil {
+		t.Fatalf("WriteCheckpoint: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// ...and restore it: this is exactly the on-disk state after a crash
+	// between the checkpoint rename and the WAL compaction rename.
+	if err := os.WriteFile(filepath.Join(dir, walName), preCompact, 0o644); err != nil {
+		t.Fatalf("restore pre-compact wal: %v", err)
+	}
+
+	j2, rec := mustOpen(t, dir)
+	defer func() { _ = j2.Close() }()
+	if rec.CheckpointSeq != 4 {
+		t.Fatalf("CheckpointSeq = %d, want 4", rec.CheckpointSeq)
+	}
+	if len(rec.Tail) != 2 || rec.Tail[0].Seq != 5 || rec.Tail[1].Seq != 6 {
+		t.Fatalf("tail = %+v, want seqs 5,6 only (stale records skipped)", rec.Tail)
+	}
+	if got := j2.LastSeq(); got != 6 {
+		t.Fatalf("LastSeq = %d, want 6", got)
+	}
+}
+
+func TestStaleTempFilesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir)
+	appendN(t, j, 1, 3, "rec")
+	if err := j.WriteCheckpoint(2, []byte("state@2")); err != nil {
+		t.Fatalf("WriteCheckpoint: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// A crash mid-replace leaves temp files behind; they must not shadow
+	// the committed ones.
+	for _, tmp := range []string{ckptName + ".tmp", walName + ".tmp"} {
+		if err := os.WriteFile(filepath.Join(dir, tmp), []byte("garbage from a dying process"), 0o644); err != nil {
+			t.Fatalf("plant temp: %v", err)
+		}
+	}
+	j2, rec := mustOpen(t, dir)
+	defer func() { _ = j2.Close() }()
+	if string(rec.Checkpoint) != "state@2" || len(rec.Tail) != 1 || rec.Tail[0].Seq != 3 {
+		t.Fatalf("recovery with stale temps = (%q, %+v)", rec.Checkpoint, rec.Tail)
+	}
+	for _, tmp := range []string{ckptName + ".tmp", walName + ".tmp"} {
+		if _, err := os.Stat(filepath.Join(dir, tmp)); !os.IsNotExist(err) {
+			t.Fatalf("stale temp %s survived Open", tmp)
+		}
+	}
+}
+
+func TestCorruptedCheckpointRefused(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir)
+	appendN(t, j, 1, 3, "rec")
+	if err := j.WriteCheckpoint(3, []byte("state@3")); err != nil {
+		t.Fatalf("WriteCheckpoint: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	path := filepath.Join(dir, ckptName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read checkpoint: %v", err)
+	}
+	data[len(data)-2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("write corrupted checkpoint: %v", err)
+	}
+	if _, _, err := Open(dir); err == nil {
+		t.Fatalf("Open accepted corrupted checkpoint")
+	}
+}
+
+func TestCheckpointWatermarkValidation(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir)
+	defer func() { _ = j.Close() }()
+	appendN(t, j, 1, 5, "rec")
+	if err := j.WriteCheckpoint(0, nil); err == nil {
+		t.Fatalf("accepted zero watermark")
+	}
+	if err := j.WriteCheckpoint(6, nil); err == nil {
+		t.Fatalf("accepted watermark beyond last append")
+	}
+	if err := j.WriteCheckpoint(4, []byte("s4")); err != nil {
+		t.Fatalf("WriteCheckpoint(4): %v", err)
+	}
+	if err := j.WriteCheckpoint(3, []byte("s3")); err == nil {
+		t.Fatalf("accepted watermark regression")
+	}
+	// Re-checkpointing at the same watermark is legal (idempotent refresh).
+	if err := j.WriteCheckpoint(4, []byte("s4b")); err != nil {
+		t.Fatalf("same-watermark refresh: %v", err)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir)
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := j.Append(1, []byte("x")); err == nil {
+		t.Fatalf("Append after Close succeeded")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+}
+
+func TestOversizeBodyRefused(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir)
+	defer func() { _ = j.Close() }()
+	if _, err := j.Append(1, make([]byte, maxBodySize+1)); err == nil {
+		t.Fatalf("oversize body accepted")
+	}
+}

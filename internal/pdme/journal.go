@@ -1,0 +1,350 @@
+package pdme
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/fusion"
+	"repro/internal/health"
+	"repro/internal/journal"
+	"repro/internal/proto"
+)
+
+// Durability: every envelope the PDME accepts (report or heartbeat,
+// post-dedup) is appended and fsynced to a write-ahead journal before the
+// fusion mutation commits, and a periodic checkpoint snapshots the full
+// derived state — per-source fusion evidence, dedup watermarks + boot
+// epochs, health observation history, the received counter — so recovery
+// is checkpoint-load + tail-replay rather than full-history replay.
+//
+// Consistency: deliveries hold acceptMu (read side) across journal append
+// + fusion mutation + dedup mark; Checkpoint takes the write side, so the
+// watermark it pins and the state it snapshots describe the same accepted
+// prefix. Replay re-applies only fusion effects (diagnostic/prognostic
+// evidence, conclusion objects, health observations, dedup marks, the
+// severity history) — it does not re-post report objects into the OOSM,
+// because Ranked/Belief output is a pure function of the fusion state and
+// re-posting would double OOSM report objects kept in a persistent model.
+
+// Journal record kinds.
+const (
+	journalKindReport    = byte(1)
+	journalKindHeartbeat = byte(2)
+)
+
+// DefaultCheckpointEvery is how many journaled records accumulate before
+// an automatic checkpoint when JournalOptions.CheckpointEvery is zero.
+const DefaultCheckpointEvery = 1024
+
+// journaledReport is the WAL body for an accepted report: the report plus
+// the wire delivery tag, so replay can re-mark the dedup window and a
+// resend after recovery is still recognized as a duplicate.
+type journaledReport struct {
+	DCID   string        `json:"dcid,omitempty"`
+	Boot   uint64        `json:"boot,omitempty"`
+	Seq    uint64        `json:"seq,omitempty"`
+	Report *proto.Report `json:"report"`
+}
+
+// checkpointState is the checkpoint blob: every piece of derived state a
+// crash would otherwise lose. JSON keeps float64 bit-exact (Go emits the
+// shortest uniquely-decoding representation), which recovery's
+// bit-for-bit Ranked/Belief guarantee rests on.
+type checkpointState struct {
+	Received int                    `json:"received"`
+	Dedup    proto.DedupState       `json:"dedup"`
+	Diag     fusion.DiagnosticState `json:"diag"`
+	Prog     fusion.PrognosticState `json:"prog,omitempty"`
+	Health   health.RegistryState   `json:"health"`
+}
+
+// JournalOptions configures the PDME's durability subsystem.
+type JournalOptions struct {
+	// Dir roots the WAL and checkpoint files.
+	Dir string
+	// CheckpointEvery is the automatic checkpoint cadence in accepted
+	// records (0: DefaultCheckpointEvery; negative: no automatic
+	// checkpoints — the owner calls Checkpoint itself).
+	CheckpointEvery int
+}
+
+// RecoveryStats summarizes what OpenJournal restored.
+type RecoveryStats struct {
+	// CheckpointLoaded reports whether a durable checkpoint was restored;
+	// CheckpointSeq is the journal sequence it covered.
+	CheckpointLoaded bool
+	CheckpointSeq    uint64
+	// ReportsReplayed / HeartbeatsReplayed count tail records re-applied on
+	// top of the checkpoint; SkippedRecords counts tail records that no
+	// longer decode or apply (e.g. a condition removed from the failure
+	// groups between runs).
+	ReportsReplayed    int
+	HeartbeatsReplayed int
+	SkippedRecords     int
+	// TornBytes is how much of an interrupted final append was truncated.
+	TornBytes int64
+}
+
+// RecoveryInvalidator is an Invalidator that can also drop every cached
+// entry at once. When the installed invalidator implements it, OpenJournal
+// bumps the cache epoch after replay so views never serve pre-crash
+// entries.
+type RecoveryInvalidator interface {
+	Invalidator
+	InvalidateAll()
+}
+
+// OpenJournal opens (or creates) the durability journal in opts.Dir,
+// recovers checkpoint + tail into this PDME, and arms the journaled accept
+// path: from here on every accepted envelope is fsynced before its fusion
+// mutation commits. Call after ConfigureHealth/ConfigureDedup and before
+// any traffic.
+func (p *PDME) OpenJournal(opts JournalOptions) (RecoveryStats, error) {
+	var stats RecoveryStats
+	if p.journalHandle() != nil {
+		return stats, fmt.Errorf("pdme: journal already open")
+	}
+	jr, rec, err := journal.Open(opts.Dir)
+	if err != nil {
+		return stats, err
+	}
+	stats.TornBytes = rec.TornBytes
+	if rec.Checkpoint != nil {
+		var st checkpointState
+		if err := json.Unmarshal(rec.Checkpoint, &st); err != nil {
+			_ = jr.Close() // best effort: the decode error is the story
+			return stats, fmt.Errorf("pdme: decode checkpoint: %w", err)
+		}
+		if err := p.restoreCheckpoint(st); err != nil {
+			_ = jr.Close() // best effort: the restore error is the story
+			return stats, err
+		}
+		stats.CheckpointLoaded = true
+		stats.CheckpointSeq = rec.CheckpointSeq
+	}
+	for _, r := range rec.Tail {
+		switch r.Kind {
+		case journalKindReport:
+			var jrp journaledReport
+			if err := json.Unmarshal(r.Body, &jrp); err != nil {
+				stats.SkippedRecords++
+				continue
+			}
+			if err := p.replayReport(&jrp); err != nil {
+				stats.SkippedRecords++
+				continue
+			}
+			stats.ReportsReplayed++
+		case journalKindHeartbeat:
+			var hb proto.Heartbeat
+			if err := json.Unmarshal(r.Body, &hb); err != nil {
+				stats.SkippedRecords++
+				continue
+			}
+			if err := p.Health().ObserveHeartbeat(&hb); err != nil {
+				stats.SkippedRecords++
+				continue
+			}
+			stats.HeartbeatsReplayed++
+		default:
+			stats.SkippedRecords++
+		}
+	}
+	every := opts.CheckpointEvery
+	if every == 0 {
+		every = DefaultCheckpointEvery
+	}
+	p.mu.Lock()
+	p.jrnl = jr
+	p.checkpointEvery = every
+	p.mu.Unlock()
+	// Cache epoch bump: anything a view cached before the crash describes
+	// fusion state that no longer exists.
+	if ri, ok := p.invalidator().(RecoveryInvalidator); ok {
+		ri.InvalidateAll()
+	}
+	return stats, nil
+}
+
+// restoreCheckpoint loads a checkpoint blob into the live state.
+func (p *PDME) restoreCheckpoint(st checkpointState) error {
+	if err := p.diag.Restore(st.Diag); err != nil {
+		return fmt.Errorf("pdme: restore diagnostic state: %w", err)
+	}
+	if err := p.prog.Restore(st.Prog); err != nil {
+		return fmt.Errorf("pdme: restore prognostic state: %w", err)
+	}
+	p.dedupHandle().Restore(st.Dedup)
+	p.Health().RestoreState(st.Health)
+	p.mu.Lock()
+	p.received = st.Received
+	p.mu.Unlock()
+	return nil
+}
+
+// replayReport re-applies one journaled report's fusion effects — see the
+// file comment for why the OOSM report object itself is not re-posted.
+func (p *PDME) replayReport(jrp *journaledReport) error {
+	r := jrp.Report
+	if r == nil {
+		return fmt.Errorf("pdme: journaled report without a report")
+	}
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	component, condition := r.SensedObjectID, r.MachineConditionID
+	if _, err := p.diag.GroupOf(condition); err != nil {
+		return err
+	}
+	// Same write window as the live accept path: an invalidator attached
+	// before recovery must not serve a view of a half-replayed pair.
+	if inv := p.invalidator(); inv != nil {
+		inv.BeginMutation(component, condition)
+		defer inv.EndMutation(component, condition)
+	}
+	if err := p.replaySeverity(component, condition, r.Timestamp, r.Severity); err != nil {
+		return err
+	}
+	fusedBelief, err := p.diag.AddReportFrom(component, condition, r.DCID, r.Timestamp, r.Belief)
+	if err != nil {
+		return err
+	}
+	fusedVec := r.Prognostics
+	if len(r.Prognostics) > 0 {
+		fusedVec, err = p.prog.AddReport(component, condition, r.Prognostics)
+		if err != nil {
+			return err
+		}
+	} else {
+		fusedVec = p.prog.Fused(component, condition)
+	}
+	if err := p.postConclusion(component, condition, fusedBelief, fusedVec, r.Timestamp); err != nil {
+		return err
+	}
+	p.Health().ObserveReport(r.DCID, r.KnowledgeSourceID, r.Timestamp)
+	if jrp.Seq > 0 {
+		p.dedupHandle().Mark(jrp.DCID, jrp.Boot, jrp.Seq)
+	}
+	p.mu.Lock()
+	p.received++
+	p.mu.Unlock()
+	return nil
+}
+
+// replaySeverity is observeSeverity made idempotent against a disk-backed
+// historian that already recorded the sample before the crash: an
+// identical (timestamp, value) point in the channel means this replay
+// already happened.
+func (p *PDME) replaySeverity(component, condition string, at time.Time, severity float64) error {
+	name := severityChannel(component, condition)
+	if p.hist.HasChannel(name) {
+		if it, err := p.hist.Query(name, at, at); err == nil {
+			for it.Next() {
+				s := it.At()
+				if s.At.Equal(at) && math.Float64bits(s.Value) == math.Float64bits(severity) {
+					return nil
+				}
+			}
+		}
+	}
+	return p.observeSeverity(component, condition, at, severity)
+}
+
+// Checkpoint quiesces the accept path, snapshots the full derived state at
+// the current journal watermark, and durably replaces the checkpoint file
+// (after which the WAL is compacted to the records above the watermark).
+func (p *PDME) Checkpoint() error {
+	jr := p.journalHandle()
+	if jr == nil {
+		return fmt.Errorf("pdme: no journal open")
+	}
+	p.acceptMu.Lock()
+	seq := jr.LastSeq()
+	if seq == 0 {
+		// Nothing accepted since the journal began; nothing to cover.
+		p.acceptMu.Unlock()
+		return nil
+	}
+	st := checkpointState{
+		Received: p.ReceivedReports(),
+		Dedup:    p.dedupHandle().State(),
+		Diag:     p.diag.Snapshot(),
+		Prog:     p.prog.Snapshot(),
+		Health:   p.Health().ExportState(),
+	}
+	p.acceptMu.Unlock()
+	blob, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("pdme: encode checkpoint: %w", err)
+	}
+	return jr.WriteCheckpoint(seq, blob)
+}
+
+// maybeCheckpoint runs an automatic checkpoint when the journal tail has
+// outgrown the configured cadence. Single-flight; a failure is recorded
+// for JournalError rather than failing the delivery that tripped it (the
+// delivery itself is already durable in the WAL).
+func (p *PDME) maybeCheckpoint() {
+	jr := p.journalHandle()
+	p.mu.Lock()
+	every := p.checkpointEvery
+	p.mu.Unlock()
+	if jr == nil || every <= 0 || jr.SinceCheckpoint() < every {
+		return
+	}
+	if !p.ckptFlight.TryLock() {
+		return // one automatic checkpoint at a time
+	}
+	defer p.ckptFlight.Unlock()
+	if err := p.Checkpoint(); err != nil {
+		p.mu.Lock()
+		p.journalErr = err
+		p.mu.Unlock()
+	}
+}
+
+// JournalError returns the most recent automatic-checkpoint failure (nil
+// when healthy). Deliveries keep succeeding through checkpoint failures —
+// the WAL still has every record — but recovery degrades toward
+// full-tail replay, so daemons surface this.
+func (p *PDME) JournalError() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.journalErr
+}
+
+// JournalInfo reports whether a journal is open, the last appended
+// sequence, the durable checkpoint watermark, and the tail length above
+// it.
+func (p *PDME) JournalInfo() (open bool, lastSeq, checkpointSeq uint64, tail int) {
+	jr := p.journalHandle()
+	if jr == nil {
+		return false, 0, 0, 0
+	}
+	return true, jr.LastSeq(), jr.CheckpointSeq(), jr.SinceCheckpoint()
+}
+
+func (p *PDME) journalHandle() *journal.Journal {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.jrnl
+}
+
+// appendJournal journals one accepted envelope. Callers hold acceptMu
+// (read side); the append is fsynced before return.
+func (p *PDME) appendJournal(kind byte, body any) error {
+	jr := p.journalHandle()
+	if jr == nil {
+		return nil
+	}
+	blob, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("pdme: encode journal record: %w", err)
+	}
+	if _, err := jr.Append(kind, blob); err != nil {
+		return fmt.Errorf("pdme: journal accept: %w", err)
+	}
+	return nil
+}

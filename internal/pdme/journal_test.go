@@ -1,0 +1,336 @@
+package pdme
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fusion"
+	"repro/internal/oosm"
+	"repro/internal/proto"
+	"repro/internal/relstore"
+)
+
+func newJournaledPDME(t testing.TB, dir string, every int) *PDME {
+	t.Helper()
+	p := newTestPDME(t)
+	if _, err := p.OpenJournal(JournalOptions{Dir: dir, CheckpointEvery: every}); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// journalFixtureReports is a small, varied traffic mix: several components,
+// reinforcing sources, prognostics, and tagged delivery ids.
+func journalFixtureReports(t0 time.Time) []*proto.Report {
+	vec := proto.PrognosticVector{{Probability: 0.3, HorizonSeconds: 24 * 3600}, {Probability: 0.8, HorizonSeconds: 96 * 3600}}
+	return []*proto.Report{
+		report("ks/dli", "motor/1", "motor imbalance", 0.5, 0.6, t0, nil),
+		report("ks/sbfr", "motor/1", "motor imbalance", 0.55, 0.5, t0.Add(time.Minute), vec),
+		report("ks/dli", "motor/1", "oil whirl", 0.3, 0.4, t0.Add(2*time.Minute), nil),
+		report("ks/mset", "pump/2", "stator electrical unbalance", 0.7, 0.65, t0.Add(3*time.Minute), nil),
+		report("ks/dli", "motor/1", "motor imbalance", 0.6, 0.55, t0.Add(4*time.Minute), nil),
+	}
+}
+
+func deliverFixture(t *testing.T, p *PDME, t0 time.Time) {
+	t.Helper()
+	for i, r := range journalFixtureReports(t0) {
+		if err := p.DeliverTagged(r, "dc-1", 7, uint64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.ObserveHeartbeat(&proto.Heartbeat{
+		DCID: "dc-1", SentAt: t0.Add(5 * time.Minute), Incarnation: 7, SpoolDepth: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// assertSameFusionState checks the recovery guarantee: Ranked/Belief output
+// of the recovered engine is bit-for-bit identical to the reference.
+func assertSameFusionState(t *testing.T, ref, got *PDME) {
+	t.Helper()
+	if got.ReceivedReports() != ref.ReceivedReports() {
+		t.Errorf("received = %d, want %d", got.ReceivedReports(), ref.ReceivedReports())
+	}
+	refList, gotList := ref.PrioritizedList(), got.PrioritizedList()
+	if len(gotList) != len(refList) {
+		t.Fatalf("prioritized list has %d items, want %d", len(gotList), len(refList))
+	}
+	for i := range refList {
+		r, g := refList[i], gotList[i]
+		if g.Component != r.Component || g.Condition != r.Condition {
+			t.Fatalf("item %d: (%s, %s), want (%s, %s)", i, g.Component, g.Condition, r.Component, r.Condition)
+		}
+		if math.Float64bits(g.Belief) != math.Float64bits(r.Belief) ||
+			math.Float64bits(g.Plausibility) != math.Float64bits(r.Plausibility) {
+			t.Errorf("%s/%s: belief/pl (%v, %v), want bit-exact (%v, %v)",
+				g.Component, g.Condition, g.Belief, g.Plausibility, r.Belief, r.Plausibility)
+		}
+		if g.Reports != r.Reports {
+			t.Errorf("%s/%s: %d reports, want %d", g.Component, g.Condition, g.Reports, r.Reports)
+		}
+		if g.HasPrognostic != r.HasPrognostic || g.TimeToHalf != r.TimeToHalf {
+			t.Errorf("%s/%s: prognostic (%v, %v), want (%v, %v)",
+				g.Component, g.Condition, g.HasPrognostic, g.TimeToHalf, r.HasPrognostic, r.TimeToHalf)
+		}
+	}
+}
+
+// TestJournalRecoveryMatchesUndisturbedRun: kill a journaled PDME without
+// any shutdown courtesy (no Close, no checkpoint), recover into a fresh
+// engine, and compare against an undisturbed engine that saw the same
+// traffic: Ranked/Belief bit-for-bit, dedup suppression intact, heartbeat
+// history restored.
+func TestJournalRecoveryMatchesUndisturbedRun(t *testing.T) {
+	t0 := time.Date(1998, 9, 1, 12, 0, 0, 0, time.UTC)
+	dir := t.TempDir()
+
+	ref := newTestPDME(t)
+	defer ref.Close()
+	deliverFixture(t, ref, t0)
+
+	crashed := newJournaledPDME(t, dir, -1) // no automatic checkpoints: pure WAL replay
+	deliverFixture(t, crashed, t0)
+	// Crash: the engine is abandoned mid-flight, never Closed.
+
+	recovered := newTestPDME(t)
+	defer recovered.Close()
+	stats, err := recovered.OpenJournal(JournalOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CheckpointLoaded {
+		t.Error("no checkpoint was written, yet one loaded")
+	}
+	if stats.ReportsReplayed != 5 || stats.HeartbeatsReplayed != 1 || stats.SkippedRecords != 0 {
+		t.Errorf("replayed %d reports + %d heartbeats, %d skipped; want 5 + 1, 0 skipped",
+			stats.ReportsReplayed, stats.HeartbeatsReplayed, stats.SkippedRecords)
+	}
+	assertSameFusionState(t, ref, recovered)
+
+	// The dedup window survived: a spool replay of an already-fused report
+	// is suppressed, not double-fused.
+	if !recovered.dedupHandle().Seen("dc-1", 7, 3) {
+		t.Error("pre-crash sequence not suppressed after recovery")
+	}
+	if recovered.dedupHandle().Seen("dc-1", 7, 6) {
+		t.Error("never-sent sequence suppressed after recovery")
+	}
+	// Heartbeat history survived.
+	snap := recovered.Health().Snapshot()
+	if len(snap) != 1 || snap[0].DCID != "dc-1" || snap[0].SpoolDepth != 2 {
+		t.Errorf("recovered health snapshot %+v, want dc-1 with spool depth 2", snap)
+	}
+	// The recovered engine keeps fusing correctly on top of replayed state.
+	next := report("ks/dli", "motor/1", "motor imbalance", 0.6, 0.5, t0.Add(time.Hour), nil)
+	if err := recovered.DeliverTagged(next, "dc-1", 7, 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.DeliverTagged(next, "dc-1", 7, 6); err != nil {
+		t.Fatal(err)
+	}
+	assertSameFusionState(t, ref, recovered)
+}
+
+// TestJournalRecoveryFromCheckpointPlusTail: traffic that spans an
+// automatic checkpoint recovers from checkpoint-load + tail-replay, not
+// full-history replay, and still matches the undisturbed run bit-for-bit.
+func TestJournalRecoveryFromCheckpointPlusTail(t *testing.T) {
+	t0 := time.Date(1998, 9, 1, 12, 0, 0, 0, time.UTC)
+	dir := t.TempDir()
+
+	ref := newTestPDME(t)
+	defer ref.Close()
+	crashed := newJournaledPDME(t, dir, 4) // checkpoint after the 4th record
+
+	for round := 0; round < 3; round++ {
+		base := t0.Add(time.Duration(round) * time.Hour)
+		deliverFixture(t, ref, base)
+		deliverFixture(t, crashed, base)
+	}
+	if err := crashed.JournalError(); err != nil {
+		t.Fatalf("automatic checkpoint failed: %v", err)
+	}
+	open, lastSeq, ckptSeq, tail := crashed.JournalInfo()
+	if !open || ckptSeq == 0 || lastSeq != 18 {
+		t.Fatalf("journal info open=%v last=%d ckpt=%d tail=%d; want open, last=18, a checkpoint", open, lastSeq, ckptSeq, tail)
+	}
+
+	recovered := newTestPDME(t)
+	defer recovered.Close()
+	stats, err := recovered.OpenJournal(JournalOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.CheckpointLoaded || stats.CheckpointSeq != ckptSeq {
+		t.Errorf("checkpoint loaded=%v seq=%d, want loaded at %d", stats.CheckpointLoaded, stats.CheckpointSeq, ckptSeq)
+	}
+	if replayed := stats.ReportsReplayed + stats.HeartbeatsReplayed; replayed != int(lastSeq-ckptSeq) {
+		t.Errorf("replayed %d tail records, want %d (last %d - checkpoint %d)",
+			replayed, lastSeq-ckptSeq, lastSeq, ckptSeq)
+	}
+	if stats.SkippedRecords != 0 {
+		t.Errorf("%d records skipped", stats.SkippedRecords)
+	}
+	assertSameFusionState(t, ref, recovered)
+}
+
+// TestExplicitCheckpointAndReopen: Checkpoint() + clean Close, then reopen
+// — the canonical restart path — recovers with an empty tail.
+func TestExplicitCheckpointAndReopen(t *testing.T) {
+	t0 := time.Date(1998, 9, 1, 12, 0, 0, 0, time.UTC)
+	dir := t.TempDir()
+
+	ref := newTestPDME(t)
+	defer ref.Close()
+	deliverFixture(t, ref, t0)
+
+	first := newJournaledPDME(t, dir, -1)
+	deliverFixture(t, first, t0)
+	if err := first.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	first.Close()
+
+	second := newTestPDME(t)
+	defer second.Close()
+	stats, err := second.OpenJournal(JournalOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.CheckpointLoaded {
+		t.Fatal("checkpoint not loaded on reopen")
+	}
+	if stats.ReportsReplayed+stats.HeartbeatsReplayed != 0 {
+		t.Errorf("tail replayed %d records after a clean checkpointed shutdown",
+			stats.ReportsReplayed+stats.HeartbeatsReplayed)
+	}
+	assertSameFusionState(t, ref, second)
+}
+
+// TestRecoverySkipsInapplicableRecords: a WAL written under one failure
+// -group configuration replays into an engine whose groups no longer know a
+// condition — that record is counted skipped, the rest recover.
+func TestRecoverySkipsInapplicableRecords(t *testing.T) {
+	t0 := time.Date(1998, 9, 1, 12, 0, 0, 0, time.UTC)
+	dir := t.TempDir()
+
+	writer := newJournaledPDME(t, dir, -1)
+	if err := writer.Deliver(report("ks/dli", "motor/1", "motor imbalance", 0.5, 0.6, t0, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.Deliver(report("ks/dli", "motor/1", "oil whirl", 0.3, 0.4, t0.Add(time.Minute), nil)); err != nil {
+		t.Fatal(err)
+	}
+
+	model, err := oosm.NewModel(relstore.NewMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "oil whirl" is gone from the narrowed groups.
+	narrowed, err := New(model, fusion.Groups{"structural": {"motor imbalance", "motor misalignment"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer narrowed.Close()
+	stats, err := narrowed.OpenJournal(JournalOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ReportsReplayed != 1 || stats.SkippedRecords != 1 {
+		t.Errorf("replayed=%d skipped=%d, want 1 replayed + 1 skipped", stats.ReportsReplayed, stats.SkippedRecords)
+	}
+	if b, err := narrowed.Belief("motor/1", "motor imbalance"); err != nil || math.Abs(b-0.6) > 1e-9 {
+		t.Errorf("surviving condition belief %v (err %v), want 0.6", b, err)
+	}
+}
+
+// recoveryInvalidator records the write-window calls plus whole-cache
+// invalidations, standing in for the serving tier.
+type recoveryInvalidator struct {
+	mu      sync.Mutex
+	begins  int
+	ends    int
+	flushes atomic.Int64
+}
+
+func (ri *recoveryInvalidator) BeginMutation(component, condition string) {
+	ri.mu.Lock()
+	ri.begins++
+	ri.mu.Unlock()
+}
+
+func (ri *recoveryInvalidator) EndMutation(component, condition string) {
+	ri.mu.Lock()
+	ri.ends++
+	ri.mu.Unlock()
+}
+
+func (ri *recoveryInvalidator) InvalidateAll() { ri.flushes.Add(1) }
+
+// TestOpenJournalBumpsCacheEpoch: when the installed invalidator supports
+// whole-cache invalidation, recovery triggers exactly one — views must
+// never serve entries cached against pre-crash state.
+func TestOpenJournalBumpsCacheEpoch(t *testing.T) {
+	t0 := time.Date(1998, 9, 1, 12, 0, 0, 0, time.UTC)
+	dir := t.TempDir()
+	writer := newJournaledPDME(t, dir, -1)
+	deliverFixture(t, writer, t0)
+
+	p := newTestPDME(t)
+	defer p.Close()
+	ri := &recoveryInvalidator{}
+	p.SetInvalidator(ri)
+	if _, err := p.OpenJournal(JournalOptions{Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ri.flushes.Load(); got != 1 {
+		t.Errorf("InvalidateAll called %d times on recovery, want 1", got)
+	}
+	// Replay itself ran inside write windows, like live traffic.
+	ri.mu.Lock()
+	defer ri.mu.Unlock()
+	if ri.begins == 0 || ri.begins != ri.ends {
+		t.Errorf("write windows unbalanced during replay: %d begins, %d ends", ri.begins, ri.ends)
+	}
+}
+
+// TestDoubleOpenRefused: a second OpenJournal on the same engine fails.
+func TestDoubleOpenRefused(t *testing.T) {
+	p := newJournaledPDME(t, t.TempDir(), -1)
+	defer p.Close()
+	if _, err := p.OpenJournal(JournalOptions{Dir: t.TempDir()}); err == nil {
+		t.Error("second OpenJournal accepted")
+	}
+}
+
+// BenchmarkDeliverJournaled is BenchmarkDeliverAndFuse with the journal
+// open: the delta is the durability tax (fsynced append per delivery).
+func BenchmarkDeliverJournaled(b *testing.B) {
+	model, err := oosm.NewModel(relstore.NewMemory())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := New(model, testGroups())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := p.OpenJournal(JournalOptions{Dir: b.TempDir()}); err != nil {
+		b.Fatal(err)
+	}
+	at := time.Now()
+	conds := []string{"motor imbalance", "oil whirl", "motor rotor bar problem"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := report("ks", "m", conds[i%3], 0.5, 0.3, at, nil)
+		if err := p.Deliver(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"repro/internal/fusion"
 	"repro/internal/health"
 	"repro/internal/historian"
+	"repro/internal/journal"
 	"repro/internal/oosm"
 	"repro/internal/proto"
 	"repro/internal/trend"
@@ -76,6 +77,20 @@ type PDME struct {
 	// inv, when set, brackets every delivery's fusion-state mutation so a
 	// read-side cache can refuse to serve or store across the write window.
 	inv Invalidator
+
+	// acceptMu orders accepted envelopes against checkpoints: deliveries
+	// and heartbeats hold the read side across journal append + state
+	// mutation, Checkpoint holds the write side while pinning its watermark
+	// and snapshotting, so a checkpoint always describes a whole prefix of
+	// the journal.
+	acceptMu sync.RWMutex
+	// jrnl, when set, is the durability journal (see journal.go); guarded
+	// by mu like the other handles.
+	jrnl            *journal.Journal
+	checkpointEvery int
+	journalErr      error
+	// ckptFlight keeps automatic checkpoints single-flight.
+	ckptFlight sync.Mutex
 }
 
 // Invalidator is the read-side cache's write-window hook. BeginMutation is
@@ -174,10 +189,24 @@ func NewWithHistorian(model *oosm.Model, groups fusion.Groups, hist *historian.S
 	return p, nil
 }
 
-// Close cancels the model subscription and, when the PDME owns its
+// Close cancels the model subscription, writes a final checkpoint and
+// closes the journal when one is open, and, when the PDME owns its
 // historian (New rather than NewWithHistorian), closes it.
 func (p *PDME) Close() {
 	p.sub.Cancel()
+	if jr := p.journalHandle(); jr != nil {
+		// Best effort: a failed final checkpoint just means the next open
+		// replays the tail; every accepted record is already in the WAL.
+		if err := p.Checkpoint(); err != nil {
+			p.mu.Lock()
+			p.journalErr = err
+			p.mu.Unlock()
+		}
+		_ = jr.Close() // best effort: same reasoning
+		p.mu.Lock()
+		p.jrnl = nil
+		p.mu.Unlock()
+	}
 	if p.ownHist {
 		_ = p.hist.Close()
 	}
@@ -207,6 +236,15 @@ func (p *PDME) invalidator() Invalidator {
 // Deliver implements proto.Sink: §5.1 step 1 — post the report into the
 // OOSM. Fusion then runs via the model's event notification.
 func (p *PDME) Deliver(r *proto.Report) error {
+	return p.DeliverTagged(r, r.DCID, 0, 0)
+}
+
+// DeliverTagged implements proto.TaggedSink: Deliver plus the wire
+// delivery tag, so a journaling PDME records (dcid, boot, seq) with the
+// report and marks its own dedup window inside the accept critical
+// section — a resend arriving after a crash + recovery is then still
+// recognized as a duplicate. Untagged callers pass zero boot and seq.
+func (p *PDME) DeliverTagged(r *proto.Report, dcid string, boot, seq uint64) error {
 	if err := r.Validate(); err != nil {
 		return err
 	}
@@ -215,12 +253,33 @@ func (p *PDME) Deliver(r *proto.Report) error {
 	if _, err := p.diag.GroupOf(r.MachineConditionID); err != nil {
 		return err
 	}
+	p.acceptMu.RLock()
+	err := p.acceptReport(r, dcid, boot, seq)
+	p.acceptMu.RUnlock()
+	if err != nil {
+		return err
+	}
+	p.maybeCheckpoint()
+	return nil
+}
+
+// acceptReport is the accept critical section: journal append (fsynced),
+// OOSM post + synchronous fusion, health observation, dedup mark. Callers
+// hold acceptMu (read side).
+func (p *PDME) acceptReport(r *proto.Report, dcid string, boot, seq uint64) error {
 	// Open the read-side write window before any fusion state can change
 	// (the OOSM create below runs fusion synchronously via the event model)
 	// and close it only after the health observation lands too.
 	if inv := p.invalidator(); inv != nil {
 		inv.BeginMutation(r.SensedObjectID, r.MachineConditionID)
 		defer inv.EndMutation(r.SensedObjectID, r.MachineConditionID)
+	}
+	// Write-ahead: the accepted envelope is durable before any derived
+	// state changes, so a crash at any later point replays it.
+	if err := p.appendJournal(journalKindReport, journaledReport{
+		DCID: dcid, Boot: boot, Seq: seq, Report: r,
+	}); err != nil {
+		return err
 	}
 	progJSON, err := json.Marshal(r.Prognostics)
 	if err != nil {
@@ -244,6 +303,12 @@ func (p *PDME) Deliver(r *proto.Report) error {
 	}
 	// A delivered report is liveness evidence for its DC, heartbeats or not.
 	p.Health().ObserveReport(r.DCID, r.KnowledgeSourceID, r.Timestamp)
+	// Mark the dedup window while still inside the accept section, so a
+	// checkpoint can never see the fusion effect without the mark (the
+	// server's own post-accept Mark is idempotent with this one).
+	if seq > 0 {
+		p.dedupHandle().Mark(dcid, boot, seq)
+	}
 	p.mu.Lock()
 	p.received++
 	p.mu.Unlock()
@@ -251,16 +316,53 @@ func (p *PDME) Deliver(r *proto.Report) error {
 }
 
 // ObserveHeartbeat implements proto.HeartbeatSink by forwarding fleet
-// heartbeats into the health registry.
+// heartbeats into the health registry (journaled: silence inferences
+// survive a PDME crash).
 func (p *PDME) ObserveHeartbeat(hb *proto.Heartbeat) error {
-	return p.Health().ObserveHeartbeat(hb)
+	return p.acceptHeartbeat(hb)
 }
 
 // SendHeartbeat lets a co-resident DC (wired straight to the PDME with no
 // uplink in between) satisfy the dc.HeartbeatUplink contract: the heartbeat
 // is observed directly, skipping the wire.
 func (p *PDME) SendHeartbeat(hb *proto.Heartbeat) error {
-	return p.Health().ObserveHeartbeat(hb)
+	return p.acceptHeartbeat(hb)
+}
+
+func (p *PDME) acceptHeartbeat(hb *proto.Heartbeat) error {
+	if err := hb.Validate(); err != nil {
+		return err
+	}
+	p.acceptMu.RLock()
+	err := func() error {
+		if err := p.appendJournal(journalKindHeartbeat, hb); err != nil {
+			return err
+		}
+		return p.Health().ObserveHeartbeat(hb)
+	}()
+	p.acceptMu.RUnlock()
+	if err != nil {
+		return err
+	}
+	p.maybeCheckpoint()
+	return nil
+}
+
+// ConfigureDedup replaces the duplicate-suppression window with one of the
+// given per-DC capacity (<=0: proto.DefaultDedupWindow, 4096 sequences).
+// Size it above the deepest burst a DC spool can replay after an outage.
+// Call before any traffic and before OpenJournal — replacing the window
+// drops suppression history.
+func (p *PDME) ConfigureDedup(window int) {
+	p.mu.Lock()
+	p.dedup = proto.NewDedup(window)
+	p.mu.Unlock()
+}
+
+func (p *PDME) dedupHandle() *proto.Dedup {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dedup
 }
 
 // Health exposes the fleet-health registry for displays and tests.
@@ -366,6 +468,16 @@ func (p *PDME) postConclusion(component, condition string, belief float64, vec p
 	p.mu.Lock()
 	id, exists := p.conclusionIDs[key]
 	p.mu.Unlock()
+	if !exists {
+		// A persistent model may already hold this pair's conclusion from a
+		// previous process life; adopt it instead of accumulating twins.
+		if adopted, ok := p.findConclusion(component, condition); ok {
+			id, exists = adopted, true
+			p.mu.Lock()
+			p.conclusionIDs[key] = id
+			p.mu.Unlock()
+		}
+	}
 	if exists {
 		return p.model.SetProps(id, props)
 	}
@@ -383,6 +495,26 @@ func (p *PDME) postConclusion(component, condition string, belief float64, vec p
 		}
 	}
 	return nil
+}
+
+// findConclusion looks a (component, condition) conclusion object up in
+// the model itself, for processes whose conclusionIDs cache is younger
+// than the model (recovery over a persistent store).
+func (p *PDME) findConclusion(component, condition string) (oosm.ObjectID, bool) {
+	ids, err := p.model.FindByProp(ConclusionClass, "component", component)
+	if err != nil {
+		return oosm.ObjectID{}, false
+	}
+	for _, id := range ids {
+		props, err := p.model.Get(id)
+		if err != nil {
+			continue
+		}
+		if c, _ := props["condition"].(string); c == condition {
+			return id, true
+		}
+	}
+	return oosm.ObjectID{}, false
 }
 
 // ReceivedReports returns the number of reports accepted.
@@ -525,7 +657,7 @@ func (p *PDME) Serve(addr string) (string, *proto.Server, error) {
 // deadline (0 disables deadlines) for deployments whose DCs report rarely.
 func (p *PDME) ServeWithIdleTimeout(addr string, idle time.Duration) (string, *proto.Server, error) {
 	srv := proto.NewServer(p)
-	srv.SetDedup(p.dedup)
+	srv.SetDedup(p.dedupHandle())
 	srv.SetHeartbeatSink(p)
 	srv.SetIdleTimeout(idle)
 	bound, err := srv.Start(addr)
@@ -536,4 +668,4 @@ func (p *PDME) ServeWithIdleTimeout(addr string, idle time.Duration) (string, *p
 }
 
 // DedupHits returns how many redelivered reports were suppressed.
-func (p *PDME) DedupHits() int64 { return p.dedup.Hits() }
+func (p *PDME) DedupHits() int64 { return p.dedupHandle().Hits() }

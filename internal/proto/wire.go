@@ -94,6 +94,18 @@ type SinkFunc func(*Report) error
 // Deliver calls the function.
 func (f SinkFunc) Deliver(r *Report) error { return f(r) }
 
+// TaggedSink is a Sink that also wants the envelope's delivery tag. A
+// durable PDME implements it so the (DC id, boot, sequence) triple can be
+// journaled with the report and the dedup window re-marked during replay —
+// without the tag, a crash between fusing a report and acking it would
+// leave the resent copy indistinguishable from new evidence.
+type TaggedSink interface {
+	Sink
+	// DeliverTagged consumes a validated report with its delivery tag;
+	// boot and seq are zero for untagged frames.
+	DeliverTagged(r *Report, dcid string, boot, seq uint64) error
+}
+
 // DefaultIdleTimeout is the server's per-connection read/write deadline: a
 // peer that neither completes a frame nor drains a reply within this window
 // is presumed dead and its handler goroutine released (shipboard networks
@@ -246,8 +258,20 @@ func (s *Server) process(env envelope) envelope {
 	if tagged && s.dedup.Seen(dcid, env.Boot, env.Seq) {
 		return envelope{Kind: "ack", Dup: true}
 	}
-	if err := s.sink.Deliver(env.Report); err != nil {
-		return envelope{Kind: "error", Error: err.Error()}
+	var derr error
+	if ts, ok := s.sink.(TaggedSink); ok {
+		// Hand the delivery tag to sinks that journal it (the dedup mark a
+		// TaggedSink makes itself is idempotent with the one below).
+		var boot, seq uint64
+		if tagged {
+			boot, seq = env.Boot, env.Seq
+		}
+		derr = ts.DeliverTagged(env.Report, dcid, boot, seq)
+	} else {
+		derr = s.sink.Deliver(env.Report)
+	}
+	if derr != nil {
+		return envelope{Kind: "error", Error: derr.Error()}
 	}
 	// Record the sequence only after the sink accepted the report, so a
 	// failed delivery can be retried without the window swallowing it.

@@ -1,0 +1,47 @@
+package serving
+
+import (
+	"testing"
+	"time"
+)
+
+// TestInvalidateAllDropsEveryMaterializedView: the recovery epoch bump —
+// every cached view recomputes on its next read, and the invalidation
+// counter reflects the flush.
+func TestInvalidateAllDropsEveryMaterializedView(t *testing.T) {
+	engine := newTestEngine(t)
+	v := openTestViews(t, engine)
+	deliver(t, engine, report("dc-1", "m1", "imbalance", 0.8, base))
+	for i := 0; i < 3; i++ {
+		deliver(t, engine, report("dc-1", "m1", "imbalance", 0.8, base.Add(time.Duration(i+1)*time.Minute)))
+	}
+
+	// Materialize the ranked and belief views, confirm they hit.
+	v.Ranked()
+	if _, err := v.Belief("m1", "imbalance"); err != nil {
+		t.Fatal(err)
+	}
+	if !v.Ranked().Cached {
+		t.Fatal("ranked view not materialized")
+	}
+	if bv, err := v.Belief("m1", "imbalance"); err != nil || !bv.Cached {
+		t.Fatalf("belief view not materialized (err %v)", err)
+	}
+
+	before := v.Stats()
+	v.InvalidateAll()
+	if got := v.Stats().Invalidations; got != before.Invalidations+1 {
+		t.Errorf("invalidations = %d, want %d", got, before.Invalidations+1)
+	}
+
+	if v.Ranked().Cached {
+		t.Error("ranked view served from cache after InvalidateAll")
+	}
+	if bv, err := v.Belief("m1", "imbalance"); err != nil || bv.Cached {
+		t.Errorf("belief view served from cache after InvalidateAll (err %v)", err)
+	}
+	// The flush is an epoch bump, not a teardown: views re-materialize.
+	if !v.Ranked().Cached {
+		t.Error("ranked view did not re-materialize after the flush")
+	}
+}

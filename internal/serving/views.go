@@ -282,6 +282,21 @@ func (v *Views) EndMutation(component, condition string) {
 	v.notify(component, condition)
 }
 
+// InvalidateAll is the recovery epoch bump (pdme.RecoveryInvalidator):
+// every key's generation advances and every materialized entry is dropped,
+// so nothing cached before a crash-recovery can ever be served against the
+// recovered fusion state. Open write windows (active counts) are
+// preserved.
+func (v *Views) InvalidateAll() {
+	v.invalidations.Add(1)
+	v.mu.Lock()
+	for _, ks := range v.keys {
+		ks.gen++
+		ks.entry = nil
+	}
+	v.mu.Unlock()
+}
+
 // onConclusionEvent is the §4.5 hook: a conclusion object was posted or
 // updated in the ship model. Reads the conclusion's pair back from the model
 // and bumps the affected keys.

@@ -140,6 +140,17 @@ type StationConfig struct {
 	// (see HealthConfig); nil keeps classic undiscounted fusion while the
 	// registry still tracks liveness.
 	Health *HealthConfig
+	// JournalDir persists the PDME's write-ahead journal + checkpoints on
+	// disk; empty runs without durability. With it set, a killed station
+	// process recovers its fusion state (evidence, dedup window, health
+	// history) bit-for-bit on the next NewStation over the same directory.
+	JournalDir string
+	// JournalCheckpointEvery overrides the automatic checkpoint cadence in
+	// accepted records (0: pdme.DefaultCheckpointEvery).
+	JournalCheckpointEvery int
+	// DedupWindow overrides the PDME's per-DC duplicate-suppression window
+	// capacity (0: proto.DefaultDedupWindow, 4096 sequences).
+	DedupWindow int
 }
 
 // Station is a complete single-machine MPROS deployment.
@@ -155,6 +166,9 @@ type Station struct {
 	// Historian is the shared time-series store (DC acquisitions + PDME
 	// severity/lifetime archives).
 	Historian *historian.Store
+	// Recovery summarizes what the PDME's journal restored at build time
+	// (zero value when JournalDir is unset).
+	Recovery pdme.RecoveryStats
 
 	db *relstore.DB
 }
@@ -194,7 +208,14 @@ func NewStation(cfg StationConfig) (*Station, error) {
 			return nil, err
 		}
 	}
-	// Model the monitored machine itself.
+	if cfg.DedupWindow > 0 {
+		engine.ConfigureDedup(cfg.DedupWindow)
+	}
+	// Model the monitored machine itself. A persistent model (DBPath) may
+	// already hold it from a previous process life — adopt rather than
+	// accumulate twins. This must precede journal recovery so the machine's
+	// object id is allocated before replay posts conclusion objects,
+	// keeping component ids stable across restarts.
 	if err := model.RegisterClass(oosm.Class{
 		Name: "chiller",
 		Props: map[string]oosm.PropType{
@@ -204,11 +225,26 @@ func NewStation(cfg StationConfig) (*Station, error) {
 	}); err != nil {
 		return nil, err
 	}
-	machine, err := model.Create("chiller", map[string]any{
-		"name": "A/C Chiller 1", "manufacturer": "Carrier",
-	})
-	if err != nil {
-		return nil, err
+	var machine oosm.ObjectID
+	if existing, err := model.FindByProp("chiller", "name", "A/C Chiller 1"); err == nil && len(existing) > 0 {
+		machine = existing[0]
+	} else {
+		machine, err = model.Create("chiller", map[string]any{
+			"name": "A/C Chiller 1", "manufacturer": "Carrier",
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	var recovery pdme.RecoveryStats
+	if cfg.JournalDir != "" {
+		recovery, err = engine.OpenJournal(pdme.JournalOptions{
+			Dir:             cfg.JournalDir,
+			CheckpointEvery: cfg.JournalCheckpointEvery,
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	dcCfg := dc.DefaultConfig("dc-1", machine.String())
 	dcCfg.EnableSBFR = cfg.EnableSBFR
@@ -228,7 +264,7 @@ func NewStation(cfg StationConfig) (*Station, error) {
 		return nil, err
 	}
 	return &Station{Plant: plant, DC: conc, PDME: engine, Machine: machine,
-		Historian: hist, db: db}, nil
+		Historian: hist, Recovery: recovery, db: db}, nil
 }
 
 // InjectFault sets a failure mode's severity on the plant.
@@ -320,6 +356,9 @@ type FleetConfig struct {
 	// PDME; nil keeps classic undiscounted fusion while the health registry
 	// still tracks per-DC liveness.
 	Health *HealthConfig
+	// DedupWindow overrides the PDME's per-DC duplicate-suppression window
+	// capacity (0: proto.DefaultDedupWindow, 4096 sequences).
+	DedupWindow int
 	// FlushTimeout bounds Advance's post-run spool drain (0: 60s).
 	FlushTimeout time.Duration
 }
@@ -386,6 +425,9 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 			db.Close()
 			return nil, err
 		}
+	}
+	if cfg.DedupWindow > 0 {
+		engine.ConfigureDedup(cfg.DedupWindow)
 	}
 	addr, server, err := engine.Serve(cfg.Addr)
 	if err != nil {
