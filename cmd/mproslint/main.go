@@ -1,5 +1,6 @@
 // Command mproslint runs the MPROS domain-invariant analyzers (noclock,
-// floateq, errwrap, masscheck) plus the //lint:allow directive police
+// floateq, errwrap, masscheck, maporder, atomicfield, lockdiscipline,
+// waldiscipline, snapshotparity) plus the //lint:allow directive police
 // (lintallow) over the repository.
 //
 // Two modes:
@@ -27,11 +28,16 @@ import (
 	"os"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/atomicfield"
 	"repro/internal/analysis/driver"
 	"repro/internal/analysis/errwrap"
 	"repro/internal/analysis/floateq"
+	"repro/internal/analysis/lockdiscipline"
+	"repro/internal/analysis/maporder"
 	"repro/internal/analysis/masscheck"
 	"repro/internal/analysis/noclock"
+	"repro/internal/analysis/snapshotparity"
+	"repro/internal/analysis/waldiscipline"
 )
 
 var analyzers = []*analysis.Analyzer{
@@ -39,6 +45,11 @@ var analyzers = []*analysis.Analyzer{
 	floateq.Analyzer,
 	errwrap.Analyzer,
 	masscheck.Analyzer,
+	maporder.Analyzer,
+	atomicfield.Analyzer,
+	lockdiscipline.Analyzer,
+	waldiscipline.Analyzer,
+	snapshotparity.Analyzer,
 }
 
 func main() {

@@ -1,0 +1,141 @@
+// Package atomicfield catches mixed plain/atomic access to the same
+// variable.
+//
+// Once any site reads or writes a counter through sync/atomic
+// (atomic.AddInt64(&s.n, 1), atomic.LoadUint64(&v), ...), *every* access to
+// that variable must be atomic: a plain `s.n++` or `if s.n > 0` elsewhere is
+// a data race the race detector only reports when the interleaving happens
+// to fire. The uplink/serving/health counter surfaces are read by operator
+// endpoints while senders mutate them, so a half-converted counter corrupts
+// the very statistics (drops, dedup hits, heartbeat losses) operators use to
+// detect trouble. Fields migrated to the typed atomic.Int64/atomic.Uint64
+// wrappers are immune by construction — the wrapper has no plain accessors
+// — which is the conversion this analyzer pushes toward.
+//
+// Scope: the whole module, test files included (a racy test counter flakes
+// the suite just as effectively as a racy production one).
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the atomicfield check.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc: "a variable accessed via sync/atomic anywhere must be accessed " +
+		"atomically everywhere; convert to atomic.Int64/atomic.Uint64",
+	Run: run,
+}
+
+// atomicFuncs are the sync/atomic package-level functions whose first
+// argument is the address of the variable being accessed atomically.
+var atomicFuncs = map[string]bool{}
+
+func init() {
+	for _, op := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		for _, ty := range []string{"Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer"} {
+			atomicFuncs[op+ty] = true
+		}
+	}
+}
+
+func run(pass *analysis.Pass) error {
+	// First sweep: every variable (struct field or plain var) whose address
+	// is taken by a sync/atomic call, plus the &x operand nodes themselves so
+	// the second sweep can exempt them.
+	atomicObjs := make(map[types.Object]token.Pos) // object -> first atomic access
+	atomicOperands := make(map[ast.Expr]bool)      // the &x argument expressions
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || !atomicFuncs[fn.Name()] {
+				return true
+			}
+			addr, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			if obj := referencedObject(pass, addr.X); obj != nil {
+				if _, seen := atomicObjs[obj]; !seen {
+					atomicObjs[obj] = addr.X.Pos()
+				}
+				atomicOperands[addr.X] = true
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return nil
+	}
+
+	// Second sweep: any other mention of those variables is a plain access.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok && atomicOperands[e] {
+				return false // the atomic access itself: skip its subtree
+			}
+			obj := usedObject(pass, n)
+			if obj == nil {
+				return true
+			}
+			if first, ok := atomicObjs[obj]; ok {
+				pass.Reportf(n.Pos(),
+					"plain access to %s, which is accessed atomically at %s; "+
+						"use sync/atomic everywhere or migrate to atomic.Int64/atomic.Uint64",
+					obj.Name(), pass.Fset.Position(first))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// referencedObject resolves the variable an atomic call's address operand
+// names: a field selection (s.n) or a bare variable (n).
+func referencedObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if selection, ok := pass.TypesInfo.Selections[e]; ok {
+			return selection.Obj()
+		}
+		return pass.TypesInfo.Uses[e.Sel]
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[e]
+	case *ast.IndexExpr:
+		// Array-of-counters idiom (&buckets[i]): track the array variable.
+		return referencedObject(pass, e.X)
+	}
+	return nil
+}
+
+// usedObject resolves a use-site node to the variable it mentions: the Sel
+// of a field selection, or a plain identifier use (declarations are not
+// uses — `var n int64` is not an access).
+func usedObject(pass *analysis.Pass, n ast.Node) types.Object {
+	switch n := n.(type) {
+	case *ast.SelectorExpr:
+		if selection, ok := pass.TypesInfo.Selections[n]; ok {
+			if v, ok := selection.Obj().(*types.Var); ok && v.IsField() {
+				return v
+			}
+		}
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.Uses[n].(*types.Var); ok && !v.IsField() {
+			return v
+		}
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+// Package counters exercises atomicfield. The analyzer is module-wide, so
+// the stand-in segment is arbitrary.
+package counters
+
+import "sync/atomic"
+
+// Stats mixes a correctly-converted typed atomic with a half-converted
+// plain int64.
+type Stats struct {
+	sent    atomic.Uint64 // typed wrapper: immune by construction
+	dropped int64
+}
+
+func (s *Stats) Drop() {
+	atomic.AddInt64(&s.dropped, 1)
+}
+
+func (s *Stats) Sent() {
+	s.sent.Add(1)
+}
+
+// Dropped is the finding class: a plain read racing the atomic writers.
+func (s *Stats) Dropped() int64 {
+	return s.dropped // want "plain access to dropped"
+}
+
+func (s *Stats) reset() {
+	s.dropped = 0 // want "plain access to dropped"
+}
+
+// A package-level counter accessed both ways is flagged the same.
+var torn int64
+
+func bump() {
+	atomic.AddInt64(&torn, 1)
+}
+
+func read() int64 {
+	return torn // want "plain access to torn"
+}
+
+// Consistent atomic access is clean (a declaration is not an access).
+var clean int64
+
+func bumpClean()       { atomic.AddInt64(&clean, 1) }
+func readClean() int64 { return atomic.LoadInt64(&clean) }
+
+// The allow escape hatch: a plain write proven to happen-before the atomic
+// readers exist.
+var staged int64
+
+func stage() {
+	staged = 7 //lint:allow atomicfield initialization happens before the reading goroutine starts
+	atomic.AddInt64(&staged, 1)
+}

@@ -4,11 +4,16 @@ import (
 	"testing"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/atomicfield"
 	"repro/internal/analysis/driver"
 	"repro/internal/analysis/errwrap"
 	"repro/internal/analysis/floateq"
+	"repro/internal/analysis/lockdiscipline"
+	"repro/internal/analysis/maporder"
 	"repro/internal/analysis/masscheck"
 	"repro/internal/analysis/noclock"
+	"repro/internal/analysis/snapshotparity"
+	"repro/internal/analysis/waldiscipline"
 )
 
 var all = []*analysis.Analyzer{
@@ -16,6 +21,11 @@ var all = []*analysis.Analyzer{
 	floateq.Analyzer,
 	errwrap.Analyzer,
 	masscheck.Analyzer,
+	maporder.Analyzer,
+	atomicfield.Analyzer,
+	lockdiscipline.Analyzer,
+	waldiscipline.Analyzer,
+	snapshotparity.Analyzer,
 }
 
 // TestRepoIsClean is the clean-sweep guarantee: the whole module (test units

@@ -8,11 +8,13 @@
 //     silently stop matching. Wrap with %w.
 //
 //  2. In the durability/recovery packages (internal/uplink,
-//     internal/relstore, internal/historian, internal/proto): a call whose
-//     result list includes an error, used as a bare statement, drops that
-//     error invisibly — a failed sync or truncate in a recovery path then
-//     "succeeds". Handle the error, or discard it explicitly with `_ =`
-//     (the visible idiom for best-effort cleanup).
+//     internal/relstore, internal/historian, internal/proto,
+//     internal/journal, internal/serving): a call whose result list includes
+//     an error, used as a bare statement, drops that error invisibly — a
+//     failed sync or truncate in a recovery path then "succeeds". This
+//     includes a bare errors.Join, which swallows every joined failure at
+//     once. Handle the error, or discard it explicitly with `_ =` (the
+//     visible idiom for best-effort cleanup).
 package errwrap
 
 import (

@@ -4,6 +4,7 @@ package uplink
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"strings"
@@ -57,4 +58,14 @@ func infallible(name string) string {
 
 func allowedDiscard(f *os.File) {
 	f.Sync() //lint:allow errwrap testdata exemplar of a tolerated fire-and-forget sync
+}
+
+// A bare errors.Join swallows every joined failure at once: the aggregate is
+// itself an error, and dropping it on a teardown path hides all of them.
+func joinSwallowed(a, b error) {
+	errors.Join(a, b) // want "discards its error result"
+}
+
+func joinReturned(a, b error) error {
+	return errors.Join(a, b)
 }

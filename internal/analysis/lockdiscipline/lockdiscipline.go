@@ -1,0 +1,271 @@
+// Package lockdiscipline verifies that a mutex locked in a function is
+// unlocked on every return path.
+//
+// The canonical bug is an early return added between Lock and Unlock:
+//
+//	mu.Lock()
+//	if cond {
+//		return err // mu never unlocked — every later caller deadlocks
+//	}
+//	mu.Unlock()
+//
+// In the PDME's accept path a leaked acceptMu freezes ingest fleet-wide; in
+// the historian or journal it wedges checkpointing while deliveries pile up.
+// These functions deliberately avoid defer on some hot paths (the unlock
+// must happen before a blocking I/O or callback), which is exactly where a
+// refactor's new early return silently skips the unlock.
+//
+// The check walks each function body in statement order, tracking which
+// mutexes are held: Lock/RLock on a sync.Mutex/sync.RWMutex acquires,
+// Unlock/RUnlock releases, and a deferred unlock releases for all paths
+// from that point on. A return (or falling off the end of the function)
+// while something is still held is a finding. Branches are analyzed with a
+// copy of the held set, and the held set of branches that fall through is
+// intersected — so only mutexes held on *every* continuation are carried
+// forward, which keeps conditional unlock-then-return idioms clean. Closures
+// are analyzed as their own scope. Intentional lock handoffs (a function
+// documented to return holding the lock) carry a reasoned //lint:allow.
+//
+// Scope: the packages whose mutexes guard cross-goroutine ingest state —
+// pdme, serving, historian, journal, uplink — test files included (a test
+// helper that leaks a lock hangs the suite, not just production).
+package lockdiscipline
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the lockdiscipline check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockdiscipline",
+	Doc: "a mutex locked in a function must be unlocked on every return " +
+		"path, deferred or explicit",
+	Run: run,
+}
+
+// LockPkgs names the packages (by final import-path segment) under the
+// discipline: the ingest-critical subsystems whose wedged mutex stalls the
+// whole station.
+var LockPkgs = map[string]bool{
+	"pdme":      true,
+	"serving":   true,
+	"historian": true,
+	"journal":   true,
+	"uplink":    true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !LockPkgs[analysis.PathSegment(pass.ImportPath)] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkFunc(pass, n.Body)
+				}
+				return true
+			case *ast.FuncLit:
+				checkFunc(pass, n.Body)
+				return true // nested literals are found by the same Inspect
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// heldSet maps a mutex key ("p.mu", "v.mu/R") to the position of the Lock
+// that acquired it.
+type heldSet map[string]token.Pos
+
+func (h heldSet) clone() heldSet {
+	c := make(heldSet, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+// checkFunc analyzes one function (or closure) body. Closure bodies are
+// skipped here and analyzed by their own checkFunc call from run.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	held, terminated := walkStmts(pass, body.List, make(heldSet))
+	if terminated {
+		return
+	}
+	for key, pos := range held {
+		pass.Reportf(body.End()-1,
+			"function exits while %s is still locked (Lock at %s); unlock it or defer the unlock",
+			key, pass.Fset.Position(pos))
+	}
+}
+
+// walkStmts walks a statement sequence, returning the held set at
+// fall-through and whether the sequence always terminates (every path ends
+// in return or panic) before falling through.
+func walkStmts(pass *analysis.Pass, stmts []ast.Stmt, held heldSet) (heldSet, bool) {
+	for _, s := range stmts {
+		var terminated bool
+		held, terminated = walkStmt(pass, s, held)
+		if terminated {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func walkStmt(pass *analysis.Pass, s ast.Stmt, held heldSet) (heldSet, bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if key, acquire, ok := lockCall(pass, s.X); ok {
+			if acquire {
+				held[key] = s.Pos()
+			} else {
+				delete(held, key)
+			}
+		}
+		if isPanic(pass, s.X) {
+			return held, true
+		}
+	case *ast.DeferStmt:
+		// A deferred unlock releases the mutex on every path from here on.
+		if key, acquire, ok := lockCall(pass, s.Call); ok && !acquire {
+			delete(held, key)
+		}
+		// defer func() { ...; mu.Unlock(); ... }() releases too.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				if e, ok := n.(ast.Expr); ok {
+					if key, acquire, ok := lockCall(pass, e); ok && !acquire {
+						delete(held, key)
+					}
+				}
+				return true
+			})
+		}
+	case *ast.ReturnStmt:
+		for key, pos := range held {
+			pass.Reportf(s.Pos(),
+				"return while %s is still locked (Lock at %s); unlock before returning or defer the unlock",
+				key, pass.Fset.Position(pos))
+		}
+		return held, true
+	case *ast.BlockStmt:
+		return walkStmts(pass, s.List, held)
+	case *ast.LabeledStmt:
+		return walkStmt(pass, s.Stmt, held)
+	case *ast.IfStmt:
+		thenHeld, thenTerm := walkStmts(pass, s.Body.List, held.clone())
+		elseHeld, elseTerm := held, false
+		if s.Else != nil {
+			elseHeld, elseTerm = walkStmt(pass, s.Else, held.clone())
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return held, true
+		case thenTerm:
+			return elseHeld, false
+		case elseTerm:
+			return thenHeld, false
+		default:
+			return intersect(thenHeld, elseHeld), false
+		}
+	case *ast.ForStmt:
+		walkStmts(pass, s.Body.List, held.clone())
+	case *ast.RangeStmt:
+		walkStmts(pass, s.Body.List, held.clone())
+	case *ast.SwitchStmt:
+		walkClauses(pass, s.Body, held)
+	case *ast.TypeSwitchStmt:
+		walkClauses(pass, s.Body, held)
+	case *ast.SelectStmt:
+		walkClauses(pass, s.Body, held)
+	}
+	return held, false
+}
+
+// walkClauses analyzes each case body with its own copy of the held set;
+// the continuation conservatively keeps the pre-switch state.
+func walkClauses(pass *analysis.Pass, body *ast.BlockStmt, held heldSet) {
+	for _, c := range body.List {
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			walkStmts(pass, c.Body, held.clone())
+		case *ast.CommClause:
+			walkStmts(pass, c.Body, held.clone())
+		}
+	}
+}
+
+func intersect(a, b heldSet) heldSet {
+	out := make(heldSet)
+	for k, v := range a {
+		if _, ok := b[k]; ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// lockCall recognizes x.Lock()/x.RLock() (acquire=true) and
+// x.Unlock()/x.RUnlock() (acquire=false) on sync.Mutex/sync.RWMutex values,
+// returning a key identifying the mutex (expression text, "/R" suffix for
+// the read side).
+func lockCall(pass *analysis.Pass, e ast.Expr) (key string, acquire, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall || len(call.Args) != 0 {
+		return "", false, false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	var read bool
+	switch sel.Sel.Name {
+	case "Lock", "Unlock":
+	case "RLock", "RUnlock":
+		read = true
+	default:
+		return "", false, false
+	}
+	fn, isFn := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	key = exprString(pass.Fset, sel.X)
+	if read {
+		key += "/R"
+	}
+	return key, sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock", true
+}
+
+// isPanic reports whether e is a call to the panic builtin (a terminating
+// statement, like return).
+func isPanic(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	_, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var b bytes.Buffer
+	if err := printer.Fprint(&b, fset, e); err != nil {
+		return "?"
+	}
+	return b.String()
+}

@@ -1,0 +1,103 @@
+// Package journal is a testdata stand-in for an ingest-critical package
+// under the lock discipline (the segment gate keys on the import path).
+package journal
+
+import (
+	"errors"
+	"sync"
+)
+
+var errFail = errors.New("fail")
+
+type spool struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	data []byte
+}
+
+// leakyReturn is the canonical bug: an early return added between Lock and
+// Unlock.
+func (s *spool) leakyReturn(fail bool) error {
+	s.mu.Lock()
+	if fail {
+		return errFail // want "return while s.mu is still locked"
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// leakyFallOff never unlocks at all.
+func (s *spool) leakyFallOff() {
+	s.mu.Lock()
+	s.data = nil
+} // want "exits while s.mu is still locked"
+
+// A deferred unlock covers every path.
+func (s *spool) deferred(fail bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fail {
+		return errFail
+	}
+	return nil
+}
+
+// Explicit unlock before each return is accepted (the hot-path idiom).
+func (s *spool) explicit(fail bool) error {
+	s.mu.Lock()
+	if fail {
+		s.mu.Unlock()
+		return errFail
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Both branches unlock, then fall through: the intersect keeps it clean.
+func (s *spool) branchy(fast bool) {
+	s.mu.Lock()
+	if fast {
+		s.mu.Unlock()
+	} else {
+		s.mu.Unlock()
+	}
+	s.data = nil
+}
+
+// The read side is tracked separately from the write side.
+func (s *spool) leakyRead() int {
+	s.rw.RLock()
+	return len(s.data) // want "return while s.rw/R is still locked"
+}
+
+// A closure is its own scope: leaking inside it is a finding there.
+func (s *spool) closureLeak() {
+	f := func() {
+		s.mu.Lock()
+		s.data = nil
+	} // want "exits while s.mu is still locked"
+	f()
+}
+
+// panic is terminating, like return: a wedged lock is the least of the
+// caller's problems.
+func (s *spool) panics() {
+	s.mu.Lock()
+	panic("wedged")
+}
+
+// A deferred closure that unlocks inside releases too.
+func (s *spool) deferClosure() {
+	s.mu.Lock()
+	defer func() {
+		s.data = nil
+		s.mu.Unlock()
+	}()
+	s.data = append(s.data, 1)
+}
+
+// Deliberate lock handoff: documented to return holding the lock.
+func (s *spool) lockForWrite() {
+	s.mu.Lock()
+	//lint:allow lockdiscipline deliberate handoff; the caller unlocks after writing
+}

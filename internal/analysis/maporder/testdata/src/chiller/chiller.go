@@ -1,0 +1,11 @@
+// Package chiller is outside the determinism scope: raw map ranges are not
+// findings here (the segment gate is under test).
+package chiller
+
+func names(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,240 @@
+// Package snapshotparity detects checkpoint drift: a field added to a live
+// struct but not to its durable snapshot.
+//
+// The PDME's crash recovery (PR 7) snapshots derived state through
+// Snapshot/State/ExportState methods and rebuilds it through
+// Restore/RestoreState. The failure mode this analyzer exists for: someone
+// adds a field to health.Registry (or fusion.DiagnosticFuser, or
+// proto.Dedup), every test of the live path passes, and the field silently
+// vanishes across a crash — the kill-9 chaos suite only notices if the
+// field happens to perturb Ranked/Belief in the scenario it runs.
+//
+// The check: in the checkpointed packages (fusion, health, proto), for each
+// struct type carrying both a snapshot method (Snapshot, State, or
+// ExportState) and a restore method (Restore or RestoreState), every field
+// of the live struct must be referenced in the snapshot method's body and
+// in the restore method's body. Mutexes (sync.Mutex/sync.RWMutex) are
+// exempt by construction. Fields that are genuinely configuration rather
+// than state — thresholds from flags, capacities fixed at construction,
+// runtime wiring like a Discounter — carry a reasoned //lint:allow
+// snapshotparity on their declaration line, which doubles as the
+// documentation for why the field deliberately does not survive a crash.
+//
+// The reference check is direct (a selector on the receiver inside the
+// method body); state funneled through a helper should be referenced in the
+// snapshot/restore method itself, which the existing snapshots all do.
+package snapshotparity
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the snapshotparity check.
+var Analyzer = &analysis.Analyzer{
+	Name: "snapshotparity",
+	Doc: "every field of a checkpointed struct must be captured by its " +
+		"snapshot method and rebuilt by its restore method",
+	Run: run,
+}
+
+// CheckpointPkgs names the packages (by final import-path segment) whose
+// Snapshot/Restore pairs feed the PDME's durable checkpoint.
+var CheckpointPkgs = map[string]bool{
+	"fusion": true,
+	"health": true,
+	"proto":  true,
+}
+
+// snapshotNames and restoreNames identify the method pair the check keys on.
+var (
+	snapshotNames = map[string]bool{"Snapshot": true, "State": true, "ExportState": true}
+	restoreNames  = map[string]bool{"Restore": true, "RestoreState": true}
+)
+
+func run(pass *analysis.Pass) error {
+	if !CheckpointPkgs[analysis.PathSegment(pass.ImportPath)] {
+		return nil
+	}
+
+	// Collect snapshot/restore methods by receiver named type.
+	type pair struct {
+		snapshot *ast.FuncDecl
+		restore  *ast.FuncDecl
+	}
+	pairs := make(map[*types.TypeName]*pair)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			isSnap, isRest := snapshotNames[fd.Name.Name], restoreNames[fd.Name.Name]
+			if !isSnap && !isRest {
+				continue
+			}
+			tn := receiverTypeName(pass, fd)
+			if tn == nil {
+				continue
+			}
+			p, ok := pairs[tn]
+			if !ok {
+				p = &pair{}
+				pairs[tn] = p
+			}
+			if isSnap {
+				p.snapshot = fd
+			} else {
+				p.restore = fd
+			}
+		}
+	}
+
+	for tn, p := range pairs {
+		if p.snapshot == nil || p.restore == nil {
+			continue // not a checkpoint pair (e.g. a lone Restore helper)
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		snapRefs := fieldRefs(pass, p.snapshot.Body)
+		restRefs := fieldRefs(pass, p.restore.Body)
+		// Report at the field's declaration so the //lint:allow lands where
+		// the field (and the reason it is config-not-state) is declared.
+		for decl := range fieldDecls(pass, tn) {
+			obj, ident := decl.obj, decl.ident
+			if isMutex(obj.Type()) {
+				continue
+			}
+			inSnap, inRest := snapRefs[obj], restRefs[obj]
+			switch {
+			case !inSnap && !inRest:
+				pass.Reportf(ident.Pos(),
+					"field %s of %s is captured by neither %s nor %s: it will not survive a crash-recovery "+
+						"(checkpoint drift); snapshot it or declare it config with //lint:allow snapshotparity",
+					obj.Name(), tn.Name(), p.snapshot.Name.Name, p.restore.Name.Name)
+			case !inSnap:
+				pass.Reportf(ident.Pos(),
+					"field %s of %s is rebuilt by %s but never captured by %s (checkpoint drift)",
+					obj.Name(), tn.Name(), p.restore.Name.Name, p.snapshot.Name.Name)
+			case !inRest:
+				pass.Reportf(ident.Pos(),
+					"field %s of %s is captured by %s but never rebuilt by %s (checkpoint drift)",
+					obj.Name(), tn.Name(), p.snapshot.Name.Name, p.restore.Name.Name)
+			}
+		}
+		_ = st
+	}
+	return nil
+}
+
+// receiverTypeName resolves a method's receiver to its named type, through
+// a pointer if present.
+func receiverTypeName(pass *analysis.Pass, fd *ast.FuncDecl) *types.TypeName {
+	if len(fd.Recv.List) == 0 {
+		return nil
+	}
+	t := pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return named.Obj()
+}
+
+// fieldDecl pairs a field's type object with its declaring identifier (for
+// position and //lint:allow line targeting).
+type fieldDecl struct {
+	obj   *types.Var
+	ident *ast.Ident
+}
+
+// fieldDecls yields the struct's field declarations from the AST of the
+// pass's own files (the receiver type is always declared in-package).
+func fieldDecls(pass *analysis.Pass, tn *types.TypeName) map[fieldDecl]bool {
+	out := make(map[fieldDecl]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok || pass.TypesInfo.Defs[ts.Name] != tn {
+				return true
+			}
+			stAST, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, f := range stAST.Fields.List {
+				if len(f.Names) == 0 {
+					// Embedded field: its identifier is the type expression.
+					if id := embeddedIdent(f.Type); id != nil {
+						if v, ok := pass.TypesInfo.Implicits[f].(*types.Var); ok {
+							out[fieldDecl{obj: v, ident: id}] = true
+						}
+					}
+					continue
+				}
+				for _, name := range f.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						out[fieldDecl{obj: v, ident: name}] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func embeddedIdent(e ast.Expr) *ast.Ident {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e
+	case *ast.StarExpr:
+		return embeddedIdent(e.X)
+	case *ast.SelectorExpr:
+		return e.Sel
+	}
+	return nil
+}
+
+// fieldRefs collects every struct field object referenced (read or written)
+// in a method body.
+func fieldRefs(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	refs := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if selection, ok := pass.TypesInfo.Selections[sel]; ok {
+			if v, ok := selection.Obj().(*types.Var); ok && v.IsField() {
+				refs[v] = true
+			}
+		}
+		return true
+	})
+	return refs
+}
+
+// isMutex reports whether t is sync.Mutex or sync.RWMutex (exempt: lock
+// state is never checkpointed).
+func isMutex(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}

@@ -1,0 +1,12 @@
+package snapshotparity_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/snapshotparity"
+)
+
+func TestSnapshotParity(t *testing.T) {
+	analysistest.Run(t, "testdata", snapshotparity.Analyzer, "health")
+}

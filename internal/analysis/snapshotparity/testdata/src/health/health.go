@@ -1,0 +1,42 @@
+// Package health is a testdata stand-in for a checkpointed package
+// (snapshotparity keys on the final import-path segment).
+package health
+
+import "sync"
+
+// State is the wire form of Registry.
+type State struct {
+	Watermark int64
+	Version   int
+	Gauge     float64
+}
+
+// Registry mixes snapshotted state, drifted fields, and config.
+type Registry struct {
+	mu        sync.Mutex // mutexes are exempt: lock state is never checkpointed
+	watermark int64
+	version   int     // want "captured by Snapshot but never rebuilt by Restore"
+	gauge     float64 // want "rebuilt by Restore but never captured by Snapshot"
+	missing   string  // want "captured by neither Snapshot nor Restore"
+	cfg       int     //lint:allow snapshotparity construction-time config rebuilt from flags, not the checkpoint
+}
+
+func (r *Registry) Snapshot() State {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return State{Watermark: r.watermark, Version: r.version}
+}
+
+func (r *Registry) Restore(s State) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.watermark = s.Watermark
+	r.gauge = s.Gauge
+}
+
+// A lone Restore without a snapshot counterpart is not a checkpoint pair.
+type replayCursor struct {
+	offset int64
+}
+
+func (c *replayCursor) Restore(off int64) { c.offset = off }

@@ -1,0 +1,85 @@
+// Package pdme is a testdata stand-in for the PDME accept path
+// (waldiscipline keys on the final import-path segment).
+package pdme
+
+type model struct{}
+
+func (m *model) Create(id string) {}
+
+type registry struct{}
+
+func (r *registry) ObserveReport(id string) {}
+
+type dedup struct{}
+
+func (d *dedup) Mark(key string) {}
+
+type engine struct {
+	model    *model
+	health   *registry
+	dedup    *dedup
+	received int
+}
+
+func (p *engine) appendJournal(rec []byte) error { return nil }
+
+func (p *engine) Health() *registry { return p.health }
+
+// goodAccept follows the contract: fsync the WAL, then mutate.
+func (p *engine) goodAccept(rec []byte, id string) error {
+	if err := p.appendJournal(rec); err != nil {
+		return err
+	}
+	p.model.Create(id)
+	p.Health().ObserveReport(id)
+	p.dedup.Mark(id)
+	p.received++
+	return nil
+}
+
+// badOrder mutates before the append: a crash in the gap loses the envelope
+// but keeps its effect.
+func (p *engine) badOrder(rec []byte, id string) error {
+	p.model.Create(id) // want "mutates checkpointed state before the appendJournal write-ahead"
+	if err := p.appendJournal(rec); err != nil {
+		return err
+	}
+	return nil
+}
+
+// A discarded append turns "journaled before mutation" into "maybe
+// journaled".
+func (p *engine) bareAppend(rec []byte, id string) {
+	p.appendJournal(rec) // want "appendJournal error discarded"
+	p.model.Create(id)
+}
+
+func (p *engine) blankAppend(rec []byte, id string) {
+	_ = p.appendJournal(rec) // want "appendJournal error discarded"
+	p.model.Create(id)
+}
+
+// replay never calls appendJournal: re-applying records already in the WAL
+// is out of scope.
+func (p *engine) replay(id string) {
+	p.model.Create(id)
+	p.dedup.Mark(id)
+}
+
+// Mutations not rooted at the receiver are someone else's state.
+func (p *engine) foreign(other *model, rec []byte, id string) error {
+	other.Create(id)
+	if err := p.appendJournal(rec); err != nil {
+		return err
+	}
+	return nil
+}
+
+// The allow escape hatch: a reviewed pre-journal effect.
+func (p *engine) allowedPrefetch(rec []byte, id string) error {
+	p.dedup.Mark(id) //lint:allow waldiscipline testdata exemplar of a reviewed pre-journal mark
+	if err := p.appendJournal(rec); err != nil {
+		return err
+	}
+	return nil
+}

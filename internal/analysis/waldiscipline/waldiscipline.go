@@ -1,0 +1,179 @@
+// Package waldiscipline structurally encodes the PDME's write-ahead
+// contract (PR 7): on the accept path, the journal append comes first.
+//
+// Durability of the fusion state rests on one ordering invariant — an
+// accepted envelope is fsynced to the WAL *before* any derived state
+// (fusion evidence, OOSM objects, health observations, dedup marks)
+// mutates. If a mutation slips ahead of the append, a crash in the gap
+// loses the envelope while keeping (part of) its effect, and recovery is no
+// longer bit-identical to an undisturbed run — the exact property
+// TestCrashChaosKill9Recovery proves. The chaos suite catches a violation
+// only when the kill lands in the gap; this analyzer catches it at compile
+// time.
+//
+// The check: in package pdme, any method that calls the receiver's
+// appendJournal is an accept-path function. Within it,
+//
+//   - every state-mutating call rooted at the receiver (model.Create,
+//     diag.AddReport/AddReportFrom, prog.AddReport, Health().ObserveReport/
+//     ObserveHeartbeat, dedup Mark) must appear after the first
+//     appendJournal call in source order — the WAL is written first;
+//   - the appendJournal error must be consumed: a bare or `_ =` discarded
+//     append turns "journaled before mutation" into "maybe journaled".
+//
+// Functions that never call appendJournal (replay, restore, fusion
+// internals) are out of scope: replay re-applies effects of records already
+// in the WAL, and the fusion layer below the PDME has no journal handle.
+// Closure bodies count as part of their enclosing function, matching how
+// acceptHeartbeat brackets its critical section.
+package waldiscipline
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the waldiscipline check.
+var Analyzer = &analysis.Analyzer{
+	Name: "waldiscipline",
+	Doc: "on the pdme accept path, state mutations must follow the " +
+		"appendJournal write-ahead, and the append error must be handled",
+	Run: run,
+}
+
+// journalFunc is the write-ahead entry point the contract is anchored on.
+const journalFunc = "appendJournal"
+
+// MutatingCalls names the receiver-rooted method calls that mutate derived
+// state a checkpoint snapshots: OOSM posts (Create runs fusion synchronously
+// via the event model), direct fusion evidence, health observations, and
+// dedup marks.
+var MutatingCalls = map[string]bool{
+	"Create":           true,
+	"AddReport":        true,
+	"AddReportFrom":    true,
+	"Mark":             true,
+	"ObserveReport":    true,
+	"ObserveHeartbeat": true,
+	"Restore":          true,
+	"RestoreState":     true,
+}
+
+func run(pass *analysis.Pass) error {
+	if analysis.PathSegment(pass.ImportPath) != "pdme" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			if len(fd.Recv.List[0].Names) == 0 {
+				continue // anonymous receiver cannot root a call chain
+			}
+			recv := pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]
+			if recv == nil {
+				continue
+			}
+			checkFunc(pass, fd, recv)
+		}
+	}
+	return nil
+}
+
+// checkFunc applies the ordering and error-handling rules to one accept-path
+// candidate. Closures inside the body are treated as part of the function.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, recv types.Object) {
+	// Locate every appendJournal call and whether its error is consumed.
+	firstJournal := token.NoPos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != journalFunc {
+			return true
+		}
+		if !rootedAt(pass, sel.X, recv) {
+			return true
+		}
+		if !firstJournal.IsValid() || call.Pos() < firstJournal {
+			firstJournal = call.Pos()
+		}
+		return true
+	})
+	if !firstJournal.IsValid() {
+		return // not an accept-path function
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			// A bare appendJournal statement discards the append error.
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok &&
+					sel.Sel.Name == journalFunc && rootedAt(pass, sel.X, recv) {
+					pass.Reportf(call.Pos(),
+						"appendJournal error discarded on the accept path; a failed append must fail the accept")
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name != "_" || i >= len(n.Rhs) {
+					continue
+				}
+				if call, ok := n.Rhs[i].(*ast.CallExpr); ok {
+					if sel, ok := call.Fun.(*ast.SelectorExpr); ok &&
+						sel.Sel.Name == journalFunc && rootedAt(pass, sel.X, recv) {
+						pass.Reportf(call.Pos(),
+							"appendJournal error discarded on the accept path; a failed append must fail the accept")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || !MutatingCalls[sel.Sel.Name] || !rootedAt(pass, sel.X, recv) {
+				return true
+			}
+			if n.Pos() < firstJournal {
+				pass.Reportf(n.Pos(),
+					"%s mutates checkpointed state before the appendJournal write-ahead (journal append at %s); "+
+						"a crash in the gap loses the envelope but keeps its effect",
+					sel.Sel.Name, pass.Fset.Position(firstJournal))
+			}
+		}
+		return true
+	})
+}
+
+// rootedAt reports whether the selector base chain of e bottoms out at the
+// receiver object: p.model, p.dedupHandle(), p.Health(), p.diag, ...
+func rootedAt(pass *analysis.Pass, e ast.Expr, recv types.Object) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.Uses[x] == recv
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				e = sel.X
+				continue
+			}
+			return false
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package waldiscipline_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/waldiscipline"
+)
+
+func TestWALDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", waldiscipline.Analyzer, "pdme")
+}

@@ -220,6 +220,7 @@ func (m *Mass) Get(s Set) float64 { return m.m[s] }
 // bitmask order, for deterministic iteration.
 func (m *Mass) FocalSets() []Set {
 	out := make([]Set, 0, len(m.m))
+	//lint:allow maporder the one sanctioned raw range: keys are sorted before return, so order cannot leak
 	for s := range m.m {
 		out = append(out, s)
 	}
@@ -230,7 +231,8 @@ func (m *Mass) FocalSets() []Set {
 // Validate checks that masses are non-negative and sum to 1 within tol.
 func (m *Mass) Validate(tol float64) error {
 	var sum float64
-	for s, v := range m.m {
+	for _, s := range m.FocalSets() {
+		v := m.m[s]
 		if v < 0 {
 			return fmt.Errorf("dempster: negative mass %g on %s", v, m.frame.Format(s))
 		}
@@ -256,7 +258,7 @@ func (m *Mass) Normalize() error {
 	if sum == 0 {
 		return fmt.Errorf("dempster: cannot normalize zero mass")
 	}
-	for s := range m.m {
+	for _, s := range m.FocalSets() {
 		m.m[s] /= sum
 	}
 	return nil
@@ -297,8 +299,8 @@ func (m *Mass) Unknown() float64 { return m.m[m.frame.Theta()] }
 // Clone returns a deep copy of m.
 func (m *Mass) Clone() *Mass {
 	c := NewMass(m.frame)
-	for s, v := range m.m {
-		c.m[s] = v
+	for _, s := range m.FocalSets() {
+		c.m[s] = m.m[s]
 	}
 	return c
 }
@@ -322,11 +324,11 @@ func Discount(m *Mass, alpha float64) (*Mass, error) {
 	}
 	out := NewMass(m.frame)
 	theta := m.frame.Theta()
-	for s, v := range m.m {
+	for _, s := range m.FocalSets() {
 		if s == theta {
 			continue
 		}
-		out.m[s] = alpha * v
+		out.m[s] = alpha * m.m[s]
 	}
 	out.m[theta] = 1 - alpha + alpha*m.m[theta]
 	return out, nil
@@ -364,7 +366,7 @@ func Combine(a, b *Mass) (*Mass, float64, error) {
 		return nil, conflict, fmt.Errorf("dempster: total conflict between sources (K=%.6f)", conflict)
 	}
 	norm := 1 / (1 - conflict)
-	for s := range out.m {
+	for _, s := range out.FocalSets() {
 		out.m[s] *= norm
 	}
 	return out, conflict, nil

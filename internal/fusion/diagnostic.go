@@ -52,8 +52,15 @@ func (g Groups) Validate() error {
 	if len(g) == 0 {
 		return fmt.Errorf("fusion: no failure groups")
 	}
+	names := make([]string, 0, len(g))
+	//lint:allow maporder keys are sorted before validation, so error selection is deterministic
+	for name := range g {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	seen := map[string]string{}
-	for name, conds := range g {
+	for _, name := range names {
+		conds := g[name]
 		if len(conds) == 0 {
 			return fmt.Errorf("fusion: group %q is empty", name)
 		}
@@ -123,13 +130,17 @@ type groupState struct {
 // DiagnosticFuser maintains fused beliefs per component, partitioned into
 // logical failure groups. Safe for concurrent use.
 type DiagnosticFuser struct {
-	mu          sync.RWMutex
-	groups      Groups
-	groupOf     map[string]string
-	states      map[string]map[string]*groupState // component -> group -> state
+	mu sync.RWMutex
+	//lint:allow snapshotparity failure-group topology is construction config; Restore refuses snapshots that disagree with it
+	groups Groups
+	//lint:allow snapshotparity derived from groups at construction; rebuilding it from a snapshot would desync it from groups
+	groupOf map[string]string
+	states  map[string]map[string]*groupState // component -> group -> state
+	//lint:allow snapshotparity fixed clamp constant set at construction, not accumulated state
 	maxBelief   float64
 	totalFusedN int
-	discounter  Discounter
+	//lint:allow snapshotparity runtime wiring to the health registry, re-injected by SetDiscounter after restore
+	discounter Discounter
 }
 
 // SetDiscounter installs a reliability source for staleness discounting.
@@ -154,6 +165,7 @@ func NewDiagnosticFuser(groups Groups) (*DiagnosticFuser, error) {
 		states:    make(map[string]map[string]*groupState),
 		maxBelief: 0.999,
 	}
+	//lint:allow maporder builds a reverse-lookup map from validated-unique conditions; insertion order cannot affect contents
 	for name, conds := range groups {
 		for _, c := range conds {
 			df.groupOf[c] = name
@@ -282,6 +294,7 @@ func (df *DiagnosticFuser) sourceAlpha(name string, src *sourceEvidence) float64
 // regardless of arrival interleaving across sources. Callers hold df.mu.
 func (df *DiagnosticFuser) fusedLocked(st *groupState) (*dempster.Mass, error) {
 	names := make([]string, 0, len(st.sources))
+	//lint:allow maporder source ids are sorted before combination, so the fused result is order-independent
 	for name := range st.sources {
 		names = append(names, name)
 	}
@@ -391,6 +404,7 @@ func (df *DiagnosticFuser) RankedAll() map[string][]ConditionBelief {
 	df.mu.RLock()
 	defer df.mu.RUnlock()
 	out := make(map[string][]ConditionBelief, len(df.states))
+	//lint:allow maporder each component's ranking is computed independently into a map; order cannot affect any entry
 	for component := range df.states {
 		out[component] = df.rankedLocked(component)
 	}
@@ -400,6 +414,7 @@ func (df *DiagnosticFuser) RankedAll() map[string][]ConditionBelief {
 // rankedLocked computes Ranked for one component. Callers hold df.mu.
 func (df *DiagnosticFuser) rankedLocked(component string) []ConditionBelief {
 	var out []ConditionBelief
+	//lint:allow maporder rows are fully sorted by (belief, condition) before return and conditions are unique per component
 	for group, st := range df.states[component] {
 		fused, err := df.fusedLocked(st)
 		if err != nil {
@@ -408,14 +423,17 @@ func (df *DiagnosticFuser) rankedLocked(component string) []ConditionBelief {
 		// Best reliability per condition across the sources asserting it:
 		// a conclusion is degraded only when no fresh source backs it.
 		rel := make(map[string]float64, len(st.reports))
+		//lint:allow maporder computes a per-condition maximum reliability; max is order-independent
 		for name, src := range st.sources {
 			alpha := df.sourceAlpha(name, src)
+			//lint:allow maporder contributes to an order-independent per-condition maximum
 			for cond := range src.conditions {
 				if best, ok := rel[cond]; !ok || alpha > best {
 					rel[cond] = alpha
 				}
 			}
 		}
+		//lint:allow maporder rows are fully sorted by (belief, condition) before return
 		for cond, n := range st.reports {
 			hyp, err := st.frame.Hypothesis(cond)
 			if err != nil {
@@ -491,6 +509,7 @@ func (df *DiagnosticFuser) ConditionState(component, condition string) (Conditio
 	// Best reliability across the sources asserting this condition, as in
 	// Ranked: degraded only when no fresh source backs it.
 	alpha, seen := 0.0, false
+	//lint:allow maporder computes an order-independent maximum reliability
 	for name, src := range st.sources {
 		if _, ok := src.conditions[condition]; !ok {
 			continue
@@ -523,6 +542,7 @@ func (df *DiagnosticFuser) Components() []string {
 	df.mu.RLock()
 	defer df.mu.RUnlock()
 	out := make([]string, 0, len(df.states))
+	//lint:allow maporder component names are sorted before return
 	for c := range df.states {
 		out = append(out, c)
 	}

@@ -425,7 +425,11 @@ func TestFusedDominatesInputsProperty(t *testing.T) {
 				continue
 			}
 			for h := v[0].HorizonSeconds; h <= maxH; h += 13 {
-				d := time.Duration(h * float64(time.Second))
+				// Round up: plain truncation can land the first sample a
+				// nanosecond BELOW v's first point, outside the domain where
+				// domination is guaranteed (the fused curve may still be
+				// climbing from another input's earlier, lower point there).
+				d := time.Duration(math.Ceil(h * float64(time.Second)))
 				if fused.ProbabilityAt(d) < v.ProbabilityAt(d)-1e-9 {
 					return false
 				}

@@ -58,6 +58,7 @@ func FuseConservative(vectors ...proto.PrognosticVector) (proto.PrognosticVector
 		}
 	}
 	horizons := make([]float64, 0, len(horizonSet))
+	//lint:allow maporder horizons are sorted before the fused curve is built
 	for h := range horizonSet {
 		horizons = append(horizons, h)
 	}
@@ -209,6 +210,7 @@ func (pf *PrognosticFuser) Conditions(component string) []string {
 	pf.mu.RLock()
 	defer pf.mu.RUnlock()
 	var out []string
+	//lint:allow maporder condition names are sorted before return
 	for k := range pf.fused {
 		if k.component == component {
 			out = append(out, k.condition)

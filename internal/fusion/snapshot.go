@@ -53,11 +53,15 @@ func (df *DiagnosticFuser) Snapshot() DiagnosticState {
 	df.mu.RLock()
 	defer df.mu.RUnlock()
 	st := DiagnosticState{TotalFused: df.totalFusedN}
+	//lint:allow maporder snapshot groups are fully sorted by (component, group) before return
 	for component, byGroup := range df.states {
+		//lint:allow maporder snapshot groups are fully sorted by (component, group) before return
 		for group, gs := range byGroup {
 			snap := GroupSnapshot{Component: component, Group: group}
+			//lint:allow maporder sources are sorted by id before the snapshot is returned
 			for id, src := range gs.sources {
 				ss := SourceSnapshot{Source: id, LastReport: src.lastReport}
+				//lint:allow maporder condition names are sorted two lines down
 				for c := range src.conditions {
 					ss.Conditions = append(ss.Conditions, c)
 				}
@@ -73,6 +77,7 @@ func (df *DiagnosticFuser) Snapshot() DiagnosticState {
 			sort.Slice(snap.Sources, func(i, k int) bool { return snap.Sources[i].Source < snap.Sources[k].Source })
 			if len(gs.reports) > 0 {
 				snap.Reports = make(map[string]int, len(gs.reports))
+				//lint:allow maporder map-to-map copy; insertion order cannot affect contents
 				for c, n := range gs.reports {
 					snap.Reports[c] = n
 				}
@@ -110,6 +115,7 @@ func (df *DiagnosticFuser) Restore(st DiagnosticState) error {
 			sources: make(map[string]*sourceEvidence),
 			reports: make(map[string]int),
 		}
+		//lint:allow maporder map-to-map copy; insertion order cannot affect contents
 		for c, n := range snap.Reports {
 			gs.reports[c] = n
 		}
@@ -169,6 +175,7 @@ func (pf *PrognosticFuser) Snapshot() PrognosticState {
 	pf.mu.RLock()
 	defer pf.mu.RUnlock()
 	st := make(PrognosticState, 0, len(pf.fused))
+	//lint:allow maporder entries are fully sorted by (component, condition) before return
 	for k, v := range pf.fused {
 		st = append(st, PrognosticEntry{
 			Component: k.component,

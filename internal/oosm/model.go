@@ -146,6 +146,7 @@ func (m *Model) RegisterClass(c Class) error {
 	}
 	cols := make([]relstore.Column, 0, len(c.Props))
 	names := make([]string, 0, len(c.Props))
+	//lint:allow maporder property names are sorted before the schema is built
 	for n := range c.Props {
 		names = append(names, n)
 	}
@@ -166,6 +167,7 @@ func (m *Model) RegisterClass(c Class) error {
 		return fmt.Errorf("oosm: class %q already registered", c.Name)
 	}
 	props := make(map[string]PropType, len(c.Props))
+	//lint:allow maporder map-to-map copy; insertion order cannot affect contents
 	for k, v := range c.Props {
 		props[k] = v
 	}
@@ -178,6 +180,7 @@ func (m *Model) Classes() []string {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	out := make([]string, 0, len(m.classes))
+	//lint:allow maporder class names are sorted before return
 	for n := range m.classes {
 		out = append(out, n)
 	}
@@ -187,6 +190,7 @@ func (m *Model) Classes() []string {
 
 // checkProps validates property names and value types against a class.
 func (m *Model) checkProps(c Class, props map[string]any) error {
+	//lint:allow maporder validation only; the accepted (error-free) outcome is order-independent
 	for name, v := range props {
 		pt, ok := c.Props[name]
 		if !ok {
@@ -228,6 +232,7 @@ func (m *Model) Create(class string, props map[string]any) (ObjectID, error) {
 		return ObjectID{}, err
 	}
 	row := relstore.Row{}
+	//lint:allow maporder map-to-map copy; insertion order cannot affect contents
 	for k, v := range props {
 		row[k] = v
 	}
@@ -247,6 +252,7 @@ func (m *Model) Get(id ObjectID) (map[string]any, error) {
 		return nil, fmt.Errorf("oosm: %v: %w", id, err)
 	}
 	out := make(map[string]any, len(row))
+	//lint:allow maporder map-to-map copy; insertion order cannot affect contents
 	for k, v := range row {
 		if k == "id" {
 			continue
@@ -282,6 +288,7 @@ func (m *Model) SetProps(id ObjectID, props map[string]any) error {
 		return err
 	}
 	row := relstore.Row{}
+	//lint:allow maporder map-to-map copy; insertion order cannot affect contents
 	for k, v := range props {
 		row[k] = v
 	}
@@ -289,8 +296,16 @@ func (m *Model) SetProps(id ObjectID, props map[string]any) error {
 		return err
 	}
 	now := time.Now()
-	for k, v := range props {
-		m.events.publish(Event{Kind: PropertyChanged, Object: id, Property: k, Value: v, Time: now})
+	// Publish in sorted property order so watchers see a deterministic event
+	// sequence for one write, whatever the map layout.
+	changed := make([]string, 0, len(props))
+	//lint:allow maporder property names are sorted before events are published
+	for k := range props {
+		changed = append(changed, k)
+	}
+	sort.Strings(changed)
+	for _, k := range changed {
+		m.events.publish(Event{Kind: PropertyChanged, Object: id, Property: k, Value: props[k], Time: now})
 	}
 	m.events.publish(Event{Kind: ObjectUpdated, Object: id, Time: now})
 	return nil

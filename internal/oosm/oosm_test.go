@@ -263,15 +263,15 @@ func TestTransitiveCycleSafe(t *testing.T) {
 
 func TestEvents(t *testing.T) {
 	m := newTestModel(t)
-	var created, changed, deleted, related int32
-	subC := m.Subscribe(ObjectCreated, func(e Event) { atomic.AddInt32(&created, 1) })
+	var created, changed, deleted, related atomic.Int32
+	subC := m.Subscribe(ObjectCreated, func(e Event) { created.Add(1) })
 	m.Subscribe(PropertyChanged, func(e Event) {
 		if e.Property == "running" {
-			atomic.AddInt32(&changed, 1)
+			changed.Add(1)
 		}
 	})
-	m.Subscribe(ObjectDeleted, func(e Event) { atomic.AddInt32(&deleted, 1) })
-	m.Subscribe(RelationAdded, func(e Event) { atomic.AddInt32(&related, 1) })
+	m.Subscribe(ObjectDeleted, func(e Event) { deleted.Add(1) })
+	m.Subscribe(RelationAdded, func(e Event) { related.Add(1) })
 
 	id, _ := m.Create("motor", map[string]any{"name": "m"})
 	other, _ := m.Create("motor", map[string]any{"name": "n"})
@@ -284,8 +284,9 @@ func TestEvents(t *testing.T) {
 	if err := m.Delete(id); err != nil {
 		t.Fatal(err)
 	}
-	if created != 2 || changed != 1 || deleted != 1 || related != 1 {
-		t.Errorf("events created=%d changed=%d deleted=%d related=%d", created, changed, deleted, related)
+	if created.Load() != 2 || changed.Load() != 1 || deleted.Load() != 1 || related.Load() != 1 {
+		t.Errorf("events created=%d changed=%d deleted=%d related=%d",
+			created.Load(), changed.Load(), deleted.Load(), related.Load())
 	}
 	// Cancel stops delivery.
 	subC.Cancel()
@@ -293,28 +294,28 @@ func TestEvents(t *testing.T) {
 	if _, err := m.Create("motor", nil); err != nil {
 		t.Fatal(err)
 	}
-	if created != 2 {
+	if created.Load() != 2 {
 		t.Error("cancelled subscription still firing")
 	}
 }
 
 func TestSubscribeClassFiltering(t *testing.T) {
 	m := newTestModel(t)
-	var reports int32
-	m.SubscribeClass("report", ObjectCreated, func(e Event) { atomic.AddInt32(&reports, 1) })
-	var all int32
-	m.SubscribeAll(func(e Event) { atomic.AddInt32(&all, 1) })
+	var reports atomic.Int32
+	m.SubscribeClass("report", ObjectCreated, func(e Event) { reports.Add(1) })
+	var all atomic.Int32
+	m.SubscribeAll(func(e Event) { all.Add(1) })
 	if _, err := m.Create("motor", nil); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := m.Create("report", map[string]any{"condition": "imbalance", "belief": 0.8}); err != nil {
 		t.Fatal(err)
 	}
-	if reports != 1 {
-		t.Errorf("class filter: %d", reports)
+	if reports.Load() != 1 {
+		t.Errorf("class filter: %d", reports.Load())
 	}
-	if all != 2 {
-		t.Errorf("subscribe all: %d", all)
+	if all.Load() != 2 {
+		t.Errorf("subscribe all: %d", all.Load())
 	}
 }
 
@@ -382,8 +383,8 @@ func TestPersistenceAcrossReopen(t *testing.T) {
 
 func TestConcurrentCreateAndSubscribe(t *testing.T) {
 	m := newTestModel(t)
-	var count int32
-	m.SubscribeClass("motor", ObjectCreated, func(Event) { atomic.AddInt32(&count, 1) })
+	var count atomic.Int32
+	m.SubscribeClass("motor", ObjectCreated, func(Event) { count.Add(1) })
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
@@ -398,8 +399,8 @@ func TestConcurrentCreateAndSubscribe(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	if count != 200 {
-		t.Errorf("events %d, want 200", count)
+	if count.Load() != 200 {
+		t.Errorf("events %d, want 200", count.Load())
 	}
 	ids, _ := m.Instances("motor")
 	if len(ids) != 200 {

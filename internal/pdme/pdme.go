@@ -587,6 +587,7 @@ func (p *PDME) PrioritizedList() []MaintenanceItem {
 	const horizon = 2 * 365 * 24 * time.Hour
 	ranked := p.diag.RankedAll()
 	components := make([]string, 0, len(ranked))
+	//lint:allow maporder component names are sorted before the list is assembled
 	for component := range ranked {
 		components = append(components, component)
 	}

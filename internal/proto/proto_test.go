@@ -316,9 +316,9 @@ func TestClientServerRoundTrip(t *testing.T) {
 }
 
 func TestConcurrentClients(t *testing.T) {
-	var count int64
+	var count atomic.Int64
 	srv := NewServer(SinkFunc(func(*Report) error {
-		atomic.AddInt64(&count, 1)
+		count.Add(1)
 		return nil
 	}))
 	addr, err := srv.Start("127.0.0.1:0")
@@ -351,8 +351,8 @@ func TestConcurrentClients(t *testing.T) {
 	for err := range errCh {
 		t.Fatal(err)
 	}
-	if atomic.LoadInt64(&count) != 200 {
-		t.Fatalf("received %d, want 200", count)
+	if n := count.Load(); n != 200 {
+		t.Fatalf("received %d, want 200", n)
 	}
 }
 
@@ -386,21 +386,21 @@ func TestSendWithRetry(t *testing.T) {
 
 func TestBus(t *testing.T) {
 	b := NewBus()
-	var a, c int32
-	b.Attach(SinkFunc(func(*Report) error { atomic.AddInt32(&a, 1); return nil }))
-	b.Attach(SinkFunc(func(*Report) error { atomic.AddInt32(&c, 1); return nil }))
+	var a, c atomic.Int32
+	b.Attach(SinkFunc(func(*Report) error { a.Add(1); return nil }))
+	b.Attach(SinkFunc(func(*Report) error { c.Add(1); return nil }))
 	if err := b.Deliver(validReport()); err != nil {
 		t.Fatal(err)
 	}
-	if a != 1 || c != 1 {
-		t.Errorf("fanout a=%d c=%d", a, c)
+	if a.Load() != 1 || c.Load() != 1 {
+		t.Errorf("fanout a=%d c=%d", a.Load(), c.Load())
 	}
 	bad := validReport()
 	bad.MachineConditionID = ""
 	if err := b.Deliver(bad); err == nil {
 		t.Error("bus must validate")
 	}
-	if a != 1 {
+	if a.Load() != 1 {
 		t.Error("invalid report must not be delivered")
 	}
 }

@@ -206,6 +206,7 @@ func (v *Views) Close() {
 	v.mu.Unlock()
 	v.subMu.Lock()
 	subs := make([]*Subscription, 0, len(v.subs))
+	//lint:allow maporder subscriptions are closed independently; close order is unobservable from any one channel
 	for s := range v.subs {
 		subs = append(subs, s)
 	}
@@ -290,6 +291,7 @@ func (v *Views) EndMutation(component, condition string) {
 func (v *Views) InvalidateAll() {
 	v.invalidations.Add(1)
 	v.mu.Lock()
+	//lint:allow maporder per-key generation bump; each key is touched exactly once, so order cannot affect the result
 	for _, ks := range v.keys {
 		ks.gen++
 		ks.entry = nil

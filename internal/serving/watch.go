@@ -99,6 +99,7 @@ func (s *Subscription) offer(component, condition string) (delivered bool) {
 func (v *Views) notify(component, condition string) {
 	v.subMu.Lock()
 	subs := make([]*Subscription, 0, len(v.subs))
+	//lint:allow maporder each subscription has its own channel; cross-subscription delivery order is unobservable
 	for s := range v.subs {
 		if s.component == "" || s.component == component {
 			subs = append(subs, s)
