@@ -142,6 +142,7 @@ func run() int {
 			fatal(err)
 		}
 		if *speedup > 0 {
+			//lint:allow noclock real-time pacing knob of the simulator CLI; virtual time drives the model
 			time.Sleep(time.Duration(step * float64(time.Hour) / *speedup))
 		}
 		c := up.Counters()

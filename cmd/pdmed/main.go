@@ -111,6 +111,7 @@ func run() int {
 		ReliabilityFloor: *healthFloor,
 	}
 	if *healthWallclock {
+		//lint:allow noclock operator opted into wall-clock staleness via -health-wallclock
 		healthCfg.Clock = time.Now
 	}
 	if err := engine.ConfigureHealth(healthCfg); err != nil {
@@ -172,12 +173,14 @@ func run() int {
 	var ticker *time.Ticker
 	var tick <-chan time.Time
 	if *statusEvery > 0 {
+		//lint:allow noclock periodic operator status line; daemon cadence is inherently wall-clock
 		ticker = time.NewTicker(*statusEvery)
 		tick = ticker.C
 		defer ticker.Stop()
 	}
 	var ckptTick <-chan time.Time
 	if *journalDir != "" && *checkpointInterval > 0 {
+		//lint:allow noclock checkpoint cadence is an operational wall-clock interval
 		ckptTicker := time.NewTicker(*checkpointInterval)
 		ckptTick = ckptTicker.C
 		defer ckptTicker.Stop()
@@ -240,6 +243,7 @@ func shutdownHTTP(srv *http.Server) {
 func printStatus(engine *pdme.PDME) {
 	items := engine.PrioritizedList()
 	fmt.Printf("--- %s | %d reports received | %d duplicates suppressed | %d open conclusions ---\n",
+		//lint:allow noclock status-line timestamp for the operator, not fed into fusion
 		time.Now().Format(time.RFC3339), engine.ReceivedReports(), engine.DedupHits(), len(items))
 	for i, it := range items {
 		if i >= 10 {

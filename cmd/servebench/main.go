@@ -225,6 +225,7 @@ func run() int {
 					}
 				}
 				n++
+				//lint:allow noclock load-generator pacing; the benchmark measures real elapsed time
 				time.Sleep(*ingestEvery)
 			}
 		}(w)
@@ -241,6 +242,7 @@ func run() int {
 				default:
 				}
 				if *checkEvery > 0 {
+					//lint:allow noclock coherence-checker pacing; wall-clock by design in a benchmark
 					time.Sleep(*checkEvery)
 				}
 				// Epoch guard: two hits off the same materialization bracket
@@ -276,6 +278,7 @@ func run() int {
 				}
 				comp := components[rng.Intn(len(components))]
 				cond := conditions[rng.Intn(len(conditions))]
+				//lint:allow noclock read-latency measurement is the benchmark's whole point
 				start := time.Now()
 				switch rng.Intn(10) {
 				case 0, 1: // per-pair belief view
@@ -285,19 +288,24 @@ func run() int {
 				default: // ranked list — the dashboard hot path
 					_ = views.Ranked()
 				}
+				//lint:allow noclock read-latency measurement is the benchmark's whole point
 				hist.record(time.Since(start))
 				reads.Add(1)
 				if *think > 0 {
+					//lint:allow noclock reader think-time pacing; wall-clock by design in a benchmark
 					time.Sleep(*think)
 				}
 			}
 		}(r)
 	}
 
+	//lint:allow noclock benchmark wall-clock window
 	started := time.Now()
+	//lint:allow noclock benchmark runs for a real-time duration
 	time.Sleep(*duration)
 	close(stop)
 	wg.Wait()
+	//lint:allow noclock benchmark wall-clock window
 	elapsed := time.Since(started)
 
 	st := views.Stats()

@@ -58,6 +58,43 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 	}
 }
 
+// RunModule loads every named package from testdata/src into one module-wide
+// pass and checks an interprocedural analyzer's findings against the want
+// comments across all of them. List dependencies before their importers so
+// cross-package references resolve to the same type-checked packages.
+func RunModule(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	ld := &loader{testdata: testdata, fset: fset, pkgs: make(map[string]*types.Package)}
+
+	var units []*analysis.Unit
+	var allFiles []*ast.File
+	for _, pkgPath := range pkgs {
+		files, err := ld.parseDir(pkgPath)
+		if err != nil {
+			t.Fatalf("%s: %v", pkgPath, err)
+		}
+		info := driver.NewTypesInfo()
+		pkg, err := ld.check(pkgPath, files, info)
+		if err != nil {
+			t.Fatalf("typecheck %s: %v", pkgPath, err)
+		}
+		ld.pkgs[pkgPath] = pkg
+		units = append(units, &analysis.Unit{
+			Files: files, Pkg: pkg, TypesInfo: info, ImportPath: pkgPath,
+		})
+		allFiles = append(allFiles, files...)
+	}
+
+	findings, err := driver.AnalyzeModule(fset, units, []*analysis.Analyzer{a}, driver.Options{})
+	if err != nil {
+		t.Fatalf("analyze %v: %v", pkgs, err)
+	}
+
+	wants := collectWants(t, fset, allFiles)
+	matchFindings(t, strings.Join(pkgs, ","), findings, wants)
+}
+
 func runPkg(t *testing.T, testdata string, a *analysis.Analyzer, pkgPath string) {
 	t.Helper()
 	fset := token.NewFileSet()

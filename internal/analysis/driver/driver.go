@@ -2,6 +2,11 @@
 // applies the //lint:allow suppression discipline. It backs both mproslint
 // invocation modes: standalone (go list -export loading, see golist.go) and
 // `go vet -vettool` (unitchecker protocol, see vettool.go).
+//
+// Intraprocedural analyzers (Analyzer.Run) execute once per unit in both
+// modes. Interprocedural analyzers (Analyzer.RunModule — the call-graph
+// layer) need every unit of the module at once, so they execute only in
+// standalone mode, after all units are loaded.
 package driver
 
 import (
@@ -20,23 +25,41 @@ type Finding struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	// Suppressed marks a finding silenced by a reasoned //lint:allow. Default
+	// runs drop suppressed findings; Options.IncludeSuppressed keeps them for
+	// machine-readable output.
+	Suppressed bool
 }
 
 func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
 }
 
-// AnalyzeFiles runs the analyzers over one type-checked unit and returns the
-// findings that survive //lint:allow filtering, plus lintallow findings for
-// malformed, unknown, reasonless, or unused directives. importPath should be
-// the unit's build name; any " [pkg.test]" suffix is stripped before
-// analyzers see it.
+// Options adjusts how findings are reported.
+type Options struct {
+	// IncludeSuppressed keeps //lint:allow-suppressed findings in the result
+	// (marked Suppressed: true) instead of dropping them.
+	IncludeSuppressed bool
+}
+
+// AnalyzeFiles runs the intraprocedural analyzers over one type-checked unit
+// and returns the findings that survive //lint:allow filtering, plus
+// lintallow findings for malformed, unknown, reasonless, or unused
+// directives. importPath should be the unit's build name; any " [pkg.test]"
+// suffix is stripped before analyzers see it. Module analyzers are skipped —
+// they need every unit at once (see AnalyzeModule).
 func AnalyzeFiles(fset *token.FileSet, files []*ast.File, pkg *types.Package,
 	info *types.Info, importPath string, analyzers []*analysis.Analyzer) ([]Finding, error) {
 
-	if i := strings.Index(importPath, " ["); i >= 0 {
-		importPath = importPath[:i]
-	}
+	unit := &analysis.Unit{Files: files, Pkg: pkg, TypesInfo: info, ImportPath: cleanImportPath(importPath)}
+	return AnalyzeModule(fset, []*analysis.Unit{unit}, onlyUnitAnalyzers(analyzers), Options{})
+}
+
+// AnalyzeModule runs all analyzers — per-unit ones over each unit,
+// interprocedural ones once over the whole set — and applies the //lint:allow
+// discipline across every unit's files.
+func AnalyzeModule(fset *token.FileSet, units []*analysis.Unit,
+	analyzers []*analysis.Analyzer, opts Options) ([]Finding, error) {
 
 	known := map[string]bool{analysis.AllowName: true}
 	for _, a := range analyzers {
@@ -45,44 +68,69 @@ func AnalyzeFiles(fset *token.FileSet, files []*ast.File, pkg *types.Package,
 
 	var allows []*analysis.Allow
 	var findings []Finding
-	for _, f := range files {
-		as, bad := analysis.ParseAllows(fset, f, known)
-		allows = append(allows, as...)
-		for _, d := range bad {
-			findings = append(findings, Finding{
-				Analyzer: analysis.AllowName,
-				Pos:      fset.Position(d.Pos),
-				Message:  d.Message,
-			})
+	for _, u := range units {
+		for _, f := range u.Files {
+			as, bad := analysis.ParseAllows(fset, f, known)
+			allows = append(allows, as...)
+			for _, d := range bad {
+				findings = append(findings, Finding{
+					Analyzer: analysis.AllowName,
+					Pos:      fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
 		}
 	}
 
 	for _, a := range analyzers {
-		pass := &analysis.Pass{
-			Analyzer:   a,
-			Fset:       fset,
-			Files:      files,
-			Pkg:        pkg,
-			TypesInfo:  info,
-			ImportPath: importPath,
-		}
 		name := a.Name
-		pass.Report = func(d analysis.Diagnostic) {
-			findings = append(findings, Finding{
-				Analyzer: name,
-				Pos:      fset.Position(d.Pos),
-				Message:  d.Message,
-			})
+		report := func(dst *[]Finding) func(analysis.Diagnostic) {
+			return func(d analysis.Diagnostic) {
+				*dst = append(*dst, Finding{
+					Analyzer: name,
+					Pos:      fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
 		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, importPath, err)
+		switch {
+		case a.Run != nil:
+			for _, u := range units {
+				pass := &analysis.Pass{
+					Analyzer:   a,
+					Fset:       fset,
+					Files:      u.Files,
+					Pkg:        u.Pkg,
+					TypesInfo:  u.TypesInfo,
+					ImportPath: u.ImportPath,
+					Report:     report(&findings),
+				}
+				if err := a.Run(pass); err != nil {
+					return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, u.ImportPath, err)
+				}
+			}
+		case a.RunModule != nil:
+			pass := &analysis.ModulePass{
+				Analyzer: a,
+				Fset:     fset,
+				Units:    units,
+				Report:   report(&findings),
+			}
+			if err := a.RunModule(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+			}
+		default:
+			return nil, fmt.Errorf("analyzer %s has neither Run nor RunModule", a.Name)
 		}
 	}
 
 	kept := findings[:0]
 	for _, f := range findings {
 		if f.Analyzer != analysis.AllowName && suppressed(allows, f) {
-			continue
+			if !opts.IncludeSuppressed {
+				continue
+			}
+			f.Suppressed = true
 		}
 		kept = append(kept, f)
 	}
@@ -112,6 +160,24 @@ func AnalyzeFiles(fset *token.FileSet, files []*ast.File, pkg *types.Package,
 		return a.Analyzer < b.Analyzer
 	})
 	return findings, nil
+}
+
+// onlyUnitAnalyzers filters to the analyzers that can run on a single unit.
+func onlyUnitAnalyzers(analyzers []*analysis.Analyzer) []*analysis.Analyzer {
+	out := make([]*analysis.Analyzer, 0, len(analyzers))
+	for _, a := range analyzers {
+		if a.Run != nil {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func cleanImportPath(importPath string) string {
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
 }
 
 func suppressed(allows []*analysis.Allow, f Finding) bool {

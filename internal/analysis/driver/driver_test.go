@@ -8,10 +8,13 @@ import (
 	"repro/internal/analysis/driver"
 	"repro/internal/analysis/errwrap"
 	"repro/internal/analysis/floateq"
+	"repro/internal/analysis/goroleak"
+	"repro/internal/analysis/hotalloc"
 	"repro/internal/analysis/lockdiscipline"
 	"repro/internal/analysis/maporder"
 	"repro/internal/analysis/masscheck"
 	"repro/internal/analysis/noclock"
+	"repro/internal/analysis/sendblock"
 	"repro/internal/analysis/snapshotparity"
 	"repro/internal/analysis/waldiscipline"
 )
@@ -26,6 +29,9 @@ var all = []*analysis.Analyzer{
 	lockdiscipline.Analyzer,
 	waldiscipline.Analyzer,
 	snapshotparity.Analyzer,
+	hotalloc.Analyzer,
+	goroleak.Analyzer,
+	sendblock.Analyzer,
 }
 
 // TestRepoIsClean is the clean-sweep guarantee: the whole module (test units

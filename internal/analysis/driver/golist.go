@@ -41,6 +41,13 @@ type listPackage struct {
 // over every unit belonging to the main module, and returns the surviving
 // findings. dir is the working directory for go list ("" for the current).
 func LoadAndRun(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	return LoadAndRunOpts(dir, patterns, analyzers, Options{})
+}
+
+// LoadAndRunOpts is LoadAndRun with reporting options. All units are loaded
+// and type-checked first, then the analyzers run — the interprocedural ones
+// (Analyzer.RunModule) see every unit at once.
+func LoadAndRunOpts(dir string, patterns []string, analyzers []*analysis.Analyzer, opts Options) ([]Finding, error) {
 	pkgs, err := goList(dir, patterns)
 	if err != nil {
 		return nil, err
@@ -64,7 +71,7 @@ func LoadAndRun(dir string, patterns []string, analyzers []*analysis.Analyzer) (
 	}
 
 	fset := token.NewFileSet()
-	var all []Finding
+	var units []*analysis.Unit
 	for _, p := range pkgs {
 		if p.Standard || p.Module == nil || !p.Module.Main || len(p.GoFiles) == 0 {
 			continue
@@ -75,13 +82,13 @@ func LoadAndRun(dir string, patterns []string, analyzers []*analysis.Analyzer) (
 		if p.ForTest == "" && augmented[p.ImportPath] {
 			continue
 		}
-		findings, err := runListUnit(fset, p, exports, analyzers)
+		u, err := loadListUnit(fset, p, exports)
 		if err != nil {
 			return nil, err
 		}
-		all = append(all, findings...)
+		units = append(units, u)
 	}
-	return all, nil
+	return AnalyzeModule(fset, units, analyzers, opts)
 }
 
 func goList(dir string, patterns []string) ([]*listPackage, error) {
@@ -111,9 +118,7 @@ func goList(dir string, patterns []string) ([]*listPackage, error) {
 	return pkgs, nil
 }
 
-func runListUnit(fset *token.FileSet, p *listPackage, exports map[string]string,
-	analyzers []*analysis.Analyzer) ([]Finding, error) {
-
+func loadListUnit(fset *token.FileSet, p *listPackage, exports map[string]string) (*analysis.Unit, error) {
 	var files []*ast.File
 	for _, name := range p.GoFiles {
 		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
@@ -151,7 +156,7 @@ func runListUnit(fset *token.FileSet, p *listPackage, exports map[string]string,
 	if err != nil {
 		return nil, fmt.Errorf("typecheck %s: %w", p.ImportPath, err)
 	}
-	return AnalyzeFiles(fset, files, pkg, info, p.ImportPath, analyzers)
+	return &analysis.Unit{Files: files, Pkg: pkg, TypesInfo: info, ImportPath: cleanPath}, nil
 }
 
 // NewTypesInfo returns a types.Info with every map populated, as the

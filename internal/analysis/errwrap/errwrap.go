@@ -49,9 +49,29 @@ var RecoveryPkgs = map[string]bool{
 	"serving": true,
 }
 
+// ScopePrefixes extends the recovery discipline to whole subtrees by import
+// path: the linter holds itself and the command mains to the rules it
+// enforces on the rest of the repo.
+var ScopePrefixes = []string{
+	"repro/internal/analysis",
+	"repro/cmd",
+}
+
+func inScope(importPath string) bool {
+	if RecoveryPkgs[analysis.PathSegment(importPath)] {
+		return true
+	}
+	for _, p := range ScopePrefixes {
+		if analysis.UnderPath(importPath, p) {
+			return true
+		}
+	}
+	return false
+}
+
 func run(pass *analysis.Pass) error {
 	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
-	recovery := RecoveryPkgs[analysis.PathSegment(pass.ImportPath)]
+	recovery := inScope(pass.ImportPath)
 
 	for _, file := range pass.Files {
 		inTest := analysis.IsTestFile(pass.Fset, file.Pos())
@@ -105,7 +125,9 @@ func checkErrorf(pass *analysis.Pass, errType *types.Interface, call *ast.CallEx
 // checkDiscard flags a bare-statement call whose results include an error.
 // defer and go statements and explicit `_ =` discards are left alone, as are
 // writes that cannot fail (methods on strings.Builder/bytes.Buffer, and
-// fmt.Fprint* into one of those).
+// fmt.Fprint* into one of those) and console prints (fmt.Print* and
+// fmt.Fprint* into os.Stdout/os.Stderr), whose write error has nowhere
+// better to go than the stream that just failed.
 func checkDiscard(pass *analysis.Pass, errType *types.Interface, stmt *ast.ExprStmt) {
 	call, ok := stmt.X.(*ast.CallExpr)
 	if !ok {
@@ -115,7 +137,7 @@ func checkDiscard(pass *analysis.Pass, errType *types.Interface, stmt *ast.ExprS
 	if !ok {
 		return // conversion or builtin
 	}
-	if infallibleWrite(pass, call) {
+	if infallibleWrite(pass, call) || consoleWrite(pass, call) {
 		return
 	}
 	res := sig.Results()
@@ -142,6 +164,35 @@ func infallibleWrite(pass *analysis.Pass, call *ast.CallExpr) bool {
 		fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
 		strings.HasPrefix(fn.Name(), "Fprint") && len(call.Args) > 0 {
 		return isMemBuffer(pass.TypesInfo.TypeOf(call.Args[0]))
+	}
+	return false
+}
+
+// consoleWrite reports whether call is a package-level fmt print to the
+// process's own stdout or stderr.
+func consoleWrite(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return false
+	}
+	switch fn.Name() {
+	case "Print", "Printf", "Println":
+		return true
+	case "Fprint", "Fprintf", "Fprintln":
+		if len(call.Args) == 0 {
+			return false
+		}
+		dst, ok := call.Args[0].(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		v, ok := pass.TypesInfo.Uses[dst.Sel].(*types.Var)
+		return ok && v.Pkg() != nil && v.Pkg().Path() == "os" &&
+			(v.Name() == "Stdout" || v.Name() == "Stderr")
 	}
 	return false
 }

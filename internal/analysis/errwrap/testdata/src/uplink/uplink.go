@@ -56,6 +56,16 @@ func infallible(name string) string {
 	return b.String() + buf.String()
 }
 
+// console prints are exempt: the write error of a diagnostic line has
+// nowhere better to go than the stream that just failed.
+func console(err error, f *os.File) {
+	fmt.Println("uplink: replaying spool")
+	fmt.Printf("uplink: %d records\n", 3)
+	fmt.Fprintln(os.Stderr, "uplink:", err)
+	fmt.Fprintf(os.Stdout, "uplink: done\n")
+	fmt.Fprintln(f, "not a console") // want "discards its error result"
+}
+
 func allowedDiscard(f *os.File) {
 	f.Sync() //lint:allow errwrap testdata exemplar of a tolerated fire-and-forget sync
 }

@@ -1,0 +1,264 @@
+// Package goroleak defines an interprocedural analyzer enforcing goroutine
+// lifecycle discipline in the repo's long-lived packages: every `go`
+// statement must have a provable shutdown path, because on an embedded CBM
+// node the process runs for months and a leaked goroutine is a slow resource
+// exhaustion, not a restart-cured hiccup.
+//
+// A `go` statement passes when the spawned body — chased transitively
+// through statically resolvable callees in the module — contains one of:
+//
+//   - a receive from a context Done channel or a struct{}-typed done channel
+//     (in a select or bare), the canonical cancellation signal
+//   - a `for range` over a channel, which exits when the producer closes it
+//   - a comma-ok receive, which observes channel closure
+//
+// or when the goroutine is WaitGroup-joined: the body defers
+// (*sync.WaitGroup).Done and the package calls the matching Wait inside a
+// shutdown-shaped function (Close, Stop, Shutdown, Wait, Drain, Flush, Join,
+// or main). Anything else — a bare `go func() { for { ... } }()` — is a leak
+// by construction and fails lint; genuinely fire-and-forget work takes a
+// reasoned //lint:allow goroleak.
+package goroleak
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
+)
+
+// Analyzer flags go statements without a provable shutdown path.
+var Analyzer = &analysis.Analyzer{
+	Name:      "goroleak",
+	Doc:       "go statements in long-lived packages must have a provable shutdown path",
+	RunModule: run,
+}
+
+// LongLivedPkgs names the packages (by final import-path segment) whose
+// goroutines outlive a request: the fusion engine, the read-side serving
+// tier, the store-and-forward uplink, and the durability/health machinery.
+var LongLivedPkgs = map[string]bool{
+	"pdme":      true,
+	"serving":   true,
+	"uplink":    true,
+	"health":    true,
+	"historian": true,
+	"journal":   true,
+}
+
+// shutdownFuncs are the function names accepted as a join point for
+// WaitGroup-proved goroutines.
+var shutdownFuncs = map[string]bool{
+	"Close": true, "Stop": true, "Shutdown": true, "Wait": true,
+	"Drain": true, "Flush": true, "Join": true, "main": true,
+}
+
+func run(pass *analysis.ModulePass) error {
+	g := callgraph.Build(pass.Fset, pass.Units)
+	for _, u := range pass.Units {
+		if !LongLivedPkgs[analysis.PathSegment(u.ImportPath)] {
+			continue
+		}
+		checkUnit(pass, g, u)
+	}
+	return nil
+}
+
+func checkUnit(pass *analysis.ModulePass, g *callgraph.Graph, u *analysis.Unit) {
+	joined := packageHasJoin(u)
+	for _, file := range u.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(node ast.Node) bool {
+			gs, ok := node.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !hasShutdownPath(g, u, gs, joined) {
+				pass.Reportf(gs.Pos(),
+					"go statement in long-lived package %s has no provable shutdown path "+
+						"(no done-channel receive, channel range, comma-ok receive, or WaitGroup "+
+						"joined on a Close/Stop path)",
+					analysis.PathSegment(u.ImportPath))
+			}
+			return true
+		})
+	}
+}
+
+// hasShutdownPath chases the spawned body transitively through module
+// callees looking for a shutdown construct.
+func hasShutdownPath(g *callgraph.Graph, u *analysis.Unit, gs *ast.GoStmt, joined bool) bool {
+	visited := map[string]bool{}
+	var bodies []ast.Node
+
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		bodies = append(bodies, fun.Body)
+		if joined && defersWaitGroupDone(fun.Body, u.TypesInfo) {
+			return true
+		}
+	default:
+		if fn := callgraph.StaticCallee(u.TypesInfo, gs.Call); fn != nil {
+			if n := g.Node(fn); n != nil {
+				visited[n.ID] = true
+				bodies = append(bodies, n.Decl.Body)
+				if joined && defersWaitGroupDone(n.Decl.Body, n.Unit.TypesInfo) {
+					return true
+				}
+			}
+		}
+	}
+
+	// Breadth-first over the bodies: scan for shutdown constructs, enqueue
+	// statically resolvable callees with bodies in the module.
+	info := u.TypesInfo
+	for len(bodies) > 0 {
+		body := bodies[0]
+		bodies = bodies[1:]
+		curInfo := info
+		if n := nodeForBody(g, body); n != nil {
+			curInfo = n.Unit.TypesInfo
+		}
+		if scanShutdown(body, curInfo) {
+			return true
+		}
+		ast.Inspect(body, func(node ast.Node) bool {
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := callgraph.StaticCallee(curInfo, call)
+			if fn == nil {
+				return true
+			}
+			n := g.Node(fn)
+			if n == nil || visited[n.ID] {
+				return true
+			}
+			visited[n.ID] = true
+			bodies = append(bodies, n.Decl.Body)
+			return true
+		})
+	}
+	return false
+}
+
+// nodeForBody maps a queued body back to its graph node so the right unit's
+// type info is used. Bodies queued from FuncLits return nil and keep the
+// spawning unit's info.
+func nodeForBody(g *callgraph.Graph, body ast.Node) *callgraph.Node {
+	for _, n := range g.Nodes { // small graphs; identity probe, order-free
+		if n.Decl.Body == body {
+			return n
+		}
+	}
+	return nil
+}
+
+// scanShutdown looks for a shutdown construct directly in one body.
+func scanShutdown(body ast.Node, info *types.Info) bool {
+	found := false
+	ast.Inspect(body, func(node ast.Node) bool {
+		if found {
+			return false
+		}
+		switch s := node.(type) {
+		case *ast.RangeStmt:
+			if _, ok := info.TypeOf(s.X).Underlying().(*types.Chan); ok {
+				found = true
+			}
+		case *ast.AssignStmt:
+			// v, ok := <-ch observes closure.
+			if len(s.Lhs) == 2 && len(s.Rhs) == 1 {
+				if u, ok := ast.Unparen(s.Rhs[0]).(*ast.UnaryExpr); ok && u.Op.String() == "<-" {
+					found = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if s.Op.String() == "<-" && isDoneChannel(s.X, info) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isDoneChannel reports whether expr is a cancellation signal: a call to a
+// method named Done returning a receive channel (context.Context.Done and
+// friends), or any channel of struct{} elements.
+func isDoneChannel(expr ast.Expr, info *types.Info) bool {
+	if call, ok := ast.Unparen(expr).(*ast.CallExpr); ok {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+			return true
+		}
+	}
+	t := info.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+// defersWaitGroupDone reports whether the body defers (*sync.WaitGroup).Done.
+func defersWaitGroupDone(body ast.Node, info *types.Info) bool {
+	found := false
+	ast.Inspect(body, func(node ast.Node) bool {
+		if found {
+			return false
+		}
+		d, ok := node.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if isWaitGroupCall(d.Call, info, "Done") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// packageHasJoin reports whether the unit calls (*sync.WaitGroup).Wait inside
+// a shutdown-shaped function.
+func packageHasJoin(u *analysis.Unit) bool {
+	for _, file := range u.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !shutdownFuncs[fd.Name.Name] {
+				continue
+			}
+			found := false
+			ast.Inspect(fd.Body, func(node ast.Node) bool {
+				if call, ok := node.(*ast.CallExpr); ok && isWaitGroupCall(call, u.TypesInfo, "Wait") {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isWaitGroupCall(call *ast.CallExpr, info *types.Info, method string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	return fn.FullName() == "(*sync.WaitGroup)."+method
+}

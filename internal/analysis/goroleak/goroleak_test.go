@@ -1,0 +1,12 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/goroleak"
+)
+
+func TestGoroLeak(t *testing.T) {
+	analysistest.RunModule(t, "testdata", goroleak.Analyzer, "serving", "freepkg")
+}

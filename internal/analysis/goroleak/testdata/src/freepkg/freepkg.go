@@ -1,0 +1,9 @@
+// Package freepkg is outside the long-lived scope; goroleak ignores it.
+package freepkg
+
+func Spawn() {
+	go func() {
+		for {
+		}
+	}()
+}

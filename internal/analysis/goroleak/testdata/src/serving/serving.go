@@ -1,0 +1,118 @@
+package serving
+
+import (
+	"context"
+	"sync"
+)
+
+type Server struct {
+	wg   sync.WaitGroup
+	stop chan struct{}
+	jobs chan int
+}
+
+// StartJoined is proved by the WaitGroup: Done deferred in the body, Wait
+// called in Close below.
+func (s *Server) StartJoined(n int) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		spin(n)
+	}()
+}
+
+func spin(n int) {
+	for i := 0; i < n; i++ {
+	}
+}
+
+// loop is proved by the struct{} done-channel receive.
+func (s *Server) loop() {
+	for {
+		select {
+		case <-s.stop:
+			return
+		case job := <-s.jobs:
+			_ = job
+		}
+	}
+}
+
+func (s *Server) Close() {
+	close(s.stop)
+	s.wg.Wait()
+}
+
+// StartNamed spawns a named method whose body (chased through the call
+// graph) receives from the done channel.
+func (s *Server) StartNamed() {
+	go s.loop()
+}
+
+// StartIndirect is proved two hops away: run calls loop.
+func (s *Server) StartIndirect() {
+	go s.run()
+}
+
+func (s *Server) run() { s.loop() }
+
+// StartCtx is proved by the context cancellation select.
+func StartCtx(ctx context.Context, ticks chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case t := <-ticks:
+				_ = t
+			}
+		}
+	}()
+}
+
+// StartRange exits when the producer closes the channel.
+func StartRange(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+// StartCommaOk observes channel closure explicitly.
+func StartCommaOk(ch chan int) {
+	go func() {
+		for {
+			v, ok := <-ch
+			if !ok {
+				return
+			}
+			_ = v
+		}
+	}()
+}
+
+// Leak spins forever with no cancellation signal and no join.
+func Leak() {
+	go func() { // want "no provable shutdown path"
+		for {
+		}
+	}()
+}
+
+// LeakNamed spawns a named function that never observes shutdown.
+func LeakNamed() {
+	go spinForever() // want "no provable shutdown path"
+}
+
+func spinForever() {
+	for {
+	}
+}
+
+// Allowed documents a deliberate fire-and-forget.
+func Allowed() {
+	//lint:allow goroleak one-shot best-effort warmup, exits on its own
+	go func() {
+		spin(1)
+	}()
+}

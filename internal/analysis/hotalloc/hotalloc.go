@@ -1,0 +1,293 @@
+// Package hotalloc defines an interprocedural analyzer enforcing the repo's
+// hot-path allocation contract: a function annotated //mpros:hotpath — and
+// everything statically reachable from it on non-failure paths — must not
+// heap-allocate in steady state.
+//
+// MPROS targets embedded high-performance hardware where a GC pause during
+// the vibration ingest tick is a missed deadline, not a style nit. The DSP →
+// feature-extraction → SBFR → report-encode pipeline is therefore written
+// against preallocated scratch (construction-time sizing, caller-provided
+// buffers) and this analyzer keeps it that way: an innocent fmt.Sprintf three
+// calls below vibration feature extraction fails lint instead of silently
+// regressing the ingest rate.
+//
+// Flagged on reachable hot code (outside cold spans — blocks that terminate
+// by returning a non-nil error or panicking are failure paths and exempt):
+//
+//   - map, slice, and channel construction: make, new, map/slice composite
+//     literals
+//   - taking the address of a composite literal (&T{...} escapes)
+//   - append to anything other than a caller-provided buffer (the
+//     strconv.AppendFloat idiom — appending to a function parameter — is the
+//     sanctioned way to build output)
+//   - fmt.* calls (interface boxing of every argument)
+//   - string ↔ []byte/[]rune conversions (copy + allocate)
+//   - escaping function literals (a closure passed around captures its
+//     variables on the heap; literals that are directly invoked, deferred,
+//     or bound to a local used only in call position do not escape)
+//
+// Plain struct/array value literals and &ident stay legal: they are
+// stack-allocated. Genuinely intentional sites take a reasoned
+// //lint:allow hotalloc.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
+)
+
+// Analyzer flags heap allocations reachable from //mpros:hotpath roots.
+var Analyzer = &analysis.Analyzer{
+	Name:      "hotalloc",
+	Doc:       "functions reachable from //mpros:hotpath roots must not heap-allocate outside failure paths",
+	RunModule: run,
+}
+
+func run(pass *analysis.ModulePass) error {
+	g := callgraph.Build(pass.Fset, pass.Units)
+	reach := g.Reachable(g.Roots(analysis.AnnotationHotPath))
+	for _, id := range sortedIDs(reach) {
+		n := reach.Nodes[id]
+		if analysis.IsTestFile(pass.Fset, n.Decl.Pos()) {
+			continue
+		}
+		checkNode(pass, reach, n)
+	}
+	return nil
+}
+
+// sortedIDs returns the reached node IDs in deterministic order. The driver
+// re-sorts findings by position anyway; this keeps the walk itself stable.
+func sortedIDs(reach *callgraph.Reach) []string {
+	ids := make([]string, 0, len(reach.Nodes))
+	for id := range reach.Nodes {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
+}
+
+func checkNode(pass *analysis.ModulePass, reach *callgraph.Reach, n *callgraph.Node) {
+	info := n.Unit.TypesInfo
+	params := paramObjects(n, info)
+	callOnlyLits := callOnlyFuncLits(n.Decl.Body, info)
+
+	via := ""
+	if chain := reach.Chain(n.ID); len(chain) > 1 {
+		via = " (hot via " + strings.Join(chain, " -> ") + ")"
+	}
+	flag := func(pos ast.Node, what string) {
+		if n.IsCold(pos.Pos()) {
+			return
+		}
+		pass.Reportf(pos.Pos(), "%s on hot path%s", what, via)
+	}
+
+	// Composite literals we flag at the address-of site are remembered so the
+	// literal itself is not reported twice.
+	addressed := map[*ast.CompositeLit]bool{}
+
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch e := node.(type) {
+		case *ast.UnaryExpr:
+			if e.Op.String() != "&" {
+				return true
+			}
+			if lit, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+				addressed[lit] = true
+				flag(e, "address of composite literal escapes to the heap")
+			}
+
+		case *ast.CompositeLit:
+			if addressed[e] {
+				return true
+			}
+			switch info.TypeOf(e).Underlying().(type) {
+			case *types.Map:
+				flag(e, "map literal allocates")
+			case *types.Slice:
+				flag(e, "slice literal allocates its backing array")
+			}
+
+		case *ast.FuncLit:
+			if !callOnlyLits[e] {
+				flag(e, "function literal escapes; its captures allocate")
+			}
+
+		case *ast.CallExpr:
+			checkCall(info, e, params, flag)
+		}
+		return true
+	})
+}
+
+func checkCall(info *types.Info, call *ast.CallExpr, params map[types.Object]bool,
+	flag func(ast.Node, string)) {
+
+	// Conversions: string <-> []byte/[]rune copy and allocate.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type.Underlying()
+		src := info.TypeOf(call.Args[0])
+		if src == nil {
+			return
+		}
+		switch {
+		case isString(dst) && isByteOrRuneSlice(src.Underlying()):
+			flag(call, "[]byte/[]rune-to-string conversion allocates")
+		case isByteOrRuneSlice(dst) && isString(src.Underlying()):
+			flag(call, "string-to-[]byte/[]rune conversion allocates")
+		}
+		return
+	}
+
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := info.Uses[fun].(*types.Builtin); ok {
+			checkBuiltin(info, call, b.Name(), params, flag)
+			return
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			flag(call, "fmt."+fn.Name()+" boxes its arguments into interfaces")
+			return
+		}
+	}
+}
+
+func checkBuiltin(info *types.Info, call *ast.CallExpr, name string,
+	params map[types.Object]bool, flag func(ast.Node, string)) {
+
+	switch name {
+	case "new":
+		flag(call, "new allocates")
+	case "make":
+		if len(call.Args) == 0 {
+			return
+		}
+		switch info.TypeOf(call.Args[0]).Underlying().(type) {
+		case *types.Map:
+			flag(call, "make(map) allocates")
+		case *types.Chan:
+			flag(call, "make(chan) allocates")
+		case *types.Slice:
+			flag(call, "make([]) allocates; size scratch buffers at construction time")
+		}
+	case "append":
+		if len(call.Args) == 0 {
+			return
+		}
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && params[info.Uses[id]] {
+			return // strconv.Append-style: growing a caller-provided buffer
+		}
+		flag(call, "append may grow and reallocate; preallocate capacity or append to a caller-provided buffer")
+	}
+}
+
+// paramObjects collects the function's parameters and receiver — the objects
+// an append target may legally resolve to.
+func paramObjects(n *callgraph.Node, info *types.Info) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	add := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := info.Defs[name]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	add(n.Decl.Recv)
+	add(n.Decl.Type.Params)
+	return out
+}
+
+// callOnlyFuncLits finds function literals that provably do not escape:
+// literals invoked where they appear (IIFE, defer, go) and literals bound to
+// a local variable whose every use is in call position.
+func callOnlyFuncLits(body *ast.BlockStmt, info *types.Info) map[*ast.FuncLit]bool {
+	out := map[*ast.FuncLit]bool{}
+	litOf := map[types.Object]*ast.FuncLit{}
+
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch s := node.(type) {
+		case *ast.CallExpr:
+			if lit, ok := ast.Unparen(s.Fun).(*ast.FuncLit); ok {
+				out[lit] = true
+			}
+		case *ast.AssignStmt:
+			if len(s.Lhs) != len(s.Rhs) {
+				return true
+			}
+			for i, rhs := range s.Rhs {
+				lit, ok := ast.Unparen(rhs).(*ast.FuncLit)
+				if !ok {
+					continue
+				}
+				if id, ok := s.Lhs[i].(*ast.Ident); ok {
+					if obj := info.Defs[id]; obj != nil {
+						litOf[obj] = lit
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	if len(litOf) == 0 {
+		return out
+	}
+
+	// A bound literal survives only if every use of its variable is a call.
+	uses := map[types.Object]int{}
+	callUses := map[types.Object]int{}
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch s := node.(type) {
+		case *ast.Ident:
+			if obj := info.Uses[s]; obj != nil {
+				if _, tracked := litOf[obj]; tracked {
+					uses[obj]++
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(s.Fun).(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil {
+					if _, tracked := litOf[obj]; tracked {
+						callUses[obj]++
+					}
+				}
+			}
+		}
+		return true
+	})
+	for obj, lit := range litOf {
+		if uses[obj] == callUses[obj] {
+			out[lit] = true
+		}
+	}
+	return out
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}

@@ -1,0 +1,20 @@
+package hotdep
+
+// Use consumes a callback; the call itself is fine, the escaping literal at
+// the caller is what hotalloc flags.
+func Use(f func()) { f() }
+
+// Helper is reached from the hotmain root across the package boundary, so
+// its allocation is flagged with a call chain.
+func Helper(xs []float64) error {
+	scratch := make([]float64, len(xs)) // want "make\(\[\]\) allocates.*hot via hotmain.Tick -> hotdep.Helper"
+	_ = scratch
+	return nil
+}
+
+// ColdHelper is only called from failure paths; nothing here is hot.
+func ColdHelper() string {
+	b := make([]byte, 0, 64)
+	b = append(b, "cold"...)
+	return string(b)
+}

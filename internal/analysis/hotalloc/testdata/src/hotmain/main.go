@@ -1,0 +1,68 @@
+package hotmain
+
+import (
+	"errors"
+	"fmt"
+
+	"hotdep"
+)
+
+type point struct{ x, y float64 }
+
+//mpros:hotpath steady-state ingest tick
+func Tick(dst []byte, xs []float64) ([]byte, error) {
+	if len(xs) == 0 {
+		_ = hotdep.ColdHelper() // failure path: exempt, and ColdHelper stays unreached
+		s := fmt.Sprintf("%d", len(xs))
+		_ = s
+		return nil, errors.New("empty frame")
+	}
+
+	m := make(map[string]int) // want "make\(map\) allocates"
+	_ = m
+	ml := map[string]int{"a": 1} // want "map literal allocates"
+	_ = ml
+	s := make([]float64, 8) // want "make\(\[\]\) allocates"
+	_ = s
+	c := make(chan int) // want "make\(chan\) allocates"
+	_ = c
+	p := new(int) // want "new allocates"
+	_ = p
+
+	b := []byte("x") // want "string-to-\[\]byte/\[\]rune conversion allocates"
+	_ = b
+	str := string(dst) // want "\[\]byte/\[\]rune-to-string conversion allocates"
+	_ = str
+	fmt.Println(xs) // want "fmt.Println boxes its arguments"
+
+	v := &point{1, 2} // want "address of composite literal escapes"
+	_ = v
+	w := point{1, 2} // value literal: stack, fine
+	_ = w
+	sl := []int{1, 2} // want "slice literal allocates its backing array"
+	_ = sl
+
+	dst = append(dst, 'a') // appending to a caller-provided buffer: fine
+	var tmp []byte
+	tmp = append(tmp, 'b') // want "append may grow and reallocate"
+	_ = tmp
+
+	push := func(x float64) { _ = x } // bound local, only ever called: fine
+	push(1)
+	func() { push(2) }() // immediately invoked: fine
+	defer func() { push(3) }()
+
+	cb := func() { push(4) } // want "function literal escapes"
+	hotdep.Use(cb)
+
+	allowed := map[int]int{} //lint:allow hotalloc deliberate: documented one-time table build
+	_ = allowed
+
+	return dst, hotdep.Helper(xs)
+}
+
+// Unannotated is not a hotpath root and unreachable from one; it may allocate
+// freely.
+func Unannotated() map[string]int {
+	return map[string]int{"free": 1}
+}

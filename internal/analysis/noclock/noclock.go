@@ -45,6 +45,28 @@ var DeterministicPkgs = map[string]bool{
 	"serving": true,
 }
 
+// ScopePrefixes extends the clock discipline to whole subtrees by import
+// path. Command mains and the analysis tree itself are in scope: a main that
+// reads the wall clock must say why with a //lint:allow, and the analyzers
+// must stay reproducible (a timestamp in a finding would break golden
+// output).
+var ScopePrefixes = []string{
+	"repro/internal/analysis",
+	"repro/cmd",
+}
+
+func inScope(importPath string) bool {
+	if DeterministicPkgs[analysis.PathSegment(importPath)] {
+		return true
+	}
+	for _, p := range ScopePrefixes {
+		if analysis.UnderPath(importPath, p) {
+			return true
+		}
+	}
+	return false
+}
+
 // bannedTime lists the package-level time functions that read or wait on the
 // wall clock. time.Duration arithmetic and constants stay legal.
 var bannedTime = map[string]bool{
@@ -71,7 +93,7 @@ var allowedRand = map[string]bool{
 }
 
 func run(pass *analysis.Pass) error {
-	if !DeterministicPkgs[analysis.PathSegment(pass.ImportPath)] {
+	if !inScope(pass.ImportPath) {
 		return nil
 	}
 	for _, file := range pass.Files {

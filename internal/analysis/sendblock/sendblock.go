@@ -1,0 +1,319 @@
+// Package sendblock defines an interprocedural analyzer enforcing the
+// "never block ingest" rule: a channel send reachable from a //mpros:hotpath
+// or //mpros:ingest root must not be able to wedge on a slow consumer. The
+// serving tier's Watch subscriptions already follow this discipline
+// (lossy select-with-default delivery); this analyzer generalizes it from a
+// test-only property to machine-checked lint across the whole ingest fan-out.
+//
+// A send passes when it is:
+//
+//   - the communication statement of a select that has a default clause
+//     (lossy delivery — the hot path moves on), or
+//   - on a channel provably buffered module-wide: every assignment the
+//     analyzer can see gives it make(chan T, n) with constant n > 0, and no
+//     assignment aliases it to anything weaker.
+//
+// Everything else — an unbuffered channel, a caller-provided channel of
+// unknown capacity, a select without default — is flagged. Failure paths
+// (cold spans) are exempt, and deliberate blocking sends take a reasoned
+// //lint:allow sendblock.
+package sendblock
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
+)
+
+// Analyzer flags potentially blocking channel sends on ingest paths.
+var Analyzer = &analysis.Analyzer{
+	Name:      "sendblock",
+	Doc:       "channel sends reachable from //mpros:hotpath or //mpros:ingest roots must be select-with-default or provably buffered",
+	RunModule: run,
+}
+
+func run(pass *analysis.ModulePass) error {
+	g := callgraph.Build(pass.Fset, pass.Units)
+	roots := g.Roots(analysis.AnnotationHotPath)
+	roots = append(roots, g.Roots(analysis.AnnotationIngest)...)
+	reach := g.Reachable(roots)
+
+	facts := collectBufferFacts(pass.Units)
+
+	for _, id := range sortedIDs(reach) {
+		n := reach.Nodes[id]
+		if analysis.IsTestFile(pass.Fset, n.Decl.Pos()) {
+			continue
+		}
+		checkNode(pass, reach, n, facts)
+	}
+	return nil
+}
+
+func sortedIDs(reach *callgraph.Reach) []string {
+	ids := make([]string, 0, len(reach.Nodes))
+	for id := range reach.Nodes {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
+}
+
+func checkNode(pass *analysis.ModulePass, reach *callgraph.Reach, n *callgraph.Node, facts *bufFacts) {
+	info := n.Unit.TypesInfo
+
+	// Sends that are the comm statement of a select with a default clause are
+	// lossy by construction.
+	lossy := map[*ast.SendStmt]bool{}
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		sel, ok := node.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, clause := range sel.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			return true
+		}
+		for _, clause := range sel.Body.List {
+			cc, ok := clause.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if send, ok := cc.Comm.(*ast.SendStmt); ok {
+				lossy[send] = true
+			}
+		}
+		return true
+	})
+
+	via := ""
+	if chain := reach.Chain(n.ID); len(chain) > 1 {
+		via = " (reachable via " + strings.Join(chain, " -> ") + ")"
+	}
+
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		send, ok := node.(*ast.SendStmt)
+		if !ok {
+			return true
+		}
+		if lossy[send] || n.IsCold(send.Pos()) {
+			return true
+		}
+		if facts.provablyBuffered(send.Chan, n.Unit, info) {
+			return true
+		}
+		pass.Reportf(send.Pos(),
+			"channel send may block ingest%s; use select-with-default or a channel "+
+				"provably buffered at every make site", via)
+		return true
+	})
+}
+
+// Buffer facts: per channel variable/field, whether every visible binding is
+// a buffered make.
+const (
+	bufUnknown = iota
+	bufBuffered
+	bufPoisoned // at least one binding is unbuffered or unprovable
+)
+
+type bufFacts struct {
+	byObj map[types.Object]int // locals and package vars, unit-local identity
+	byKey map[string]int       // struct fields, keyed "pkgpath.Type.field"
+}
+
+func (f *bufFacts) merge(obj types.Object, key string, state int) {
+	if obj != nil {
+		f.byObj[obj] = mergeState(f.byObj[obj], state)
+	}
+	if key != "" {
+		f.byKey[key] = mergeState(f.byKey[key], state)
+	}
+}
+
+func mergeState(old, new int) int {
+	if old == bufPoisoned || new == bufPoisoned {
+		return bufPoisoned
+	}
+	if old == bufBuffered || new == bufBuffered {
+		return bufBuffered
+	}
+	return bufUnknown
+}
+
+func (f *bufFacts) provablyBuffered(ch ast.Expr, u *analysis.Unit, info *types.Info) bool {
+	obj, key := chanBinding(ch, u, info)
+	if obj != nil {
+		return f.byObj[obj] == bufBuffered
+	}
+	if key != "" {
+		return f.byKey[key] == bufBuffered
+	}
+	return false
+}
+
+// chanBinding resolves a channel expression to its tracked binding: a local
+// or package variable (object identity) or a struct field (string key).
+func chanBinding(ch ast.Expr, u *analysis.Unit, info *types.Info) (types.Object, string) {
+	switch e := ast.Unparen(ch).(type) {
+	case *ast.Ident:
+		obj := info.ObjectOf(e)
+		if obj == nil {
+			return nil, ""
+		}
+		return obj, ""
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return nil, fieldKey(sel.Recv(), e.Sel.Name)
+		}
+	}
+	return nil, ""
+}
+
+// fieldKey names a struct field stably across units: "pkgpath.Type.field".
+func fieldKey(recv types.Type, field string) string {
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	pkg := ""
+	if obj.Pkg() != nil {
+		pkg = obj.Pkg().Path()
+	}
+	return pkg + "." + obj.Name() + "." + field
+}
+
+// collectBufferFacts scans every unit for channel bindings: assignments and
+// composite-literal fields. make(chan T, n) with constant n > 0 proves a
+// binding buffered; any other channel-valued binding poisons it.
+func collectBufferFacts(units []*analysis.Unit) *bufFacts {
+	facts := &bufFacts{byObj: make(map[types.Object]int), byKey: make(map[string]int)}
+	for _, u := range units {
+		info := u.TypesInfo
+		for _, file := range u.Files {
+			ast.Inspect(file, func(node ast.Node) bool {
+				switch s := node.(type) {
+				case *ast.AssignStmt:
+					if len(s.Lhs) != len(s.Rhs) {
+						// Multi-value assignment: poison any channel LHS.
+						for _, lhs := range s.Lhs {
+							recordBinding(facts, u, info, lhs, nil)
+						}
+						return true
+					}
+					for i := range s.Lhs {
+						recordBinding(facts, u, info, s.Lhs[i], s.Rhs[i])
+					}
+				case *ast.ValueSpec:
+					for i, name := range s.Names {
+						if i < len(s.Values) {
+							recordBinding(facts, u, info, name, s.Values[i])
+						}
+					}
+				case *ast.CompositeLit:
+					recordLitFields(facts, u, info, s)
+				}
+				return true
+			})
+		}
+	}
+	return facts
+}
+
+func recordBinding(facts *bufFacts, u *analysis.Unit, info *types.Info, lhs, rhs ast.Expr) {
+	t := info.TypeOf(lhs)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Chan); !ok {
+		return
+	}
+	obj, key := chanBinding(lhs, u, info)
+	if obj == nil && key == "" {
+		return
+	}
+	facts.merge(obj, key, classifyChanExpr(info, rhs))
+}
+
+func recordLitFields(facts *bufFacts, u *analysis.Unit, info *types.Info, lit *ast.CompositeLit) {
+	t := info.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return
+	}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		keyIdent, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		ft := info.TypeOf(kv.Value)
+		if ft == nil {
+			continue
+		}
+		if _, ok := ft.Underlying().(*types.Chan); !ok {
+			continue
+		}
+		facts.merge(nil, fieldKey(named, keyIdent.Name), classifyChanExpr(info, kv.Value))
+	}
+}
+
+// classifyChanExpr grades a channel-producing expression: buffered make,
+// or anything weaker (nil poisons conservatively only when it is a real
+// rebinding — untyped nil zeroes are ignored by the caller's type check).
+func classifyChanExpr(info *types.Info, rhs ast.Expr) int {
+	if rhs == nil {
+		return bufPoisoned
+	}
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok {
+		return bufPoisoned
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return bufPoisoned
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+		return bufPoisoned
+	}
+	if len(call.Args) < 2 {
+		return bufPoisoned // make(chan T): unbuffered
+	}
+	tv, ok := info.Types[call.Args[1]]
+	if !ok || tv.Value == nil {
+		return bufPoisoned // non-constant capacity
+	}
+	if n, ok := constant.Int64Val(constant.ToInt(tv.Value)); ok && n > 0 {
+		return bufBuffered
+	}
+	return bufPoisoned
+}

@@ -1,0 +1,12 @@
+package sendblock_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/sendblock"
+)
+
+func TestSendBlock(t *testing.T) {
+	analysistest.RunModule(t, "testdata", sendblock.Analyzer, "ingester")
+}

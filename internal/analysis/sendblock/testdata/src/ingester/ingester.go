@@ -1,0 +1,70 @@
+package ingester
+
+import "errors"
+
+type Hub struct {
+	buffered   chan int
+	unbuffered chan int
+}
+
+func NewHub() *Hub {
+	return &Hub{
+		buffered:   make(chan int, 16),
+		unbuffered: make(chan int),
+	}
+}
+
+//mpros:ingest event fan-in
+func (h *Hub) Ingest(v int) error {
+	h.buffered <- v // fine: field is buffered at its only make site
+
+	select {
+	case h.unbuffered <- v: // fine: lossy select-with-default
+	default:
+	}
+
+	h.unbuffered <- v // want "channel send may block ingest"
+
+	select {
+	case h.unbuffered <- v: // want "channel send may block ingest"
+	}
+
+	local := make(chan int, 1)
+	local <- v // fine: local buffered make
+
+	bad := make(chan int)
+	bad <- v // want "channel send may block ingest"
+
+	forward(h.buffered, v)
+	return nil
+}
+
+// forward receives the channel as a parameter, so its capacity is unknown at
+// the send site and the chain is reported.
+func forward(ch chan int, v int) {
+	ch <- v // want "may block ingest.*reachable via ingester.Hub.Ingest -> ingester.forward"
+}
+
+//mpros:ingest guarded variant
+func Guarded(h *Hub, v int, errs chan error) error {
+	if v < 0 {
+		errs <- errors.New("negative") // fine: failure path is cold
+		return errors.New("negative")
+	}
+	h.buffered <- v
+	return nil
+}
+
+//mpros:hotpath tick path is covered too
+func Tick(h *Hub, v int) {
+	h.buffered <- v // fine
+
+	//lint:allow sendblock deliberate backpressure point, consumer is same-process
+	h.unbuffered <- v
+}
+
+// Unreached is not reachable from any root; sends here are not ingest's
+// problem.
+func Unreached(ch chan int) {
+	ch <- 1
+}

@@ -1,0 +1,111 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func frameTestSignal(n int, rate float64) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		t := float64(i) / rate
+		x[i] = 1.5*math.Sin(2*math.Pi*60*t) + 0.4*math.Sin(2*math.Pi*247.5*t+0.3) + 0.05*math.Cos(2*math.Pi*1833*t)
+	}
+	return x
+}
+
+// TestFrameAnalyzerMatchesAnalyzeFrame checks the preallocated analyzer
+// against the one-shot path bit for bit.
+func TestFrameAnalyzerMatchesAnalyzeFrame(t *testing.T) {
+	const rate = 8192.0
+	for _, n := range []int{1024, 3000, 4096} {
+		x := frameTestSignal(n, rate)
+		want, err := AnalyzeFrame(x, rate, Hann)
+		if err != nil {
+			t.Fatalf("n=%d: AnalyzeFrame: %v", n, err)
+		}
+		fa, err := NewFrameAnalyzer(n, rate, Hann)
+		if err != nil {
+			t.Fatalf("n=%d: NewFrameAnalyzer: %v", n, err)
+		}
+		// Run twice so state reuse is exercised.
+		for pass := 0; pass < 2; pass++ {
+			got, err := fa.Analyze(x)
+			if err != nil {
+				t.Fatalf("n=%d pass %d: Analyze: %v", n, pass, err)
+			}
+			if got.SampleRate != want.SampleRate || got.Resolution != want.Resolution {
+				t.Fatalf("n=%d: header mismatch: got (%g, %g), want (%g, %g)",
+					n, got.SampleRate, got.Resolution, want.SampleRate, want.Resolution)
+			}
+			if len(got.Amp) != len(want.Amp) {
+				t.Fatalf("n=%d: %d bins, want %d", n, len(got.Amp), len(want.Amp))
+			}
+			for i := range want.Amp {
+				if got.Amp[i] != want.Amp[i] || got.Phase[i] != want.Phase[i] {
+					t.Fatalf("n=%d bin %d: (%v, %v) != (%v, %v)",
+						n, i, got.Amp[i], got.Phase[i], want.Amp[i], want.Phase[i])
+				}
+			}
+		}
+	}
+}
+
+func TestFrameAnalyzerRejects(t *testing.T) {
+	if _, err := NewFrameAnalyzer(0, 8192, Hann); err == nil {
+		t.Error("zero frame length accepted")
+	}
+	if _, err := NewFrameAnalyzer(1024, 0, Hann); err == nil {
+		t.Error("zero sample rate accepted")
+	}
+	fa, err := NewFrameAnalyzer(1024, 8192, Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fa.Analyze(make([]float64, 512)); err == nil {
+		t.Error("wrong-length frame accepted")
+	}
+}
+
+func BenchmarkAnalyzeFrame(b *testing.B) {
+	x := frameTestSignal(4096, 8192)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := AnalyzeFrame(x, 8192, Hann); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFrameAnalyzerAnalyze(b *testing.B) {
+	x := frameTestSignal(4096, 8192)
+	fa, err := NewFrameAnalyzer(len(x), 8192, Hann)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := fa.Analyze(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestFrameAnalyzerZeroAlloc is the hot-path budget for the per-frame
+// spectral analysis: zero heap allocations per Analyze call.
+func TestFrameAnalyzerZeroAlloc(t *testing.T) {
+	const rate = 8192.0
+	x := frameTestSignal(4096, rate)
+	fa, err := NewFrameAnalyzer(len(x), rate, Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := fa.Analyze(x); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Analyze allocates %.1f times per frame, want 0", allocs)
+	}
+}

@@ -1,0 +1,191 @@
+package proto
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+	"unicode/utf8"
+)
+
+// Allocation-free report frame encoding.
+//
+// json.Marshal walks the envelope through reflection and allocates a fresh
+// body per frame; on the uplink drain path that is one GC-visible allocation
+// per report at the exact moment the DC is busiest. AppendReportEnvelope
+// hand-builds the identical JSON into a caller-provided buffer instead —
+// identical by decoded value, not byte-for-byte: field set, omitempty
+// behaviour, RFC 3339 timestamps, and shortest round-trip float formatting
+// all match, which is what readFrame on the other side consumes.
+//
+// The encoder is deliberately limited to report frames (the only
+// steady-state frame kind); heartbeats and acks keep the reflective path.
+
+// hexDigits is the lowercase alphabet used for \u00xx escapes, as
+// encoding/json emits them.
+const hexDigits = "0123456789abcdef"
+
+// AppendReportEnvelope appends the JSON body of one report frame — the wire
+// equivalent of marshaling envelope{Kind: "report", Report: r, DCID: dcid,
+// Boot: boot, Seq: seq} — and returns the extended buffer. Tag fields follow
+// omitempty: zero values are omitted, so untagged frames pass "" and zeros.
+// The report must be valid (NaN or infinite numbers are rejected, as
+// encoding/json would).
+//
+//mpros:hotpath report frame encode on the uplink drain
+func AppendReportEnvelope(dst []byte, r *Report, dcid string, boot, seq uint64) ([]byte, error) {
+	if r == nil {
+		return dst, fmt.Errorf("proto: nil report")
+	}
+	dst = append(dst, `{"kind":"report","report":`...)
+	dst, err := appendReport(dst, r)
+	if err != nil {
+		return dst, err
+	}
+	if dcid != "" {
+		dst = append(dst, `,"dc":`...)
+		dst = appendJSONString(dst, dcid)
+	}
+	if boot != 0 {
+		dst = append(dst, `,"boot":`...)
+		dst = strconv.AppendUint(dst, boot, 10)
+	}
+	if seq != 0 {
+		dst = append(dst, `,"seq":`...)
+		dst = strconv.AppendUint(dst, seq, 10)
+	}
+	dst = append(dst, '}')
+	return dst, nil
+}
+
+// appendReport appends the Report object in its json-tag field order.
+func appendReport(dst []byte, r *Report) ([]byte, error) {
+	dst = append(dst, `{"dc_id":`...)
+	dst = appendJSONString(dst, r.DCID)
+	dst = append(dst, `,"knowledge_source_id":`...)
+	dst = appendJSONString(dst, r.KnowledgeSourceID)
+	dst = append(dst, `,"sensed_object_id":`...)
+	dst = appendJSONString(dst, r.SensedObjectID)
+	dst = append(dst, `,"machine_condition_id":`...)
+	dst = appendJSONString(dst, r.MachineConditionID)
+	dst = append(dst, `,"severity":`...)
+	dst, err := appendJSONFloat(dst, r.Severity)
+	if err != nil {
+		return dst, err
+	}
+	dst = append(dst, `,"belief":`...)
+	dst, err = appendJSONFloat(dst, r.Belief)
+	if err != nil {
+		return dst, err
+	}
+	if r.Explanation != "" {
+		dst = append(dst, `,"explanation":`...)
+		dst = appendJSONString(dst, r.Explanation)
+	}
+	if r.Recommendations != "" {
+		dst = append(dst, `,"recommendations":`...)
+		dst = appendJSONString(dst, r.Recommendations)
+	}
+	dst = append(dst, `,"timestamp":`...)
+	dst, err = appendJSONTime(dst, r.Timestamp)
+	if err != nil {
+		return dst, err
+	}
+	if r.AdditionalInfo != "" {
+		dst = append(dst, `,"additional_info":`...)
+		dst = appendJSONString(dst, r.AdditionalInfo)
+	}
+	if len(r.SuspectChannels) > 0 {
+		dst = append(dst, `,"suspect_channels":[`...)
+		for i, ch := range r.SuspectChannels {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = appendJSONString(dst, ch)
+		}
+		dst = append(dst, ']')
+	}
+	if len(r.Prognostics) > 0 {
+		dst = append(dst, `,"prognostics":[`...)
+		for i, p := range r.Prognostics {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = append(dst, `{"probability":`...)
+			dst, err = appendJSONFloat(dst, p.Probability)
+			if err != nil {
+				return dst, err
+			}
+			dst = append(dst, `,"time":`...)
+			dst, err = appendJSONFloat(dst, p.HorizonSeconds)
+			if err != nil {
+				return dst, err
+			}
+			dst = append(dst, '}')
+		}
+		dst = append(dst, ']')
+	}
+	dst = append(dst, '}')
+	return dst, nil
+}
+
+// appendJSONFloat appends a float in shortest round-trip form, rejecting the
+// values JSON cannot carry.
+func appendJSONFloat(dst []byte, f float64) ([]byte, error) {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return dst, fmt.Errorf("proto: unsupported value %g in report frame", f)
+	}
+	return strconv.AppendFloat(dst, f, 'g', -1, 64), nil
+}
+
+// appendJSONTime appends a time value exactly as time.Time.MarshalJSON does:
+// quoted RFC 3339 with nanoseconds, rejecting years outside [0, 9999].
+func appendJSONTime(dst []byte, t time.Time) ([]byte, error) {
+	if y := t.Year(); y < 0 || y >= 10000 {
+		return dst, fmt.Errorf("proto: timestamp year %d outside RFC 3339 range", y)
+	}
+	dst = append(dst, '"')
+	dst = t.AppendFormat(dst, time.RFC3339Nano)
+	dst = append(dst, '"')
+	return dst, nil
+}
+
+// appendJSONString appends a quoted, escaped JSON string. Escaping matches
+// what readFrame's json.Unmarshal round-trips to the same value: quote,
+// backslash, and control characters are escaped, and invalid UTF-8 is
+// replaced with U+FFFD the way encoding/json replaces it.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	for i := 0; i < len(s); {
+		b := s[i]
+		if b < utf8.RuneSelf {
+			switch {
+			case b == '"':
+				dst = append(dst, '\\', '"')
+			case b == '\\':
+				dst = append(dst, '\\', '\\')
+			case b == '\n':
+				dst = append(dst, '\\', 'n')
+			case b == '\r':
+				dst = append(dst, '\\', 'r')
+			case b == '\t':
+				dst = append(dst, '\\', 't')
+			case b < 0x20:
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
+			default:
+				dst = append(dst, b)
+			}
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			dst = append(dst, "�"...)
+			i++
+			continue
+		}
+		dst = append(dst, s[i:i+size]...)
+		i += size
+	}
+	return append(dst, '"')
+}

@@ -1,0 +1,146 @@
+package proto
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func encodeTestReports() []*Report {
+	ts := time.Date(2026, 8, 8, 12, 34, 56, 789012345, time.UTC)
+	return []*Report{
+		{
+			DCID:               "dc-chiller-1",
+			KnowledgeSourceID:  "vibration",
+			SensedObjectID:     "motor",
+			MachineConditionID: "imbalance",
+			Severity:           0.62,
+			Belief:             0.91,
+			Explanation:        "1x shaft order dominates",
+			Recommendations:    "balance rotor at next window",
+			Timestamp:          ts,
+			AdditionalInfo:     `quote " backslash \ newline` + "\n\ttab",
+			SuspectChannels:    []string{"motor_de_accel", "motor_nde_accel"},
+			Prognostics: []PrognosticPoint{
+				{Probability: 0.25, HorizonSeconds: 3600},
+				{Probability: 0.75, HorizonSeconds: 86400.5},
+			},
+		},
+		{
+			DCID:               "dc-2",
+			KnowledgeSourceID:  "sbfr",
+			SensedObjectID:     "valve",
+			MachineConditionID: "stiction",
+			Severity:           1,
+			Belief:             0.5,
+			Timestamp:          ts.In(time.FixedZone("UTC+2", 2*3600)),
+		},
+		{
+			DCID:               "dc-3",
+			KnowledgeSourceID:  "wnn",
+			SensedObjectID:     "gearbox",
+			MachineConditionID: "mesh-wear",
+			Severity:           1e-7,
+			Belief:             0.123456789012345,
+			Explanation:        "control \x01 char and bad utf8 \xff here, plus <html> & unicode é❤",
+			Timestamp:          ts.Truncate(time.Second),
+		},
+	}
+}
+
+// TestAppendReportEnvelopeDecodeEqual checks the hand-rolled encoder against
+// encoding/json by decoded value: both bodies must unmarshal to identical
+// envelopes (timestamps compared by instant).
+func TestAppendReportEnvelopeDecodeEqual(t *testing.T) {
+	type tag struct {
+		dcid      string
+		boot, seq uint64
+	}
+	tags := []tag{{}, {dcid: "dc-chiller-1", boot: 3, seq: 41}}
+	for ri, r := range encodeTestReports() {
+		for _, tg := range tags {
+			got, err := AppendReportEnvelope(nil, r, tg.dcid, tg.boot, tg.seq)
+			if err != nil {
+				t.Fatalf("report %d: AppendReportEnvelope: %v", ri, err)
+			}
+			want, err := json.Marshal(envelope{Kind: "report", Report: r, DCID: tg.dcid, Boot: tg.boot, Seq: tg.seq})
+			if err != nil {
+				t.Fatalf("report %d: json.Marshal: %v", ri, err)
+			}
+			var gotEnv, wantEnv envelope
+			if err := json.Unmarshal(got, &gotEnv); err != nil {
+				t.Fatalf("report %d: hand-rolled body is not valid JSON: %v\n%s", ri, err, got)
+			}
+			if err := json.Unmarshal(want, &wantEnv); err != nil {
+				t.Fatalf("report %d: reference body unmarshal: %v", ri, err)
+			}
+			if !gotEnv.Report.Timestamp.Equal(wantEnv.Report.Timestamp) {
+				t.Errorf("report %d: timestamp %v != %v", ri, gotEnv.Report.Timestamp, wantEnv.Report.Timestamp)
+			}
+			gotEnv.Report.Timestamp = wantEnv.Report.Timestamp
+			if !reflect.DeepEqual(gotEnv, wantEnv) {
+				t.Errorf("report %d tag %+v: decoded envelopes differ\nhand-rolled: %s\nreference:   %s", ri, tg, got, want)
+			}
+		}
+	}
+}
+
+// TestAppendReportEnvelopeRejects checks the cold-path guards that
+// encoding/json would also refuse.
+func TestAppendReportEnvelopeRejects(t *testing.T) {
+	if _, err := AppendReportEnvelope(nil, nil, "", 0, 0); err == nil {
+		t.Error("nil report accepted")
+	}
+	bad := encodeTestReports()[0]
+	bad.Severity = math.NaN()
+	if _, err := AppendReportEnvelope(nil, bad, "", 0, 0); err == nil {
+		t.Error("NaN severity accepted")
+	}
+	bad = encodeTestReports()[0]
+	bad.Timestamp = time.Date(12000, 1, 1, 0, 0, 0, 0, time.UTC)
+	if _, err := AppendReportEnvelope(nil, bad, "", 0, 0); err == nil {
+		t.Error("out-of-range year accepted")
+	}
+}
+
+func BenchmarkMarshalReportEnvelope(b *testing.B) {
+	r := encodeTestReports()[0]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := json.Marshal(envelope{Kind: "report", Report: r, DCID: "dc-chiller-1", Boot: 3, Seq: 41}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppendReportEnvelope(b *testing.B) {
+	r := encodeTestReports()[0]
+	buf := make([]byte, 0, 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = AppendReportEnvelope(buf[:0], r, "dc-chiller-1", 3, 41)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestAppendReportEnvelopeZeroAlloc is the hot-path allocation budget: with a
+// preallocated buffer, encoding a full report frame must not touch the heap.
+func TestAppendReportEnvelopeZeroAlloc(t *testing.T) {
+	r := encodeTestReports()[0]
+	buf := make([]byte, 0, 4096)
+	allocs := testing.AllocsPerRun(200, func() {
+		var err error
+		buf, err = AppendReportEnvelope(buf[:0], r, "dc-chiller-1", 3, 41)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("AppendReportEnvelope allocates %.1f times per frame, want 0", allocs)
+	}
+}

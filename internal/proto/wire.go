@@ -62,6 +62,23 @@ func writeFrame(w io.Writer, env envelope) error {
 	return err
 }
 
+// writeRawFrame writes an already-encoded JSON body as one length-prefixed
+// frame. It is the zero-marshal counterpart of writeFrame used by the report
+// send path, which assembles the body with AppendReportEnvelope into a
+// reused buffer.
+func writeRawFrame(w io.Writer, body []byte) error {
+	if len(body) > MaxFrameSize {
+		return fmt.Errorf("proto: frame of %d bytes exceeds limit", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
 // readFrame reads one length-prefixed JSON frame.
 func readFrame(r io.Reader) (envelope, error) {
 	var hdr [4]byte
@@ -315,6 +332,9 @@ type Client struct {
 	conn net.Conn
 	br   *bufio.Reader
 	bw   *bufio.Writer
+	// buf is the report-frame encode scratch, reused across sends under mu
+	// so steady-state report delivery does not allocate a body per frame.
+	buf []byte
 }
 
 // Dial connects to a report server at addr.
@@ -381,9 +401,35 @@ func (c *Client) exchange(env envelope) (envelope, error) {
 	return readFrame(c.br)
 }
 
+// exchangeReport writes one report frame — encoded into the client's reused
+// buffer by AppendReportEnvelope rather than marshaled — and reads the reply
+// under the client lock, applying the per-send deadline when configured.
+func (c *Client) exchangeReport(r *Report, dcid string, boot, seq uint64) (envelope, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return envelope{}, errors.New("proto: client closed")
+	}
+	body, err := AppendReportEnvelope(c.buf[:0], r, dcid, boot, seq)
+	if err != nil {
+		return envelope{}, err
+	}
+	c.buf = body[:0]
+	if c.timeout > 0 {
+		_ = c.conn.SetDeadline(time.Now().Add(c.timeout))
+	}
+	if err := writeRawFrame(c.bw, body); err != nil {
+		return envelope{}, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return envelope{}, err
+	}
+	return readFrame(c.br)
+}
+
 // send performs one tagged or untagged report exchange.
-func (c *Client) send(env envelope) (dup bool, err error) {
-	reply, err := c.exchange(env)
+func (c *Client) send(r *Report, dcid string, boot, seq uint64) (dup bool, err error) {
+	reply, err := c.exchangeReport(r, dcid, boot, seq)
 	if err != nil {
 		return false, err
 	}
@@ -403,7 +449,7 @@ func (c *Client) Send(r *Report) error {
 	if err := r.Validate(); err != nil {
 		return err
 	}
-	_, err := c.send(envelope{Kind: "report", Report: r})
+	_, err := c.send(r, "", 0, 0)
 	return err
 }
 
@@ -415,7 +461,7 @@ func (c *Client) SendTagged(r *Report, boot, seq uint64) (dup bool, err error) {
 	if err := r.Validate(); err != nil {
 		return false, err
 	}
-	return c.send(envelope{Kind: "report", Report: r, DCID: r.DCID, Boot: boot, Seq: seq})
+	return c.send(r, r.DCID, boot, seq)
 }
 
 // Deliver implements Sink, so a Client can stand in wherever an in-process

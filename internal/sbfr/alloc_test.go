@@ -1,0 +1,69 @@
+package sbfr
+
+import "testing"
+
+// TestCycleIntoMatchesCycle checks the buffer-reusing tick against the
+// allocating one on the same input sequence.
+func TestCycleIntoMatchesCycle(t *testing.T) {
+	mk := func() *System {
+		sys, err := NewSystemFromSource(counterSource, []string{"x"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	a, b := mk(), mk()
+	deltas := make([]float64, 1)
+	for i, v := range []float64{1, 1, 1, 0, 0, 1} {
+		if err := a.Cycle([]float64{v}); err != nil {
+			t.Fatalf("tick %d: Cycle: %v", i, err)
+		}
+		if err := b.CycleInto([]float64{v}, deltas); err != nil {
+			t.Fatalf("tick %d: CycleInto: %v", i, err)
+		}
+		sa, _ := a.Status("Counter")
+		sb, _ := b.Status("Counter")
+		if sa != sb {
+			t.Fatalf("tick %d: status %v != %v", i, sb, sa)
+		}
+	}
+}
+
+// BenchmarkCycleEMASystemAllocating is the before side of the PR 9 zero-alloc
+// sweep: the same tick as BenchmarkCycleEMASystem through the allocating
+// Cycle entry point.
+func BenchmarkCycleEMASystemAllocating(b *testing.B) {
+	sys, err := NewEMASystem()
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := []float64{1.0, 0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in[0] = 1.0 + float64(i%3)*0.01
+		if err := sys.Cycle(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestCycleIntoZeroAlloc is the hot-path budget for the rule-machine tick on
+// the embedded cycle: zero heap allocations per CycleInto.
+func TestCycleIntoZeroAlloc(t *testing.T) {
+	sys, err := NewSystemFromSource(counterSource, []string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([]float64, 1)
+	deltas := make([]float64, 1)
+	allocs := testing.AllocsPerRun(200, func() {
+		inputs[0] = 1 - inputs[0]
+		if err := sys.CycleInto(inputs, deltas); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("CycleInto allocates %.1f times per tick, want 0", allocs)
+	}
+}

@@ -103,8 +103,10 @@ func (s *System) Cycle(inputs []float64) error {
 	return nil
 }
 
-// cycleReuse is Cycle with a caller-provided delta buffer, for the
+// CycleInto is Cycle with a caller-provided delta buffer, for the
 // allocation-free hot path used by benchmarks and the DC embedding.
+//
+//mpros:hotpath rule-machine tick on the embedded cycle
 func (s *System) CycleInto(inputs, deltaBuf []float64) error {
 	if len(inputs) != len(s.sensors) || len(deltaBuf) != len(s.sensors) {
 		return fmt.Errorf("sbfr: buffer size mismatch")

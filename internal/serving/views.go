@@ -270,6 +270,8 @@ func (v *Views) BeginMutation(component, condition string) {
 // EndMutation implements pdme.Invalidator: close the write window (bumping
 // the generation again, so views computed across it can never be stored) and
 // notify watchers of the component.
+//
+//mpros:ingest fusion-event invalidation fan-out; must never block the mutator
 func (v *Views) EndMutation(component, condition string) {
 	v.mu.Lock()
 	for _, k := range v.affectedKeys(component, condition) {

@@ -185,6 +185,8 @@ func New(cfg Config) (*Uplink, error) {
 // Deliver implements proto.Sink: the report is durably spooled with a fresh
 // sequence number and delivered asynchronously, oldest first. It only
 // errors when the report is invalid or the spool cannot accept it.
+//
+//mpros:ingest report intake from diagnosis; must never block on the sender goroutine
 func (u *Uplink) Deliver(r *proto.Report) error {
 	if err := r.Validate(); err != nil {
 		return err

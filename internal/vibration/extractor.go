@@ -1,0 +1,88 @@
+package vibration
+
+import (
+	"fmt"
+
+	"repro/internal/chiller"
+	"repro/internal/dsp"
+)
+
+// Extractor computes feature frames with zero steady-state heap allocation:
+// the spectral analyzer scratch is sized once for the configured frame
+// length and every ExtractInto call writes into a caller-provided Features
+// value. This is the allocation-free counterpart of Extract for the
+// scheduled vibration test, where the data concentrator sweeps every
+// measurement point on a fixed acquisition budget.
+type Extractor struct {
+	cfg chiller.Config
+	fa  *dsp.FrameAnalyzer
+}
+
+// NewExtractor sizes an extractor for frames of exactly frameLen samples
+// under cfg. frameLen must be at least 1024 samples, as for Extract.
+func NewExtractor(cfg chiller.Config, frameLen int) (*Extractor, error) {
+	if frameLen < 1024 {
+		return nil, fmt.Errorf("vibration: frame of %d samples too short for diagnosis", frameLen)
+	}
+	fa, err := dsp.NewFrameAnalyzer(frameLen, cfg.SampleRate, dsp.Hann)
+	if err != nil {
+		return nil, err
+	}
+	return &Extractor{cfg: cfg, fa: fa}, nil
+}
+
+// FrameLen returns the frame length the extractor was sized for.
+func (e *Extractor) FrameLen() int { return e.fa.FrameLen() }
+
+// ExtractInto computes the feature frame for a waveform acquired at point
+// pt, overwriting *f. frame must be exactly FrameLen samples. The feature
+// values match Extract bit-for-bit on the same input.
+//
+//mpros:hotpath per-point feature extraction on the scheduled vibration test
+func (e *Extractor) ExtractInto(f *Features, frame []float64, pt chiller.MeasurementPoint) error {
+	spec, err := e.fa.Analyze(frame)
+	if err != nil {
+		return err
+	}
+	cfg := e.cfg
+	shaft := cfg.MotorShaftHz()
+	comp := cfg.CompShaftHz()
+	mesh := cfg.GearMeshHz()
+	line := cfg.LineFreqHz
+	pp := cfg.PolePassHz()
+	// Frequency tolerance: a couple of bins or 1% of shaft speed.
+	tol := 2 * spec.Resolution
+
+	*f = Features{
+		Point:       pt,
+		OverallRMS:  dsp.RMS(frame),
+		CrestFactor: dsp.CrestFactor(frame),
+		Kurtosis:    dsp.Kurtosis(frame),
+	}
+	for k := 0; k < 8; k++ {
+		f.MotorOrders[k] = spec.AmpAt(float64(k+1)*shaft, tol)
+		f.CompOrders[k] = spec.AmpAt(float64(k+1)*comp, tol)
+	}
+	f.HalfCompOrder = spec.AmpAt(0.5*comp, tol)
+	// Oil whirl: search the subsynchronous band.
+	lo, hi := 0.35*comp, 0.48*comp
+	var best float64
+	for b := spec.Bin(lo); b <= spec.Bin(hi); b++ {
+		if spec.Amp[b] > best {
+			best = spec.Amp[b]
+		}
+	}
+	f.SubSyncComp = best
+	f.TwoXLine = spec.AmpAt(2*line, tol)
+	// Rotor-bar sidebands need fine resolution (pole pass ≈ 1.3 Hz); use a
+	// tight tolerance of one bin.
+	f.PolePassSidebands = spec.AmpAt(line-pp, spec.Resolution) + spec.AmpAt(line+pp, spec.Resolution)
+	f.MotorBPFO = spec.AmpAt(cfg.MotorBearing.BPFO*shaft, 2*tol)
+	f.MotorBPFI = spec.AmpAt(cfg.MotorBearing.BPFI*shaft, 2*tol)
+	f.CompBPFO = spec.AmpAt(cfg.CompBearing.BPFO*comp, 2*tol)
+	for k := 0; k < 3; k++ {
+		f.GearMesh[k] = spec.AmpAt(float64(k+1)*mesh, 2*tol)
+	}
+	f.GearMeshSidebands = dsp.SidebandEnergy(spec, mesh, shaft, tol, 1)
+	return nil
+}

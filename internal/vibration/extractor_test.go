@@ -1,0 +1,110 @@
+package vibration
+
+import (
+	"testing"
+
+	"repro/internal/chiller"
+)
+
+func acquireFrame(t testing.TB, n int) ([]float64, chiller.Config) {
+	t.Helper()
+	cfg := chiller.DefaultConfig()
+	cfg.Seed = 11
+	p, err := chiller.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetFault(chiller.MotorImbalance, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	frame, err := p.AcquireVibration(chiller.MotorDE, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame, cfg
+}
+
+// TestExtractIntoMatchesExtract checks the preallocated extractor against
+// the one-shot path bit for bit on a plant-acquired frame.
+func TestExtractIntoMatchesExtract(t *testing.T) {
+	frame, cfg := acquireFrame(t, 4096)
+	want, err := Extract(frame, cfg, chiller.MotorDE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewExtractor(cfg, len(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.FrameLen() != len(frame) {
+		t.Fatalf("FrameLen = %d, want %d", e.FrameLen(), len(frame))
+	}
+	var got Features
+	for pass := 0; pass < 2; pass++ {
+		if err := e.ExtractInto(&got, frame, chiller.MotorDE); err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+		if got != *want {
+			t.Fatalf("pass %d: ExtractInto differs from Extract:\ngot  %+v\nwant %+v", pass, got, *want)
+		}
+	}
+}
+
+func TestExtractorRejects(t *testing.T) {
+	cfg := chiller.DefaultConfig()
+	if _, err := NewExtractor(cfg, 512); err == nil {
+		t.Error("too-short frame length accepted")
+	}
+	e, err := NewExtractor(cfg, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f Features
+	if err := e.ExtractInto(&f, make([]float64, 1024), chiller.MotorDE); err == nil {
+		t.Error("wrong-length frame accepted")
+	}
+}
+
+func BenchmarkExtract(b *testing.B) {
+	frame, cfg := acquireFrame(b, 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Extract(frame, cfg, chiller.MotorDE); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtractInto(b *testing.B) {
+	frame, cfg := acquireFrame(b, 4096)
+	e, err := NewExtractor(cfg, len(frame))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var f Features
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := e.ExtractInto(&f, frame, chiller.MotorDE); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestExtractIntoZeroAlloc is the hot-path budget for the per-point feature
+// extraction on the scheduled vibration test: zero heap allocations.
+func TestExtractIntoZeroAlloc(t *testing.T) {
+	frame, cfg := acquireFrame(t, 4096)
+	e, err := NewExtractor(cfg, len(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f Features
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := e.ExtractInto(&f, frame, chiller.MotorDE); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("ExtractInto allocates %.1f times per point, want 0", allocs)
+	}
+}

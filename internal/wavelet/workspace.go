@@ -1,0 +1,142 @@
+package wavelet
+
+import "fmt"
+
+// Workspace is a preallocated multi-level DWT engine for fixed-length
+// frames: the allocation-free counterpart of Decompose for the WNN feature
+// path, where transitory-phenomenon detection runs on every acquisition
+// tick. Filters, per-level coefficient buffers, and the energy-map scratch
+// are all sized at construction; Decompose only overwrites them.
+//
+// The returned *Decomposition aliases the workspace's internal buffers and
+// is valid until the next Decompose call.
+type Workspace struct {
+	kind     Kind
+	n        int
+	levels   int
+	low      []float64
+	high     []float64
+	approxes [][]float64 // approxes[l] has length n >> (l+1)
+	details  [][]float64 // details[l] has length n >> (l+1)
+	energy   []float64   // levels+1 bands
+	decomp   Decomposition
+}
+
+// NewWorkspace sizes a workspace for frames of exactly frameLen samples,
+// decomposed levels deep (levels <= 0 selects the maximum usable depth,
+// matching Decompose).
+func NewWorkspace(k Kind, frameLen, levels int) (*Workspace, error) {
+	low, err := k.filters()
+	if err != nil {
+		return nil, err
+	}
+	maxLevels := 0
+	for n := frameLen; n >= 2*len(low) || (n >= len(low) && n%2 == 0 && maxLevels == 0); n /= 2 {
+		if n%2 != 0 {
+			break
+		}
+		maxLevels++
+		if n/2 < len(low) {
+			break
+		}
+	}
+	if levels <= 0 || levels > maxLevels {
+		levels = maxLevels
+	}
+	if levels == 0 {
+		return nil, fmt.Errorf("wavelet: frame of length %d too short for %v", frameLen, k)
+	}
+	w := &Workspace{
+		kind:   k,
+		n:      frameLen,
+		levels: levels,
+		low:    low,
+		high:   highPass(low),
+		energy: make([]float64, levels+1),
+	}
+	for l, m := 0, frameLen/2; l < levels; l, m = l+1, m/2 {
+		w.approxes = append(w.approxes, make([]float64, m))
+		w.details = append(w.details, make([]float64, m))
+	}
+	w.decomp = Decomposition{
+		Kind:    k,
+		Details: w.details,
+		Approx:  w.approxes[levels-1],
+	}
+	return w, nil
+}
+
+// FrameLen returns the frame length the workspace was sized for.
+func (w *Workspace) FrameLen() int { return w.n }
+
+// Levels returns the decomposition depth.
+func (w *Workspace) Levels() int { return w.levels }
+
+// Decompose runs the multi-resolution analysis of x into the preallocated
+// coefficient buffers. x must be exactly FrameLen samples and is not
+// modified. The result aliases internal state and is overwritten by the
+// next call.
+//
+//mpros:hotpath wavelet feature bands on the acquisition tick
+func (w *Workspace) Decompose(x []float64) (*Decomposition, error) {
+	if len(x) != w.n {
+		return nil, fmt.Errorf("wavelet: frame length %d, workspace sized for %d", len(x), w.n)
+	}
+	src := x
+	for l := 0; l < w.levels; l++ {
+		transformInto(w.low, w.high, src, w.approxes[l], w.details[l])
+		src = w.approxes[l]
+	}
+	return &w.decomp, nil
+}
+
+// EnergyMap computes the relative band-energy vector of the last
+// decomposition into the workspace's scratch — the zero-alloc analogue of
+// Decomposition.EnergyMap, same ordering and normalization. The result is
+// overwritten by the next call.
+//
+//mpros:hotpath wavelet energy-map classifier features
+func (w *Workspace) EnergyMap() []float64 {
+	var total float64
+	for i, det := range w.details {
+		var e float64
+		for _, v := range det {
+			e += v * v
+		}
+		w.energy[i] = e
+		total += e
+	}
+	var e float64
+	for _, v := range w.decomp.Approx {
+		e += v * v
+	}
+	w.energy[len(w.energy)-1] = e
+	total += e
+	if total == 0 {
+		for i := range w.energy {
+			w.energy[i] = 0
+		}
+		return w.energy
+	}
+	for i := range w.energy {
+		w.energy[i] /= total
+	}
+	return w.energy
+}
+
+// transformInto is one circular-convolution DWT level writing approximation
+// and detail coefficients into caller-provided buffers of length len(x)/2.
+func transformInto(low, high, x, approx, detail []float64) {
+	n := len(x)
+	half := n / 2
+	for i := 0; i < half; i++ {
+		var a, d float64
+		for j := 0; j < len(low); j++ {
+			v := x[(2*i+j)%n]
+			a += low[j] * v
+			d += high[j] * v
+		}
+		approx[i] = a
+		detail[i] = d
+	}
+}
