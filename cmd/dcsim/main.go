@@ -13,10 +13,12 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -25,9 +27,20 @@ import (
 	"repro/internal/chiller"
 	"repro/internal/dc"
 	"repro/internal/historian"
+	"repro/internal/proto"
 	"repro/internal/relstore"
+	"repro/internal/shard"
 	"repro/internal/uplink"
 )
+
+// reportUplink is what the simulator needs from its transport: the plain
+// uplink or the shard-ring router, interchangeably.
+type reportUplink interface {
+	proto.Sink
+	Counters() uplink.Counters
+	Pending() int
+	Close() error
+}
 
 func main() { os.Exit(run()) }
 
@@ -48,6 +61,7 @@ func run() int {
 	sendTimeout := flag.Duration("send-timeout", 0, "per-send deadline (0: default)")
 	flushTimeout := flag.Duration("flush-timeout", time.Minute, "final spool drain deadline at exit")
 	heartbeat := flag.Duration("heartbeat", 5*time.Minute, "fleet-health heartbeat interval in virtual time (0 disables)")
+	shardsFlag := flag.String("shards", "", "shard ring membership \"id=addr,id=addr,...\": reports route to the consistent-hash shard for -id with automatic failover to the ring successor (overrides -pdme; requires -spool-dir)")
 	flag.Parse()
 
 	plantCfg := chiller.DefaultConfig()
@@ -77,18 +91,69 @@ func run() int {
 	}
 	defer db.Close()
 	// The uplink dials lazily and spools while the PDME is unreachable, so
-	// dcsim starts (and keeps monitoring) even when pdmed is down.
-	up, err := uplink.New(uplink.Config{
-		Addr:        *pdmeAddr,
-		DCID:        *id,
-		SpoolDir:    *spoolDir,
-		SpoolCap:    *spoolCap,
-		DialTimeout: *dialTimeout,
-		SendTimeout: *sendTimeout,
-		Seed:        *seed,
-	})
-	if err != nil {
-		fatal(err)
+	// dcsim starts (and keeps monitoring) even when pdmed is down. With
+	// -shards the transport is instead a ring router: same spool contract,
+	// plus failover to the ring successor when the assigned shard stalls.
+	var up reportUplink
+	var flush func(time.Duration) error
+	var router *shard.Router
+	if *shardsFlag != "" {
+		if *spoolDir == "" {
+			fatal(errors.New("-shards requires -spool-dir (failover keeps the spool across target swaps)"))
+		}
+		members, err := parseShards(*shardsFlag)
+		if err != nil {
+			fatal(err)
+		}
+		// A lone DC rings over its own id only: assignment degenerates to
+		// the pure rendezvous preference, which every process computes
+		// identically — so a fleet of independent dcsims agrees on the
+		// routing without sharing a population census.
+		ring, err := shard.NewRing(members, []string{*id})
+		if err != nil {
+			fatal(err)
+		}
+		router, err = shard.NewRouter(shard.RouterConfig{
+			DCID:        *id,
+			Ring:        ring,
+			SpoolDir:    *spoolDir,
+			SpoolCap:    *spoolCap,
+			DialTimeout: *dialTimeout,
+			SendTimeout: *sendTimeout,
+			// Cap retry backoff near the 1 s Pump slice: the stall counter
+			// advances only on slices that saw an attempt, so the uplink
+			// default (15 s max) can starve the failure detector past the
+			// flush deadline on a short run against a dead shard.
+			BackoffMax: 2 * time.Second,
+			Seed:       *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		up = router
+		// Pump the failure detector between one-second drain slices so an
+		// outage mid-flush resolves by failover instead of timing out.
+		flush = func(t time.Duration) error {
+			attempts := int(t/time.Second) + 1
+			return router.Flush(attempts, time.Second)
+		}
+		fmt.Printf("dcsim %s: shard ring v%d (%d shards), assigned to %s\n",
+			*id, ring.Version(), len(members), router.Target())
+	} else {
+		u, err := uplink.New(uplink.Config{
+			Addr:        *pdmeAddr,
+			DCID:        *id,
+			SpoolDir:    *spoolDir,
+			SpoolCap:    *spoolCap,
+			DialTimeout: *dialTimeout,
+			SendTimeout: *sendTimeout,
+			Seed:        *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		up = u
+		flush = u.Flush
 	}
 	defer up.Close()
 
@@ -141,6 +206,9 @@ func run() int {
 		if err := conc.RunFor(time.Duration(step * float64(time.Hour))); err != nil {
 			fatal(err)
 		}
+		if router != nil && router.Pump() {
+			fmt.Printf("  dcsim %s: shard stalled — failed over to %s\n", *id, router.Target())
+		}
 		if *speedup > 0 {
 			//lint:allow noclock real-time pacing knob of the simulator CLI; virtual time drives the model
 			time.Sleep(time.Duration(step * float64(time.Hour) / *speedup))
@@ -152,7 +220,7 @@ func run() int {
 			c.HeartbeatsDropped, up.Pending(), faultSummary(plant))
 	}
 	code := 0
-	if err := up.Flush(*flushTimeout); err != nil {
+	if err := flush(*flushTimeout); err != nil {
 		// A timed-out drain is an operational failure worth a non-zero exit:
 		// the operator's pipeline should notice reports left behind.
 		fmt.Fprintf(os.Stderr, "dcsim: %v — %d reports still spooled (they persist for the next run)\n",
@@ -163,7 +231,47 @@ func run() int {
 	fmt.Printf("dcsim %s: done — sent=%d acked=%d retried=%d spooled=%d replayed=%d dropped=%d (capacity=%d) dup=%d hb=%d/%d\n",
 		*id, c.Sent, c.Acked, c.Retried, c.Spooled, c.Replayed, c.Dropped,
 		c.CapacityDrops, c.DedupAcks, c.HeartbeatsSent, c.HeartbeatsDropped)
+	if router != nil {
+		printRouting(*id, router)
+	}
 	return code
+}
+
+// printRouting summarizes the shard router's decisions: where this DC's
+// reports actually landed, shard by shard.
+func printRouting(id string, router *shard.Router) {
+	st := router.Stats()
+	ids := make([]string, 0, len(st.PerShard))
+	for sid := range st.PerShard {
+		ids = append(ids, sid)
+	}
+	sort.Strings(ids)
+	line := fmt.Sprintf("dcsim %s: routing — target=%s failovers=%d ring-updates=%d acked-by",
+		id, router.Target(), st.Failovers, st.RingUpdates)
+	for _, sid := range ids {
+		line += fmt.Sprintf(" %s=%d", sid, st.PerShard[sid])
+	}
+	fmt.Println(line)
+}
+
+// parseShards parses "id=addr,id=addr,..." into ring membership.
+func parseShards(spec string) ([]shard.Member, error) {
+	var members []shard.Member
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 || kv[0] == "" || kv[1] == "" {
+			return nil, fmt.Errorf("bad shard member %q (want id=addr)", part)
+		}
+		members = append(members, shard.Member{ID: kv[0], Addr: kv[1]})
+	}
+	if len(members) == 0 {
+		return nil, errors.New("empty -shards spec")
+	}
+	return members, nil
 }
 
 func applyFaults(plant *chiller.Plant, spec string) error {

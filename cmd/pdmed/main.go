@@ -19,6 +19,18 @@
 //	GET /watch?component=                        streaming change notices (NDJSON)
 //	GET /health                                  fleet-health snapshot
 //	GET /stats                                   view-cache counters
+//
+// Fleet-of-fleets roles (see DESIGN.md "Hierarchical fleet"):
+//
+//	pdmed -forward-addr 127.0.0.1:7100 -shard-id shard-1 ...
+//	    runs a shard PDME: fuses DC reports as usual AND streams every fused
+//	    conclusion upward to an aggregator as a FusedSummary envelope over a
+//	    spooled uplink.
+//	pdmed -aggregator -listen 127.0.0.1:7100 -serve-addr 127.0.0.1:7180 \
+//	      -ring "shard-1=127.0.0.1:7011,shard-2=127.0.0.1:7012"
+//	    runs the global aggregator: -listen accepts FusedSummary envelopes
+//	    from shard PDMEs; -serve-addr serves /ranked /belief /coverage with
+//	    per-shard coverage metadata and graceful degradation.
 package main
 
 import (
@@ -30,6 +42,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -40,6 +53,7 @@ import (
 	"repro/internal/proto"
 	"repro/internal/relstore"
 	"repro/internal/serving"
+	"repro/internal/shard"
 
 	mpros "repro"
 )
@@ -70,9 +84,35 @@ func run() int {
 	journalDir := flag.String("journal-dir", "", "write-ahead journal + checkpoint directory; accepted envelopes are fsynced before fusion and a killed pdmed recovers its state on restart (empty disables durability)")
 	checkpointInterval := flag.Duration("checkpoint-interval", time.Minute, "periodic checkpoint cadence with -journal-dir (0 disables the timer; count-based checkpoints still run every 1024 records)")
 	dedupWindow := flag.Int("dedup-window", 0, "per-DC duplicate-suppression window in sequences (0: protocol default, 4096); size above the deepest spool replay a DC outage can produce")
+	aggregator := flag.Bool("aggregator", false, "run as the global fleet aggregator: -listen accepts FusedSummary envelopes from shard PDMEs, -serve-addr serves /ranked /belief /coverage")
+	ringSpec := flag.String("ring", "", "shard ring membership as \"id=addr,id=addr,...\" (aggregator mode: coverage accounting over the full membership, not just shards seen so far)")
+	forwardAddr := flag.String("forward-addr", "", "aggregator summary-server address; set to run as a shard PDME that streams fused conclusions upward")
+	shardID := flag.String("shard-id", "shard-1", "this shard's identity on the aggregator wire (with -forward-addr)")
+	forwardSpool := flag.String("forward-spool", "", "summary forwarder spool directory; summaries queued during an aggregator outage survive a restart (empty: in-memory)")
 	flag.Parse()
 	if *serveAddr == "" {
 		*serveAddr = *healthAddr
+	}
+	// Default to the event-time watermark: simulated DCs (dcsim) stamp
+	// reports with virtual time, which a wall clock would judge decades
+	// stale. Real-time deployments opt into the wall clock. The same choice
+	// governs shard-liveness judgement in aggregator mode.
+	healthCfg := health.Config{
+		LateAfter:        *healthLate,
+		SilentAfter:      *healthSilent,
+		FreshFor:         *healthFresh,
+		StalenessHorizon: *healthHorizon,
+		ReliabilityFloor: *healthFloor,
+	}
+	if *healthWallclock {
+		//lint:allow noclock operator opted into wall-clock staleness via -health-wallclock
+		healthCfg.Clock = time.Now
+	}
+	if *aggregator {
+		if *forwardAddr != "" {
+			return fail(errors.New("-aggregator and -forward-addr are mutually exclusive (an aggregator is the top of the hierarchy)"))
+		}
+		return runAggregator(*listen, *serveAddr, *ringSpec, healthCfg, *dedupWindow, *statusEvery)
 	}
 
 	var db *relstore.DB
@@ -100,20 +140,6 @@ func run() int {
 		return fail(err)
 	}
 	defer engine.Close()
-	// Default to the event-time watermark: simulated DCs (dcsim) stamp
-	// reports with virtual time, which a wall clock would judge decades
-	// stale. Real-time deployments opt into the wall clock.
-	healthCfg := health.Config{
-		LateAfter:        *healthLate,
-		SilentAfter:      *healthSilent,
-		FreshFor:         *healthFresh,
-		StalenessHorizon: *healthHorizon,
-		ReliabilityFloor: *healthFloor,
-	}
-	if *healthWallclock {
-		//lint:allow noclock operator opted into wall-clock staleness via -health-wallclock
-		healthCfg.Clock = time.Now
-	}
 	if err := engine.ConfigureHealth(healthCfg); err != nil {
 		return fail(err)
 	}
@@ -129,6 +155,25 @@ func run() int {
 			return fail(err)
 		}
 		printRecovery(*journalDir, stats)
+	}
+
+	// Shard role: attach the upward summary stream before the report server
+	// opens, so no conclusion write can slip between server start and the
+	// subscription; Resync then covers everything recovery rebuilt.
+	var fwd *shard.Forwarder
+	if *forwardAddr != "" {
+		fwd, err = shard.Forward(engine, shard.ForwarderConfig{
+			ShardID:        *shardID,
+			AggregatorAddr: *forwardAddr,
+			SpoolDir:       *forwardSpool,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		defer fwd.Close()
+		resynced := fwd.Resync()
+		fmt.Printf("pdmed: role=shard id=%s forwarding to %s (spool=%s, boot epoch %d, resynced %d conclusions)\n",
+			*shardID, *forwardAddr, orMemory(*forwardSpool), fwd.Boot(), resynced)
 	}
 
 	// serverDied carries the first fatal listener error: a read-side API
@@ -203,8 +248,115 @@ func run() int {
 			}
 		case <-tick:
 			printStatus(engine)
+			if fwd != nil {
+				// Heartbeat at the health registry's own notion of now: the
+				// event-time watermark by default (virtual-time fleets), the
+				// wall clock with -health-wallclock — so shard liveness at the
+				// aggregator is judged on the same axis the evidence uses.
+				if at := engine.Health().Now(); !at.IsZero() {
+					if err := fwd.Heartbeat(at); err != nil {
+						fmt.Fprintln(os.Stderr, "pdmed: forwarder heartbeat:", err)
+					}
+				}
+				printForwarder(fwd)
+			}
 		}
 	}
+}
+
+// runAggregator is the -aggregator main loop: a summary server for shard
+// uplinks plus the global read-side endpoints. No model, no journal — the
+// aggregator's state is a pure function of what the shards stream up, and
+// shard spools + Resync rebuild it after a restart.
+func runAggregator(listen, serveAddr, ringSpec string, healthCfg health.Config, dedupWindow int, statusEvery time.Duration) int {
+	var ring *shard.Ring
+	if ringSpec != "" {
+		members, err := parseRing(ringSpec)
+		if err != nil {
+			return fail(err)
+		}
+		ring, err = shard.NewRing(members, nil)
+		if err != nil {
+			return fail(err)
+		}
+	}
+	agg, err := shard.NewAggregator(shard.AggregatorConfig{
+		Ring:        ring,
+		Health:      healthCfg,
+		DedupWindow: dedupWindow,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	bound, srv, err := agg.Serve(listen)
+	if err != nil {
+		return fail(err)
+	}
+	defer srv.Close()
+	line := fmt.Sprintf("pdmed: role=aggregator listening on %s for shard summaries", bound)
+	if ring != nil {
+		line += fmt.Sprintf(" (ring v%d, %d shards)", ring.Version(), len(ring.Members()))
+	}
+	fmt.Println(line)
+
+	serverDied := make(chan error, 1)
+	var httpSrv *http.Server
+	if serveAddr != "" {
+		ln, err := net.Listen("tcp", serveAddr)
+		if err != nil {
+			return fail(err)
+		}
+		httpSrv = &http.Server{Handler: serving.AggregatorHandler(agg)}
+		go func() {
+			if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				serverDied <- fmt.Errorf("aggregator API server: %w", err)
+			}
+		}()
+		fmt.Printf("pdmed: global read-side API on http://%s (/ranked /belief /coverage)\n", ln.Addr())
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	var tick <-chan time.Time
+	if statusEvery > 0 {
+		//lint:allow noclock periodic operator status line; daemon cadence is inherently wall-clock
+		ticker := time.NewTicker(statusEvery)
+		tick = ticker.C
+		defer ticker.Stop()
+	}
+	for {
+		select {
+		case <-stop:
+			fmt.Println("\npdmed: shutting down")
+			shutdownHTTP(httpSrv)
+			return 0
+		case err := <-serverDied:
+			fmt.Fprintln(os.Stderr, "pdmed:", err)
+			return 1
+		case <-tick:
+			printAggregatorStatus(agg)
+		}
+	}
+}
+
+// parseRing parses "id=addr,id=addr,..." into ring membership.
+func parseRing(spec string) ([]shard.Member, error) {
+	var members []shard.Member
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 || kv[0] == "" || kv[1] == "" {
+			return nil, fmt.Errorf("bad ring member %q (want id=addr)", part)
+		}
+		members = append(members, shard.Member{ID: kv[0], Addr: kv[1]})
+	}
+	if len(members) == 0 {
+		return nil, errors.New("empty -ring spec")
+	}
+	return members, nil
 }
 
 // printRecovery summarizes what the journal restored on boot.
@@ -261,6 +413,49 @@ func printStatus(engine *pdme.PDME) {
 		fmt.Println(line)
 	}
 	printHealth(engine)
+}
+
+// printForwarder is the shard role's status line: conversion counters from
+// the forwarder plus transport counters from its uplink.
+func printForwarder(f *shard.Forwarder) {
+	fc := f.Counters()
+	c := f.Uplink()
+	fmt.Printf("  forwarder: forwarded=%d skipped=%d errors=%d | sent=%d acked=%d dup=%d retried=%d pending=%d\n",
+		fc.Forwarded, fc.Skipped, fc.Errors, c.Sent, c.Acked, c.DedupAcks, c.Retried, f.Pending())
+}
+
+// printAggregatorStatus is the -aggregator status block: global top-10 with
+// shard provenance, then per-shard coverage.
+func printAggregatorStatus(agg *shard.Aggregator) {
+	cov := agg.Coverage()
+	items := agg.GlobalRanked()
+	fmt.Printf("--- %s | shards %d/%d live | %d pairs held | %d accepted | %d stale dropped | %d duplicates suppressed ---\n",
+		//lint:allow noclock status-line timestamp for the operator, not fed into fusion
+		time.Now().Format(time.RFC3339), cov.ShardsLive, cov.ShardsTotal,
+		cov.HeldPairs, agg.Accepted(), agg.StaleDropped(), agg.DedupHits())
+	for i, it := range items {
+		if i >= 10 {
+			fmt.Printf("  ... %d more\n", len(items)-10)
+			break
+		}
+		line := fmt.Sprintf("  %-28s %-38s Bel=%.3f Pl=%.3f reports=%d via %s",
+			it.Component, it.Condition, it.Belief, it.Plausibility, it.Reports, it.Shard)
+		if it.HasPrognostic {
+			line += fmt.Sprintf("  t(P=0.5)=%.1fd", it.TimeToHalf.Hours()/24)
+		}
+		if it.Degraded {
+			line += fmt.Sprintf("  DEGRADED(rel=%.2f, shard %s)", it.Reliability, it.ShardState)
+		}
+		fmt.Println(line)
+	}
+	fmt.Println("  shard coverage:")
+	for _, sc := range cov.Shards {
+		line := fmt.Sprintf("    %-10s %-8s components=%d reliability=%.2f", sc.ID, sc.State, sc.Components, sc.Reliability)
+		if !sc.InRing {
+			line += " (not in ring: draining)"
+		}
+		fmt.Println(line)
+	}
 }
 
 func printHealth(engine *pdme.PDME) {

@@ -1,0 +1,71 @@
+package mpros
+
+import (
+	"net/http"
+
+	"repro/internal/pdme"
+	"repro/internal/proto"
+	"repro/internal/serving"
+	"repro/internal/shard"
+)
+
+// This file is the facade of the hierarchical fleet-of-fleets tier
+// (internal/shard): consistent-hash sharding of DCs across many shard
+// PDMEs, upward summary forwarding, and the global aggregator with
+// graceful per-shard degradation. See DESIGN.md "Hierarchical fleet".
+
+// Re-exported fleet-of-fleets types.
+type (
+	// ShardMember is one shard PDME in the ring (id + report address).
+	ShardMember = shard.Member
+	// ShardRing is the versioned deterministic DC→shard assignment.
+	ShardRing = shard.Ring
+	// ShardRouter is a DC-side shard-aware uplink with ring failover.
+	ShardRouter = shard.Router
+	// ShardRouterConfig parametrizes a ShardRouter.
+	ShardRouterConfig = shard.RouterConfig
+	// ShardForwarder streams a shard PDME's fused conclusions upward.
+	ShardForwarder = shard.Forwarder
+	// ShardForwarderConfig parametrizes a ShardForwarder.
+	ShardForwarderConfig = shard.ForwarderConfig
+	// Aggregator is the global tier fusing shard summaries.
+	Aggregator = shard.Aggregator
+	// AggregatorConfig parametrizes an Aggregator.
+	AggregatorConfig = shard.AggregatorConfig
+	// GlobalItem is one row of the aggregator's global ranked list.
+	GlobalItem = shard.GlobalItem
+	// CoverageReport is the aggregator's per-shard coverage metadata.
+	CoverageReport = shard.CoverageReport
+	// FusedSummary is the PDME→PDME wire envelope of fused state.
+	FusedSummary = proto.FusedSummary
+)
+
+// NewShardRing builds a deterministic ring over shard members and the DC
+// id population. Same inputs produce the identical assignment in every
+// process.
+func NewShardRing(members []ShardMember, dcids []string) (*ShardRing, error) {
+	return shard.NewRing(members, dcids)
+}
+
+// NewShardRouter opens a DC-side router: reports spool locally and follow
+// the ring, failing over to the successor when the assigned shard stalls.
+func NewShardRouter(cfg ShardRouterConfig) (*ShardRouter, error) {
+	return shard.NewRouter(cfg)
+}
+
+// ForwardSummaries attaches a summary forwarder to a shard PDME: every
+// fused conclusion streams to the aggregator over the spooled uplink.
+func ForwardSummaries(engine *pdme.PDME, cfg ShardForwarderConfig) (*ShardForwarder, error) {
+	return shard.Forward(engine, cfg)
+}
+
+// NewAggregator builds the global tier.
+func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
+	return shard.NewAggregator(cfg)
+}
+
+// AggregatorHandler mounts the aggregator's HTTP endpoints
+// (/ranked, /belief, /coverage) with coverage metadata on every response.
+func AggregatorHandler(a *Aggregator) http.Handler {
+	return serving.AggregatorHandler(a)
+}

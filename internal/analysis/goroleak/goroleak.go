@@ -45,6 +45,9 @@ var LongLivedPkgs = map[string]bool{
 	"health":    true,
 	"historian": true,
 	"journal":   true,
+	// shard: forwarders and routers own retired-uplink goroutines that must
+	// join at Close, or every failover leaks a sender.
+	"shard": true,
 }
 
 // shutdownFuncs are the function names accepted as a join point for

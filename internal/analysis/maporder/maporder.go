@@ -45,6 +45,9 @@ var DeterminismPkgs = map[string]bool{
 	"pdme":     true,
 	"serving":  true,
 	"oosm":     true,
+	// shard: aggregator global rankings and coverage reports must not vary
+	// with map iteration over per-shard or per-pair state.
+	"shard": true,
 }
 
 func run(pass *analysis.Pass) error {

@@ -43,6 +43,11 @@ var DeterministicPkgs = map[string]bool{
 	// (cached == fresh recompute, bit for bit) only holds if nothing in the
 	// tier observes real time.
 	"serving": true,
+	// shard routing, failover, and aggregation must replay identically from
+	// journals and seeds: ring placement, staleness discounting, and global
+	// rankings all derive from event time and injected clocks, never the
+	// wall clock.
+	"shard": true,
 }
 
 // ScopePrefixes extends the clock discipline to whole subtrees by import

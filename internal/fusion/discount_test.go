@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"time"
+
+	"repro/internal/dempster"
 )
 
 // fakeDiscounter maps source id to a fixed reliability factor; sources not
@@ -184,6 +186,59 @@ func TestDegradedNeedsAllSourcesStale(t *testing.T) {
 	bel, _ := df.Belief("pump", "unbalance")
 	if bel <= single || bel >= both {
 		t.Fatalf("partially discounted corroboration: belief %g not in (%g,%g)", bel, single, both)
+	}
+}
+
+func TestDiscountSummaryMatchesMassDiscount(t *testing.T) {
+	// The interval-level formula used on shard summaries must be exactly
+	// dempster.Discount read out through Belief/Plausibility/Unknown.
+	frame, err := dempster.NewFrame("a", "b", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha, err := frame.Hypothesis("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hab, err := frame.SetOf("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := dempster.NewMass(frame)
+	if err := m.Set(ha, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set(hab, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set(frame.Theta(), 0.2); err != nil {
+		t.Fatal(err)
+	}
+	for _, alpha := range []float64{0, 0.25, 0.6, 1} {
+		dm, err := dempster.Discount(m, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantB, wantPl, wantU := dm.Belief(ha), dm.Plausibility(ha), dm.Unknown()
+		gotB, gotPl, gotU := DiscountSummary(m.Belief(ha), m.Plausibility(ha), m.Unknown(), alpha)
+		if math.Abs(gotB-wantB) > 1e-12 || math.Abs(gotPl-wantPl) > 1e-12 || math.Abs(gotU-wantU) > 1e-12 {
+			t.Fatalf("alpha %g: got (%g,%g,%g), want (%g,%g,%g)",
+				alpha, gotB, gotPl, gotU, wantB, wantPl, wantU)
+		}
+	}
+}
+
+func TestDiscountSummaryEdges(t *testing.T) {
+	b, pl, u := DiscountSummary(0.7, 0.8, 0.2, 0)
+	if b != 0 || pl != 1 || u != 1 {
+		t.Fatalf("alpha 0 must be total ignorance, got (%g,%g,%g)", b, pl, u)
+	}
+	b, pl, u = DiscountSummary(0.7, 0.8, 0.2, 1)
+	if b != 0.7 || pl != 0.8 || u != 0.2 {
+		t.Fatalf("alpha 1 must be identity, got (%g,%g,%g)", b, pl, u)
+	}
+	if b, _, _ = DiscountSummary(0.7, 0.8, 0.2, 1.5); b != 0.7 {
+		t.Fatalf("alpha clamps to 1, got belief %g", b)
 	}
 }
 

@@ -517,6 +517,24 @@ func (p *PDME) findConclusion(component, condition string) (oosm.ObjectID, bool)
 	return oosm.ObjectID{}, false
 }
 
+// ConclusionUpdatedAt returns the event time of the newest evidence folded
+// into a (component, condition) conclusion — the conclusion object's
+// updated_at property — and whether such a conclusion exists. Shard
+// forwarders stamp outgoing FusedSummary envelopes with it, so aggregator
+// ordering and staleness discounting run on event time, not arrival time.
+func (p *PDME) ConclusionUpdatedAt(component, condition string) (time.Time, bool) {
+	id, ok := p.findConclusion(component, condition)
+	if !ok {
+		return time.Time{}, false
+	}
+	props, err := p.model.Get(id)
+	if err != nil {
+		return time.Time{}, false
+	}
+	at, ok := props["updated_at"].(time.Time)
+	return at, ok
+}
+
 // ReceivedReports returns the number of reports accepted.
 func (p *PDME) ReceivedReports() int {
 	p.mu.Lock()

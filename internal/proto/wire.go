@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net"
 	"sync"
@@ -24,11 +25,14 @@ import (
 const MaxFrameSize = 16 << 20
 
 type envelope struct {
-	Kind   string  `json:"kind"` // "report" | "heartbeat" | "ack" | "error"
+	Kind   string  `json:"kind"` // "report" | "heartbeat" | "summary" | "ack" | "error"
 	Report *Report `json:"report,omitempty"`
 	// Heartbeat carries the fleet-health liveness frame (kind "heartbeat").
 	Heartbeat *Heartbeat `json:"heartbeat,omitempty"`
-	Error     string     `json:"error,omitempty"`
+	// Summary carries the shard→aggregator fused-state frame (kind
+	// "summary"); DCID then names the sending shard.
+	Summary *FusedSummary `json:"summary,omitempty"`
+	Error   string        `json:"error,omitempty"`
 	// DCID and Seq tag a report frame with a per-DC monotonic delivery id so
 	// the receiving side can deduplicate at-least-once redelivery (a resend
 	// after a lost ack). Seq 0 means untagged (legacy senders). Boot
@@ -137,11 +141,22 @@ type Server struct {
 	// hbSink, when set, receives validated heartbeat frames; without it
 	// heartbeats are acked and discarded (liveness still confirmed).
 	hbSink HeartbeatSink
+	// sumSink, when set, receives validated fused-summary frames; without
+	// it summaries are rejected (a shard must not believe its upward flow
+	// is landing when the receiver cannot store it).
+	sumSink SummarySink
 	// dedup, when set, suppresses redelivered report frames (same DC id and
 	// sequence) with a duplicate ack instead of a second sink delivery.
 	dedup *Dedup
 	// idleTimeout bounds each read/write on a connection (0 disables).
 	idleTimeout time.Duration
+	// senderMu serializes the dedup-check → sink-deliver → dedup-mark span
+	// per sender id (striped by hash). A sender normally pipelines frames
+	// over one connection, but a client whose send timeout fires while the
+	// sink is still fusing the frame redials and resends the same tag on a
+	// fresh connection; the two handler goroutines would otherwise both pass
+	// the Seen check before either Marks, fusing one report twice.
+	senderMu [64]sync.Mutex
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -261,6 +276,9 @@ func (s *Server) process(env envelope) envelope {
 		}
 		return envelope{Kind: "ack"}
 	}
+	if env.Kind == "summary" {
+		return s.processSummary(env)
+	}
 	if env.Kind != "report" || env.Report == nil {
 		return envelope{Kind: "error", Error: "expected report frame"}
 	}
@@ -272,8 +290,15 @@ func (s *Server) process(env envelope) envelope {
 		dcid = env.Report.DCID
 	}
 	tagged := s.dedup != nil && env.Seq > 0
-	if tagged && s.dedup.Seen(dcid, env.Boot, env.Seq) {
-		return envelope{Kind: "ack", Dup: true}
+	if tagged {
+		// Hold the sender's stripe across check+deliver+mark so a resend of
+		// the same tag racing on another connection observes the mark.
+		mu := s.senderLock(dcid)
+		mu.Lock()
+		defer mu.Unlock()
+		if s.dedup.Seen(dcid, env.Boot, env.Seq) {
+			return envelope{Kind: "ack", Dup: true}
+		}
 	}
 	var derr error
 	if ts, ok := s.sink.(TaggedSink); ok {
@@ -296,6 +321,57 @@ func (s *Server) process(env envelope) envelope {
 		s.dedup.Mark(dcid, env.Boot, env.Seq)
 	}
 	return envelope{Kind: "ack"}
+}
+
+// processSummary handles one shard→aggregator summary frame through the
+// same dedup window as reports: summaries and reports from one sender share
+// the sender's sequence space (they ride the same spool), so a single
+// per-sender window suppresses redelivery of either kind.
+func (s *Server) processSummary(env envelope) envelope {
+	if env.Summary == nil {
+		return envelope{Kind: "error", Error: "summary frame without summary"}
+	}
+	if err := env.Summary.Validate(); err != nil {
+		return envelope{Kind: "error", Error: err.Error()}
+	}
+	if s.sumSink == nil {
+		return envelope{Kind: "error", Error: "server has no summary sink (not an aggregator)"}
+	}
+	shardID := env.DCID
+	if shardID == "" {
+		shardID = env.Summary.ShardID
+	}
+	tagged := s.dedup != nil && env.Seq > 0
+	if tagged {
+		// Same stripe discipline as reports: a shard redialing mid-accept
+		// must not double-deliver the summary it is resending.
+		mu := s.senderLock(shardID)
+		mu.Lock()
+		defer mu.Unlock()
+		if s.dedup.Seen(shardID, env.Boot, env.Seq) {
+			return envelope{Kind: "ack", Dup: true}
+		}
+	}
+	var boot, seq uint64
+	if tagged {
+		boot, seq = env.Boot, env.Seq
+	}
+	if err := s.sumSink.DeliverSummary(env.Summary, shardID, boot, seq); err != nil {
+		return envelope{Kind: "error", Error: err.Error()}
+	}
+	// As with reports: mark only after the sink accepted, so a failed
+	// delivery stays retryable.
+	if tagged {
+		s.dedup.Mark(shardID, env.Boot, env.Seq)
+	}
+	return envelope{Kind: "ack"}
+}
+
+// senderLock returns the stripe mutex covering one sender id.
+func (s *Server) senderLock(id string) *sync.Mutex {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(id))
+	return &s.senderMu[h.Sum32()%uint32(len(s.senderMu))]
 }
 
 // Close stops the listener and all active connections, waiting for handler

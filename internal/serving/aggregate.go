@@ -1,0 +1,111 @@
+package serving
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/shard"
+)
+
+// This file is the HTTP face of the hierarchical fleet tier: the endpoints
+// cmd/pdmed mounts in -aggregator mode.
+//
+//	GET /ranked                        global prioritized list + coverage
+//	GET /belief?component=&condition=  one pair's global state + coverage
+//	GET /coverage                      per-shard coverage report alone
+//
+// The graceful-degradation contract: these endpoints NEVER fail because a
+// shard is down. A missing shard shows up as degraded rows, rising unknown
+// mass, and coverage metadata — a labeled partial answer, not an error.
+// The only 4xx is a malformed request (missing query parameters).
+
+// globalItemJSON is the wire shape of one global maintenance-list row.
+type globalItemJSON struct {
+	Component         string    `json:"component"`
+	Condition         string    `json:"condition"`
+	Group             string    `json:"group,omitempty"`
+	Belief            float64   `json:"belief"`
+	Plausibility      float64   `json:"plausibility"`
+	Unknown           float64   `json:"unknown"`
+	Reports           int       `json:"reports"`
+	Shard             string    `json:"shard,omitempty"`
+	ShardState        string    `json:"shard_state,omitempty"`
+	Reliability       float64   `json:"reliability"`
+	Degraded          bool      `json:"degraded,omitempty"`
+	TimeToHalfSeconds float64   `json:"time_to_half_seconds,omitempty"`
+	HasPrognostic     bool      `json:"has_prognostic,omitempty"`
+	UpdatedAt         time.Time `json:"updated_at,omitempty"`
+}
+
+func globalItemToJSON(it shard.GlobalItem) globalItemJSON {
+	return globalItemJSON{
+		Component:         it.Component,
+		Condition:         it.Condition,
+		Group:             it.Group,
+		Belief:            it.Belief,
+		Plausibility:      it.Plausibility,
+		Unknown:           it.Unknown,
+		Reports:           it.Reports,
+		Shard:             it.Shard,
+		ShardState:        it.ShardState,
+		Reliability:       it.Reliability,
+		Degraded:          it.Degraded,
+		TimeToHalfSeconds: it.TimeToHalf.Seconds(),
+		HasPrognostic:     it.HasPrognostic,
+		UpdatedAt:         it.UpdatedAt,
+	}
+}
+
+// globalRankedJSON is the aggregator /ranked response.
+type globalRankedJSON struct {
+	Degraded bool                 `json:"degraded"`
+	Coverage shard.CoverageReport `json:"coverage"`
+	Items    []globalItemJSON     `json:"items"`
+}
+
+// globalBeliefJSON is the aggregator /belief response. Covered false means
+// no shard has concluded on the pair — the numbers are the vacuous state,
+// and the coverage block says which shards could still be hiding evidence.
+type globalBeliefJSON struct {
+	globalItemJSON
+	Covered  bool                 `json:"covered"`
+	Coverage shard.CoverageReport `json:"coverage"`
+}
+
+// AggregatorHandler mounts the global read-side endpoints for an
+// aggregator-mode PDME.
+func AggregatorHandler(a *shard.Aggregator) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /ranked", func(w http.ResponseWriter, _ *http.Request) {
+		cov := a.Coverage()
+		items := a.GlobalRanked()
+		out := globalRankedJSON{
+			Degraded: cov.Degraded,
+			Coverage: cov,
+			Items:    make([]globalItemJSON, len(items)),
+		}
+		for i, it := range items {
+			out.Items[i] = globalItemToJSON(it)
+			if it.Degraded {
+				out.Degraded = true
+			}
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("GET /belief", func(w http.ResponseWriter, r *http.Request) {
+		component, condition, ok := pairParams(w, r)
+		if !ok {
+			return
+		}
+		item, covered := a.GlobalBelief(component, condition)
+		writeJSON(w, http.StatusOK, globalBeliefJSON{
+			globalItemJSON: globalItemToJSON(item),
+			Covered:        covered,
+			Coverage:       a.Coverage(),
+		})
+	})
+	mux.HandleFunc("GET /coverage", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, a.Coverage())
+	})
+	return mux
+}

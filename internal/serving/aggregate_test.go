@@ -1,0 +1,113 @@
+package serving
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/shard"
+)
+
+func testSummary(shardID, component, condition string, belief float64, at time.Time) *proto.FusedSummary {
+	return &proto.FusedSummary{
+		ShardID:      shardID,
+		Component:    component,
+		Condition:    condition,
+		Group:        "bearing",
+		Belief:       belief,
+		Plausibility: belief + 0.1,
+		Unknown:      1 - belief,
+		Reports:      1,
+		Reliability:  1,
+		UpdatedAt:    at,
+	}
+}
+
+// TestAggregatorHandlerPartialNeverErrors: the fleet endpoints answer 200
+// with coverage metadata even when shards are missing or the pair is
+// unknown — partial results with labels, never 5xx.
+func TestAggregatorHandlerPartialNeverErrors(t *testing.T) {
+	agg, err := shard.NewAggregator(shard.AggregatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := time.Date(1998, 8, 1, 0, 0, 0, 0, time.UTC)
+	if err := agg.DeliverSummary(testSummary("shard-1", "m1", "outer race fault", 0.8, at), "shard-1", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	// shard-2's evidence advances event time far past shard-1's horizon:
+	// shard-1 is now silent and discounted.
+	if err := agg.DeliverSummary(testSummary("shard-2", "m2", "imbalance", 0.5, at.Add(48*time.Hour)), "shard-2", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	h := AggregatorHandler(agg)
+
+	// /ranked: both rows, shard-1's degraded, response labeled degraded.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/ranked", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/ranked status %d", rec.Code)
+	}
+	var ranked struct {
+		Degraded bool `json:"degraded"`
+		Coverage struct {
+			ShardsTotal int  `json:"shards_total"`
+			ShardsLive  int  `json:"shards_live"`
+			Degraded    bool `json:"degraded"`
+		} `json:"coverage"`
+		Items []struct {
+			Component  string  `json:"component"`
+			Shard      string  `json:"shard"`
+			ShardState string  `json:"shard_state"`
+			Degraded   bool    `json:"degraded"`
+			Unknown    float64 `json:"unknown"`
+		} `json:"items"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &ranked); err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked.Items) != 2 || !ranked.Degraded || !ranked.Coverage.Degraded {
+		t.Fatalf("/ranked: %+v", ranked)
+	}
+	if ranked.Coverage.ShardsTotal != 2 {
+		t.Fatalf("coverage shards: %+v", ranked.Coverage)
+	}
+	for _, it := range ranked.Items {
+		if it.Shard == "shard-1" && (!it.Degraded || it.ShardState == "alive") {
+			t.Fatalf("silent shard's row not degraded: %+v", it)
+		}
+	}
+
+	// /belief on a pair nobody concluded on: 200, covered=false, vacuous.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/belief?component=m9&condition=imbalance", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/belief unknown pair status %d", rec.Code)
+	}
+	var belief struct {
+		Covered bool    `json:"covered"`
+		Unknown float64 `json:"unknown"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &belief); err != nil {
+		t.Fatal(err)
+	}
+	if belief.Covered || belief.Unknown != 1 {
+		t.Fatalf("/belief unknown pair: %+v", belief)
+	}
+
+	// Malformed request is the only 4xx.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/belief?component=m1", nil))
+	if rec.Code != 400 {
+		t.Fatalf("/belief missing condition status %d", rec.Code)
+	}
+
+	// /coverage standalone.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/coverage", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/coverage status %d", rec.Code)
+	}
+}

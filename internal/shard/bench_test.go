@@ -1,0 +1,113 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// benchMembers builds n ring members with placeholder addresses (placement
+// benchmarks never dial).
+func benchMembers(n int) []Member {
+	ms := make([]Member, n)
+	for i := range ms {
+		ms[i] = Member{ID: fmt.Sprintf("shard-%d", i+1), Addr: fmt.Sprintf("127.0.0.1:%d", 20000+i)}
+	}
+	return ms
+}
+
+// benchKeys builds the DC key population routed over the ring.
+func benchKeys(n int) []string {
+	ks := make([]string, n)
+	for i := range ks {
+		ks[i] = fmt.Sprintf("dc-%04d", i)
+	}
+	return ks
+}
+
+// BenchmarkRingAssign measures steady-state DC→shard placement, the lookup
+// every router makes per delivery decision.
+func BenchmarkRingAssign(b *testing.B) {
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			keys := benchKeys(1024)
+			ring, err := NewRing(benchMembers(shards), keys)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ring.Assign(keys[i%len(keys)])
+			}
+		})
+	}
+}
+
+// benchAggregator builds an aggregator over a ring of the given width,
+// pre-populated with pairs total (component, condition) pairs spread
+// round-robin across the shards — the held-state size a ranking pass walks.
+func benchAggregator(b *testing.B, shards, pairs int) (*Aggregator, []Member) {
+	b.Helper()
+	members := benchMembers(shards)
+	ring, err := NewRing(members, benchKeys(1024))
+	if err != nil {
+		b.Fatal(err)
+	}
+	agg, err := NewAggregator(AggregatorConfig{Ring: ring, Health: chaosHealthConfig()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	conds := testGroups()["bearing"]
+	for p := 0; p < pairs; p++ {
+		m := members[p%shards]
+		sum := summary(m.ID, fmt.Sprintf("c-%04d", p/len(conds)), conds[p%len(conds)], 0.5, base)
+		if err := agg.DeliverSummary(sum, m.ID, 1, uint64(p+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return agg, members
+}
+
+// BenchmarkAggregatorFanIn measures summary ingest at the global tier:
+// latest-wins merge, dedup window, and health observation per frame, with
+// the fan-in spread over 1/4/8 sending shards.
+func BenchmarkAggregatorFanIn(b *testing.B) {
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			agg, members := benchAggregator(b, shards, 512)
+			conds := testGroups()["bearing"]
+			seqs := make([]uint64, shards)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := i % shards
+				m := members[s]
+				sum := summary(m.ID, fmt.Sprintf("c-%04d", (i%512)/len(conds)), conds[i%len(conds)], 0.6,
+					base.Add(time.Duration(i+1)*time.Millisecond))
+				seqs[s] += 513
+				if err := agg.DeliverSummary(sum, m.ID, 1, seqs[s]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAggregatorGlobalRanked measures the global ranking pass — the
+// read every operator console issues — over 512 held pairs contributed by
+// 1/4/8 shards (per-shard staleness discounting runs once per pair).
+func BenchmarkAggregatorGlobalRanked(b *testing.B) {
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			agg, _ := benchAggregator(b, shards, 512)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := agg.GlobalRanked(); len(got) == 0 {
+					b.Fatal("empty ranking")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,365 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/uplink"
+)
+
+// Defaults for RouterConfig's zero values.
+const (
+	// DefaultFailoverThreshold is the number of observed no-progress pump
+	// intervals (dial failures or retries with nothing acked while reports
+	// are pending) before the router gives up on its shard and fails over
+	// to the ring successor.
+	DefaultFailoverThreshold = 6
+)
+
+// RouterConfig parametrizes a DC-side shard router.
+type RouterConfig struct {
+	// DCID names the routing DC; it is the ring key and the uplink identity.
+	DCID string
+	// Ring is the shard assignment; the router targets Ring.Assign(DCID).
+	Ring *Ring
+	// SpoolDir persists the store-and-forward spool. It is REQUIRED: the
+	// whole failover contract is "swap the address, keep the spool", and an
+	// in-memory spool cannot survive the swap.
+	SpoolDir string
+	// SpoolCap, DialTimeout, SendTimeout, BackoffMin, BackoffMax pass
+	// through to the underlying uplink (zero: uplink defaults).
+	SpoolCap    int
+	DialTimeout time.Duration
+	SendTimeout time.Duration
+	BackoffMin  time.Duration
+	BackoffMax  time.Duration
+	// Seed drives the failover-threshold jitter and the uplink's backoff
+	// jitter, reproducibly.
+	Seed int64
+	// FailoverThreshold is the stall count that triggers failover
+	// (0: DefaultFailoverThreshold). The effective threshold is jittered
+	// +[0,threshold) per router so a dead shard's DCs do not stampede the
+	// successor in lockstep.
+	FailoverThreshold int
+	// DialVia optionally rewrites a shard address before dialing — the
+	// netfault hook: tests route one shard's traffic through a fault proxy
+	// while the ring keeps the logical address.
+	DialVia func(addr string) string
+}
+
+// RouterStats counts the router's own decisions (the transport work is in
+// the merged uplink Counters).
+type RouterStats struct {
+	// Failovers counts stall-triggered re-routes to a ring successor.
+	Failovers int
+	// RingUpdates counts UpdateRing calls that changed the target.
+	RingUpdates int
+	// PerShard counts reports+summaries acked while each shard was the
+	// target, keyed by member id.
+	PerShard map[string]int64
+}
+
+// Router is a DC-side shard-aware uplink: it implements proto.Sink and the
+// DC's HeartbeatUplink against whichever shard PDME the ring assigns,
+// re-routing to the ring successor when the target stops making progress.
+//
+// Failover is decided ONLY inside Pump (and Flush, which pumps): the
+// router itself never sleeps, never reads a clock, and never spawns a
+// goroutine — the DC's own cadence (real or simulated) is the failure
+// detector's clock, which keeps chaos tests fully deterministic about WHEN
+// a DC may fail over.
+type Router struct {
+	cfg RouterConfig
+
+	mu     sync.Mutex
+	ring   *Ring
+	down   map[string]bool // members this router has failed away from
+	target string
+	up     *uplink.Uplink
+	base   uplink.Counters // accumulated from retired uplinks
+	stats  RouterStats
+	// progress watermarks over the merged counters
+	lastAttempts int64 // Retried + DialFailures
+	lastProgress int64 // Sent + Dropped
+	stall        int
+	threshold    int
+	rng          *rand.Rand
+}
+
+// NewRouter opens the router's uplink to the ring-assigned shard. The first
+// dial is lazy (inherited from uplink.New), so construction succeeds while
+// the whole fleet is down.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if cfg.DCID == "" {
+		return nil, errors.New("shard: router needs a DC id")
+	}
+	if cfg.Ring == nil {
+		return nil, errors.New("shard: router needs a ring")
+	}
+	if cfg.SpoolDir == "" {
+		return nil, errors.New("shard: router requires a persistent spool dir (failover keeps the spool)")
+	}
+	threshold := cfg.FailoverThreshold
+	if threshold <= 0 {
+		threshold = DefaultFailoverThreshold
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	r := &Router{
+		cfg:       cfg,
+		ring:      cfg.Ring,
+		down:      make(map[string]bool),
+		stats:     RouterStats{PerShard: make(map[string]int64)},
+		threshold: threshold + rng.Intn(threshold),
+		rng:       rng,
+	}
+	target := cfg.Ring.Assign(cfg.DCID)
+	if err := r.open(target); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// open points the router at a member, replacing any current uplink and
+// folding its counters into the accumulated base. Caller must NOT hold mu.
+func (r *Router) open(memberID string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.openLocked(memberID)
+}
+
+func (r *Router) openLocked(memberID string) error {
+	addr, ok := r.ring.MemberAddr(memberID)
+	if !ok {
+		return fmt.Errorf("shard: ring has no member %q", memberID)
+	}
+	if r.cfg.DialVia != nil {
+		addr = r.cfg.DialVia(addr)
+	}
+	if r.up != nil {
+		c := r.up.Counters()
+		r.stats.PerShard[r.target] += c.Acked + c.DedupAcks
+		r.accumulate(c)
+		_ = r.up.Close()
+		r.up = nil
+	}
+	u, err := uplink.New(uplink.Config{
+		Addr:        addr,
+		DCID:        r.cfg.DCID,
+		SpoolDir:    r.cfg.SpoolDir,
+		SpoolCap:    r.cfg.SpoolCap,
+		DialTimeout: r.cfg.DialTimeout,
+		SendTimeout: r.cfg.SendTimeout,
+		BackoffMin:  r.cfg.BackoffMin,
+		BackoffMax:  r.cfg.BackoffMax,
+		Seed:        r.rng.Int63(),
+	})
+	if err != nil {
+		return err
+	}
+	r.up = u
+	r.target = memberID
+	merged := r.mergedLocked()
+	r.lastAttempts = merged.Retried + merged.DialFailures
+	r.lastProgress = merged.Sent + merged.Dropped
+	r.stall = 0
+	return nil
+}
+
+func (r *Router) accumulate(c uplink.Counters) {
+	accumulateInto(&r.base, c)
+}
+
+func (r *Router) mergedLocked() uplink.Counters {
+	c := r.base
+	if r.up != nil {
+		accumulateInto(&c, r.up.Counters())
+	}
+	return c
+}
+
+func accumulateInto(dst *uplink.Counters, c uplink.Counters) {
+	dst.Sent += c.Sent
+	dst.Acked += c.Acked
+	dst.Retried += c.Retried
+	dst.Spooled += c.Spooled
+	dst.Replayed += c.Replayed
+	dst.Dropped += c.Dropped
+	dst.CapacityDrops += c.CapacityDrops
+	dst.DedupAcks += c.DedupAcks
+	dst.DialFailures += c.DialFailures
+	dst.HeartbeatsSent += c.HeartbeatsSent
+	dst.HeartbeatsDropped += c.HeartbeatsDropped
+}
+
+// Deliver implements proto.Sink: the report spools to the current target's
+// uplink. It never blocks on the network and never triggers failover.
+func (r *Router) Deliver(rep *proto.Report) error {
+	r.mu.Lock()
+	u := r.up
+	r.mu.Unlock()
+	return u.Deliver(rep)
+}
+
+// SendHeartbeat implements the DC's heartbeat uplink against the current
+// target.
+func (r *Router) SendHeartbeat(hb *proto.Heartbeat) error {
+	r.mu.Lock()
+	u := r.up
+	r.mu.Unlock()
+	return u.SendHeartbeat(hb)
+}
+
+// Pump runs one failure-detection step: if reports are pending and the
+// uplink has attempted (dialed or retried) without progress (acks or
+// drops) since the last Pump, the stall count rises; at the jittered
+// threshold the router fails over to the ring successor. Call it once per
+// DC tick. It returns true if a failover happened.
+func (r *Router) Pump() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.mergedLocked()
+	attempts := c.Retried + c.DialFailures
+	progress := c.Sent + c.Dropped
+	pending := 0
+	if r.up != nil {
+		pending = r.up.Pending()
+	}
+	switch {
+	case pending == 0, progress > r.lastProgress:
+		r.stall = 0
+	case attempts > r.lastAttempts:
+		r.stall++
+	}
+	r.lastAttempts = attempts
+	r.lastProgress = progress
+	if r.stall < r.threshold {
+		return false
+	}
+	return r.failoverLocked()
+}
+
+// failoverLocked marks the current target down and re-opens on the ring
+// successor. False when no live successor exists (the router stays put and
+// keeps retrying its current target).
+func (r *Router) failoverLocked() bool {
+	r.down[r.target] = true
+	next, ok := r.ring.Successor(r.cfg.DCID, r.down)
+	if !ok || next == r.target {
+		delete(r.down, r.target) // nowhere to go: keep trying everyone
+		r.stall = 0
+		return false
+	}
+	if err := r.openLocked(next); err != nil {
+		r.stall = 0
+		return false
+	}
+	r.stats.Failovers++
+	return true
+}
+
+// UpdateRing installs a new ring generation: suspicion resets (the
+// operator's ring change is authoritative) and the router re-targets the
+// new assignment, keeping its spool. Returns true if the target changed.
+func (r *Router) UpdateRing(ring *Ring) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ring = ring
+	r.down = make(map[string]bool)
+	next := ring.Assign(r.cfg.DCID)
+	if next == r.target {
+		return false
+	}
+	if err := r.openLocked(next); err != nil {
+		return false
+	}
+	r.stats.RingUpdates++
+	return true
+}
+
+// Flush drives the spool empty, pumping the failure detector between
+// attempts so an outage mid-flush resolves by failover instead of hanging:
+// up to attempts rounds of the underlying uplink Flush(slice). The router
+// itself stays clock-free — the uplink does all the waiting.
+func (r *Router) Flush(attempts int, slice time.Duration) error {
+	var err error
+	for i := 0; i < attempts; i++ {
+		r.mu.Lock()
+		u := r.up
+		r.mu.Unlock()
+		if err = u.Flush(slice); err == nil {
+			return nil
+		}
+		r.Pump()
+	}
+	return err
+}
+
+// Pending returns the number of unresolved spooled frames.
+func (r *Router) Pending() int {
+	r.mu.Lock()
+	u := r.up
+	r.mu.Unlock()
+	return u.Pending()
+}
+
+// Target returns the member currently routed to.
+func (r *Router) Target() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.target
+}
+
+// Boot returns the spool's boot epoch (stable across failovers: the spool
+// file, and with it the boot id, survives every swap).
+func (r *Router) Boot() uint64 {
+	r.mu.Lock()
+	u := r.up
+	r.mu.Unlock()
+	return u.Boot()
+}
+
+// Counters returns transport counters merged across every uplink the
+// router has owned.
+func (r *Router) Counters() uplink.Counters {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.mergedLocked()
+}
+
+// Stats returns the router's failover/routing decisions. PerShard is keyed
+// by member id and counts acks observed while that member was the target.
+func (r *Router) Stats() RouterStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := RouterStats{
+		Failovers:   r.stats.Failovers,
+		RingUpdates: r.stats.RingUpdates,
+		PerShard:    make(map[string]int64, len(r.stats.PerShard)),
+	}
+	//lint:allow maporder snapshot copy; consumers sort before display
+	for k, v := range r.stats.PerShard {
+		out.PerShard[k] = v
+	}
+	if r.up != nil {
+		cur := r.up.Counters()
+		out.PerShard[r.target] += cur.Acked + cur.DedupAcks
+	}
+	return out
+}
+
+// Close stops the current uplink; a persistent spool keeps any pending
+// frames for the next NewRouter on the same dir.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.up == nil {
+		return nil
+	}
+	err := r.up.Close()
+	r.up = nil
+	return err
+}

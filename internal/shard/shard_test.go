@@ -1,0 +1,469 @@
+package shard
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fusion"
+	"repro/internal/health"
+	"repro/internal/oosm"
+	"repro/internal/pdme"
+	"repro/internal/proto"
+	"repro/internal/relstore"
+)
+
+// base is the fixture's virtual epoch (the paper's PDME first ran 1998-08).
+var base = time.Date(1998, 8, 1, 0, 0, 0, 0, time.UTC)
+
+func testGroups() fusion.Groups {
+	return fusion.Groups{
+		"bearing": {"inner race fault", "outer race fault"},
+		"motor":   {"imbalance"},
+	}
+}
+
+func report(dc, component, condition string, belief float64, at time.Time) *proto.Report {
+	return &proto.Report{
+		DCID:               dc,
+		KnowledgeSourceID:  "ks-" + dc,
+		SensedObjectID:     component,
+		MachineConditionID: condition,
+		Severity:           belief,
+		Belief:             belief,
+		Timestamp:          at,
+	}
+}
+
+func summary(shardID, component, condition string, belief float64, at time.Time) *proto.FusedSummary {
+	return &proto.FusedSummary{
+		ShardID:      shardID,
+		Component:    component,
+		Condition:    condition,
+		Group:        "bearing",
+		Belief:       belief,
+		Plausibility: belief + 0.1,
+		Unknown:      1 - belief,
+		Reports:      1,
+		Reliability:  1,
+		UpdatedAt:    at,
+	}
+}
+
+// sinkCounter counts reports per server, thread-safe.
+type sinkCounter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *sinkCounter) Deliver(*proto.Report) error {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *sinkCounter) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+func reserveAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func fastRouterConfig(dcid string, ring *Ring, dir string) RouterConfig {
+	return RouterConfig{
+		DCID:              dcid,
+		Ring:              ring,
+		SpoolDir:          dir,
+		DialTimeout:       500 * time.Millisecond,
+		SendTimeout:       time.Second,
+		BackoffMin:        5 * time.Millisecond,
+		BackoffMax:        25 * time.Millisecond,
+		Seed:              7,
+		FailoverThreshold: 2,
+	}
+}
+
+// TestRouterFailsOverToRingSuccessor: the router's stall detector must
+// re-route a DC to exactly the member Ring.Successor names, keep the spool
+// across the swap, and deliver every report exactly once.
+func TestRouterFailsOverToRingSuccessor(t *testing.T) {
+	deadAddr := reserveAddr(t) // reserved then closed: dials fail fast
+	liveSinks := map[string]*sinkCounter{}
+	members := []Member{{ID: "shard-1", Addr: deadAddr}}
+	for i := 2; i <= 3; i++ {
+		id := fmt.Sprintf("shard-%d", i)
+		sink := &sinkCounter{}
+		srv := proto.NewServer(sink)
+		srv.SetDedup(proto.NewDedup(0))
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		liveSinks[id] = sink
+		members = append(members, Member{ID: id, Addr: addr})
+	}
+	// Pick a DC the ring assigns to the dead shard-1.
+	var dcid string
+	for i := 1; i < 100; i++ {
+		k := fmt.Sprintf("dc-%04d", i)
+		if r, _ := NewRing(members, []string{k}); r.Assign(k) == "shard-1" {
+			dcid = k
+			break
+		}
+	}
+	if dcid == "" {
+		t.Fatal("no key maps to shard-1")
+	}
+	ring, err := NewRing(members, []string{dcid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	succ, ok := ring.Successor(dcid, map[string]bool{"shard-1": true})
+	if !ok {
+		t.Fatal("no successor")
+	}
+
+	r, err := NewRouter(fastRouterConfig(dcid, ring, t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Target() != "shard-1" {
+		t.Fatalf("initial target %s, want shard-1", r.Target())
+	}
+	boot := r.Boot()
+	for i := 0; i < 4; i++ {
+		if err := r.Deliver(report(dcid, "m", "imbalance", 0.6, base.Add(time.Duration(i)*time.Minute))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Flush(40, 250*time.Millisecond); err != nil {
+		t.Fatalf("flush never drained across failover: %v (target %s)", err, r.Target())
+	}
+	if got := r.Target(); got != succ {
+		t.Fatalf("failed over to %s, ring successor is %s", got, succ)
+	}
+	if r.Boot() != boot {
+		t.Fatalf("boot changed across failover: %d → %d", boot, r.Boot())
+	}
+	stats := r.Stats()
+	if stats.Failovers != 1 {
+		t.Fatalf("failovers %d, want 1", stats.Failovers)
+	}
+	if got := liveSinks[succ].count(); got != 4 {
+		t.Fatalf("successor fused %d reports, want 4", got)
+	}
+	c := r.Counters()
+	if c.Acked+c.DedupAcks != 4 || c.CapacityDrops != 0 {
+		t.Fatalf("counters %+v: want 4 acks, 0 capacity drops", c)
+	}
+	if stats.PerShard[succ] != 4 {
+		t.Fatalf("per-shard routing counters %v: want 4 on %s", stats.PerShard, succ)
+	}
+}
+
+// TestRouterUpdateRing: an operator ring change retargets immediately (no
+// stall needed), keeps the spool, and counts as a ring update rather than
+// a failover.
+func TestRouterUpdateRing(t *testing.T) {
+	sinks := map[string]*sinkCounter{}
+	var members []Member
+	for i := 1; i <= 2; i++ {
+		id := fmt.Sprintf("shard-%d", i)
+		sink := &sinkCounter{}
+		srv := proto.NewServer(sink)
+		srv.SetDedup(proto.NewDedup(0))
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		sinks[id] = sink
+		members = append(members, Member{ID: id, Addr: addr})
+	}
+	dcid := "dc-0001"
+	ring, err := NewRing(members, []string{dcid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := ring.Assign(dcid)
+	r, err := NewRouter(fastRouterConfig(dcid, ring, t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Deliver(report(dcid, "m", "imbalance", 0.6, base)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Flush(10, 250*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	ring2, err := NewRing(members, []string{dcid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, err := ring2.Remove(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moved) != 1 || moved[0] != dcid {
+		t.Fatalf("moved %v, want [%s]", moved, dcid)
+	}
+	if !r.UpdateRing(ring2) {
+		t.Fatal("UpdateRing did not retarget")
+	}
+	second := ring2.Assign(dcid)
+	if second == first || r.Target() != second {
+		t.Fatalf("target %s, want new owner %s (was %s)", r.Target(), second, first)
+	}
+	if err := r.Deliver(report(dcid, "m", "imbalance", 0.7, base.Add(time.Hour))); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Flush(10, 250*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if sinks[first].count() != 1 || sinks[second].count() != 1 {
+		t.Fatalf("per-shard deliveries: %s=%d %s=%d, want 1 and 1",
+			first, sinks[first].count(), second, sinks[second].count())
+	}
+	stats := r.Stats()
+	if stats.RingUpdates != 1 || stats.Failovers != 0 {
+		t.Fatalf("stats %+v: want 1 ring update, 0 failovers", stats)
+	}
+}
+
+// TestAggregatorLatestWinsAnyOrder: delivery order must not matter — any
+// permutation of the same summary set converges to the same held state,
+// with older frames counted stale.
+func TestAggregatorLatestWinsAnyOrder(t *testing.T) {
+	frames := []*proto.FusedSummary{
+		summary("shard-1", "m1", "outer race fault", 0.3, base),
+		summary("shard-1", "m1", "outer race fault", 0.6, base.Add(time.Hour)),
+		summary("shard-2", "m1", "outer race fault", 0.9, base.Add(2*time.Hour)),
+		summary("shard-2", "m2", "imbalance", 0.5, base.Add(time.Hour)),
+	}
+	orders := [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}, {2, 0, 3, 1}}
+	var ref []GlobalItem
+	for _, order := range orders {
+		a, err := NewAggregator(AggregatorConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, idx := range order {
+			if err := a.DeliverSummary(frames[idx], frames[idx].ShardID, 1, uint64(i+1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := a.GlobalRanked()
+		if len(got) != 2 {
+			t.Fatalf("order %v: %d rows, want 2", order, len(got))
+		}
+		if got[0].Belief != 0.9 || got[0].Shard != "shard-2" {
+			t.Fatalf("order %v: head %+v, want shard-2 belief 0.9", order, got[0])
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("order %v row %d: %+v != %+v", order, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestAggregatorDegradesMonotonically: as other shards' evidence advances
+// event time while one shard stays silent, the silent shard's belief falls
+// and its Unknown rises — monotonically, ending in a degraded, covered,
+// never-erroring view.
+func TestAggregatorDegradesMonotonically(t *testing.T) {
+	a, err := NewAggregator(AggregatorConfig{Health: health.Config{
+		LateAfter:        30 * time.Minute,
+		SilentAfter:      time.Hour,
+		FreshFor:         time.Hour,
+		StalenessHorizon: 6 * time.Hour,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.DeliverSummary(summary("shard-1", "m1", "outer race fault", 0.8, base), "shard-1", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	item, ok := a.GlobalBelief("m1", "outer race fault")
+	if !ok || item.Belief != 0.8 || item.Degraded {
+		t.Fatalf("fresh item %+v, want covered, belief 0.8, undegraded", item)
+	}
+	prev := item
+	for h := 1; h <= 8; h++ {
+		at := base.Add(time.Duration(h) * time.Hour)
+		if err := a.DeliverSummary(summary("shard-2", "m2", "imbalance", 0.5, at), "shard-2", 1, uint64(h)); err != nil {
+			t.Fatal(err)
+		}
+		item, ok = a.GlobalBelief("m1", "outer race fault")
+		if !ok {
+			t.Fatalf("hour %d: pair lost coverage", h)
+		}
+		if item.Belief > prev.Belief || item.Unknown < prev.Unknown {
+			t.Fatalf("hour %d: degradation not monotone: %+v after %+v", h, item, prev)
+		}
+		prev = item
+	}
+	if !prev.Degraded || prev.Belief >= 0.8 || prev.Unknown <= 0.2 {
+		t.Fatalf("after 8h silence: %+v, want degraded with belief sunk and unknown risen", prev)
+	}
+	cov := a.Coverage()
+	if !cov.Degraded || cov.ShardsTotal != 2 {
+		t.Fatalf("coverage %+v: want degraded, 2 shards", cov)
+	}
+	// A vacuous answer for an unknown pair is a partial result, not an error.
+	vac, ok := a.GlobalBelief("m9", "imbalance")
+	if ok || vac.Unknown != 1 || vac.Plausibility != 1 {
+		t.Fatalf("unknown pair: %+v ok=%v, want vacuous covered=false", vac, ok)
+	}
+}
+
+// TestAggregatorRejectsRawReports: topology errors fail loudly.
+func TestAggregatorRejectsRawReports(t *testing.T) {
+	a, err := NewAggregator(AggregatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Deliver(report("dc-1", "m", "imbalance", 0.5, base)); err == nil {
+		t.Fatal("aggregator accepted a raw report")
+	}
+	if a.RejectedReports() != 1 {
+		t.Fatalf("rejected count %d, want 1", a.RejectedReports())
+	}
+}
+
+// TestForwarderMirrorsShardState: a shard engine's fused conclusions must
+// arrive at the aggregator bit-identical — same belief, plausibility,
+// unknown, prognostics, and event time — and the single-shard global
+// ranking must equal the shard's own prioritized list.
+func TestForwarderMirrorsShardState(t *testing.T) {
+	model, err := oosm.NewModel(relstore.NewMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := pdme.New(model, testGroups())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine.Close()
+
+	agg, err := NewAggregator(AggregatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, srv, err := agg.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	fwd, err := Forward(engine, ForwarderConfig{
+		ShardID:        "shard-1",
+		AggregatorAddr: addr,
+		BackoffMin:     5 * time.Millisecond,
+		BackoffMax:     25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fwd.Close()
+
+	for i, rep := range []*proto.Report{
+		report("dc-1", "m1", "outer race fault", 0.7, base),
+		report("dc-2", "m1", "outer race fault", 0.5, base.Add(time.Minute)),
+		report("dc-3", "m2", "imbalance", 0.9, base.Add(2*time.Minute)),
+	} {
+		if err := engine.DeliverTagged(rep, rep.DCID, 1, uint64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fwd.Flush(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	fc := fwd.Counters()
+	if fc.Forwarded == 0 || fc.Errors != 0 {
+		t.Fatalf("forwarder counters %+v", fc)
+	}
+
+	local := engine.PrioritizedList()
+	global := agg.GlobalRanked()
+	if len(global) != len(local) {
+		t.Fatalf("global %d rows, local %d", len(global), len(local))
+	}
+	for i, l := range local {
+		g := global[i]
+		cs, _, err := engine.ConditionSnapshot(l.Component, l.Condition)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Component != l.Component || g.Condition != l.Condition {
+			t.Fatalf("row %d: global (%s,%s) != local (%s,%s)", i, g.Component, g.Condition, l.Component, l.Condition)
+		}
+		if g.Belief != cs.Belief || g.Plausibility != cs.Plausibility || g.Unknown != cs.Unknown {
+			t.Fatalf("row %d: global (%g,%g,%g) != shard (%g,%g,%g)",
+				i, g.Belief, g.Plausibility, g.Unknown, cs.Belief, cs.Plausibility, cs.Unknown)
+		}
+		if g.Degraded || g.Reliability != 1 {
+			t.Fatalf("row %d: fresh single shard must be undegraded: %+v", i, g)
+		}
+		if g.HasPrognostic != l.HasPrognostic || g.TimeToHalf != l.TimeToHalf {
+			t.Fatalf("row %d: prognostic mismatch: global %v/%v local %v/%v",
+				i, g.HasPrognostic, g.TimeToHalf, l.HasPrognostic, l.TimeToHalf)
+		}
+		at, ok := engine.ConclusionUpdatedAt(l.Component, l.Condition)
+		if !ok || !g.UpdatedAt.Equal(at) {
+			t.Fatalf("row %d: updated_at %v != conclusion %v (ok=%v)", i, g.UpdatedAt, at, ok)
+		}
+	}
+
+	// Resync after an aggregator wipe: a fresh aggregator catches up from
+	// the shard's current state without any new reports.
+	srv.Close()
+	agg2, err := NewAggregator(AggregatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr2, srv2, err := agg2.Serve(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if addr2 != addr {
+		t.Fatalf("rebind moved: %s != %s", addr2, addr)
+	}
+	if n := fwd.Resync(); n != len(local) {
+		t.Fatalf("resync forwarded %d pairs, want %d", n, len(local))
+	}
+	if err := fwd.Flush(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	global2 := agg2.GlobalRanked()
+	if len(global2) != len(global) {
+		t.Fatalf("resynced aggregator has %d rows, want %d", len(global2), len(global))
+	}
+	for i := range global {
+		if global2[i] != global[i] {
+			t.Fatalf("row %d after resync: %+v != %+v", i, global2[i], global[i])
+		}
+	}
+}

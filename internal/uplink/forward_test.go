@@ -1,0 +1,252 @@
+package uplink
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+)
+
+// forward_test exercises the tentpole claim that the uplink is
+// source-agnostic: the same spool/redial/dedup machinery that carries
+// DC→PDME reports carries PDME→PDME fused summaries, with no DC anywhere
+// in the loop. A "shard PDME" here is just an uplink delivering summaries;
+// the "aggregator PDME" is a proto.Server with a summary sink and a dedup
+// window.
+
+// summaryCollector records delivered summaries with their wire tags.
+type summaryCollector struct {
+	mu        sync.Mutex
+	summaries []*proto.FusedSummary
+	tags      []struct {
+		shard     string
+		boot, seq uint64
+	}
+}
+
+func (c *summaryCollector) DeliverSummary(s *proto.FusedSummary, shardID string, boot, seq uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cp := *s
+	c.summaries = append(c.summaries, &cp)
+	c.tags = append(c.tags, struct {
+		shard     string
+		boot, seq uint64
+	}{shardID, boot, seq})
+	return nil
+}
+
+func (c *summaryCollector) conditions() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.summaries))
+	for i, s := range c.summaries {
+		out[i] = s.Condition
+	}
+	return out
+}
+
+// rejectReports fails any raw report, mimicking an aggregator-only server.
+type rejectReports struct{}
+
+func (rejectReports) Deliver(*proto.Report) error {
+	return proto.ErrRejected
+}
+
+func testSummary(i int) *proto.FusedSummary {
+	return &proto.FusedSummary{
+		ShardID:      "shard-a",
+		Component:    "machine/m1",
+		Condition:    "cond-" + string(rune('a'+i)),
+		Group:        "g",
+		Belief:       0.5,
+		Plausibility: 0.9,
+		Unknown:      0.4,
+		Reports:      i + 1,
+		Reliability:  1,
+		Prognostics: proto.PrognosticVector{
+			{Probability: 0.2, HorizonSeconds: 3600},
+		},
+		UpdatedAt: time.Date(2026, 1, 1, 0, i, 0, 0, time.UTC),
+	}
+}
+
+func startAggServer(t *testing.T, addr string, sink *summaryCollector, dedup *proto.Dedup) *proto.Server {
+	t.Helper()
+	srv := proto.NewServer(rejectReports{})
+	srv.SetDedup(dedup)
+	srv.SetSummarySink(sink)
+	if _, err := srv.Start(addr); err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// TestForwardSummariesPDMEToPDME drives the full forwarding contract:
+// happy-path FIFO delivery, spooling across an aggregator outage with
+// redial, dedup-window continuity across an aggregator restart, and spool
+// replay across a sender restart on the same spool dir — exactly-once
+// end to end, no DC involved.
+func TestForwardSummariesPDMEToPDME(t *testing.T) {
+	addr := reserveAddr(t)
+	sink := &summaryCollector{}
+	dedup := proto.NewDedup(0)
+	srv := startAggServer(t, addr, sink, dedup)
+
+	cfg := fastConfig(addr, t.TempDir())
+	cfg.DCID = "shard-a"
+	u, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boot := u.Boot()
+
+	// Phase 1: happy path.
+	for i := 0; i < 3; i++ {
+		if err := u.DeliverSummary(testSummary(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := u.Flush(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: aggregator outage. Summaries spool; the sender redials until
+	// a new server (sharing the dedup window, as a journal-recovered
+	// aggregator would) comes back on the same address.
+	srv.Close()
+	for i := 3; i < 6; i++ {
+		if err := u.DeliverSummary(testSummary(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv2 := startAggServer(t, addr, sink, dedup)
+	defer srv2.Close()
+	if err := u.Flush(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 3: sender restart. Spool two more, close immediately (the
+	// sender may or may not have drained them), and let the recovered spool
+	// redeliver on a fresh uplink; the dedup window absorbs any overlap.
+	for i := 6; i < 8; i++ {
+		if err := u.DeliverSummary(testSummary(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := u.Close(); err != nil {
+		t.Fatal(err)
+	}
+	u2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u2.Close()
+	if got := u2.Boot(); got != boot {
+		t.Fatalf("boot changed across restart on persistent spool: %d != %d", got, boot)
+	}
+	if err := u2.Flush(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Exactly-once: each condition fused once, in FIFO order.
+	want := make([]string, 8)
+	for i := range want {
+		want[i] = testSummary(i).Condition
+	}
+	got := sink.conditions()
+	if len(got) != len(want) {
+		t.Fatalf("got %d summaries %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("summary order: got %v, want %v", got, want)
+		}
+	}
+
+	// Wire tags: sender identity is the shard id; boot is stable; sequences
+	// strictly increase (FIFO under one dedup window).
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	var lastSeq uint64
+	for i, tag := range sink.tags {
+		if tag.shard != "shard-a" {
+			t.Fatalf("tag %d: shard %q, want shard-a", i, tag.shard)
+		}
+		if tag.boot != boot {
+			t.Fatalf("tag %d: boot %d, want %d", i, tag.boot, boot)
+		}
+		if tag.seq <= lastSeq {
+			t.Fatalf("tag %d: seq %d not increasing past %d", i, tag.seq, lastSeq)
+		}
+		lastSeq = tag.seq
+	}
+}
+
+// TestForwardSummariesMixWithReports proves summaries and reports share one
+// FIFO: interleaved Deliver/DeliverSummary drain in spool order through the
+// same connection.
+func TestForwardSummariesMixWithReports(t *testing.T) {
+	reports := &collector{}
+	sums := &summaryCollector{}
+	srv := proto.NewServer(reports)
+	srv.SetDedup(proto.NewDedup(0))
+	srv.SetSummarySink(sums)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	u, err := New(fastConfig(addr, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	for i := 0; i < 4; i++ {
+		if err := u.Deliver(testReport(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := u.DeliverSummary(testSummary(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := u.Flush(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(reports.explanations()); got != 4 {
+		t.Fatalf("reports delivered %d, want 4", got)
+	}
+	if got := len(sums.conditions()); got != 4 {
+		t.Fatalf("summaries delivered %d, want 4", got)
+	}
+	c := u.Counters()
+	if c.Acked+c.DedupAcks != 8 || c.Dropped != 0 {
+		t.Fatalf("counters %+v: want 8 acked total, 0 dropped", c)
+	}
+}
+
+// TestSummaryRejectedWithoutSink: a shard uplink aimed at a plain PDME (no
+// summary sink) must fail loudly — the frame is rejected and counted as a
+// drop, never silently ignored.
+func TestSummaryRejectedWithoutSink(t *testing.T) {
+	sink := &collector{}
+	addr, srv := startServer(t, "127.0.0.1:0", sink, proto.NewDedup(0))
+	defer srv.Close()
+	u, err := New(fastConfig(addr, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	if err := u.DeliverSummary(testSummary(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Flush(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c := u.Counters()
+	if c.Dropped != 1 || c.Acked != 0 {
+		t.Fatalf("counters %+v: want the summary rejected (Dropped=1)", c)
+	}
+}

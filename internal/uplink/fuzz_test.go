@@ -41,7 +41,7 @@ func FuzzSpoolRecover(f *testing.F) {
 				f.Fatalf("seed add: %v", err)
 			}
 		}
-		if err := s.resolve("dc-fuzz", 2); err != nil {
+		if err := s.resolve(2); err != nil {
 			f.Fatalf("seed resolve: %v", err)
 		}
 	})

@@ -25,6 +25,9 @@ import (
 //	recDrop    — the report was dropped by the capacity policy (still final)
 //	recSeqMark — sequence watermark written on compaction so monotonic ids
 //	             survive a rewrite that leaves no report records behind
+//	recSummary — body is a JSON fused summary (PDME→PDME forwarding); it
+//	             shares the report sequence space, so one spool carries both
+//	             kinds in FIFO order under one dedup window
 //
 // Every record is appended in a single write, so recovery follows the
 // historian segment idiom exactly: an incomplete final record is a torn
@@ -46,20 +49,40 @@ const (
 	recAck     = byte(2)
 	recDrop    = byte(3)
 	recSeqMark = byte(4)
+	recSummary = byte(5)
 
 	// compactEvery bounds resolved (acked/dropped) records retained in the
 	// file before it is rewritten with only pending reports.
 	compactEvery = 512
 )
 
-// pendingRec is one spooled report awaiting ack.
+// pendingRec is one spooled frame awaiting ack: a report or, on the
+// PDME→PDME forwarding path, a fused summary (exactly one of the two is
+// set).
 type pendingRec struct {
-	seq    uint64
-	report *proto.Report
-	// attempts counts sends tried so far; recovered marks a report replayed
+	seq     uint64
+	report  *proto.Report
+	summary *proto.FusedSummary
+	// attempts counts sends tried so far; recovered marks a frame replayed
 	// from disk after a process restart. Both feed the Replayed counter.
 	attempts  int
 	recovered bool
+}
+
+// recType returns the spool record type for the frame this rec carries.
+func (rec *pendingRec) recType() byte {
+	if rec.summary != nil {
+		return recSummary
+	}
+	return recReport
+}
+
+// marshalBody encodes the frame this rec carries for spooling.
+func (rec *pendingRec) marshalBody() ([]byte, error) {
+	if rec.summary != nil {
+		return json.Marshal(rec.summary)
+	}
+	return json.Marshal(rec.report)
 }
 
 // spool is the uplink's store-and-forward queue: every outbound report is
@@ -70,6 +93,7 @@ type pendingRec struct {
 type spool struct {
 	path string   // "" for in-memory
 	f    *os.File // nil for in-memory
+	dcid string   // sender identity the file header is bound to
 	cap  int
 	boot uint64 // sequence-counter incarnation announced on the wire
 
@@ -115,7 +139,7 @@ func openSpool(dir, dcid string, capacity int) (*spool, error) {
 	if capacity <= 0 {
 		capacity = DefaultSpoolCap
 	}
-	s := &spool{cap: capacity, nextSeq: 1}
+	s := &spool{dcid: dcid, cap: capacity, nextSeq: 1}
 	if dir == "" {
 		boot, err := newBootID()
 		if err != nil {
@@ -200,7 +224,7 @@ func (s *spool) recover(dcid string) error {
 	}
 	off += idLen
 
-	reports := make(map[uint64]*proto.Report)
+	frames := make(map[uint64]*pendingRec)
 	var order []uint64
 	resolved := make(map[uint64]bool)
 	var maxSeq uint64
@@ -246,8 +270,17 @@ func (s *spool) recover(dcid string) error {
 			if err := json.Unmarshal(data[off+17:off+17+bodyLen], &r); err != nil {
 				return fmt.Errorf("uplink: %s: undecodable report at offset %d: %w", s.path, off, err)
 			}
-			if _, dup := reports[seq]; !dup {
-				reports[seq] = &r
+			if _, dup := frames[seq]; !dup {
+				frames[seq] = &pendingRec{seq: seq, report: &r, recovered: true}
+				order = append(order, seq)
+			}
+		case recSummary:
+			var sum proto.FusedSummary
+			if err := json.Unmarshal(data[off+17:off+17+bodyLen], &sum); err != nil {
+				return fmt.Errorf("uplink: %s: undecodable summary at offset %d: %w", s.path, off, err)
+			}
+			if _, dup := frames[seq]; !dup {
+				frames[seq] = &pendingRec{seq: seq, summary: &sum, recovered: true}
 				order = append(order, seq)
 			}
 		case recAck, recDrop:
@@ -269,7 +302,7 @@ func (s *spool) recover(dcid string) error {
 			s.resolved++
 			continue
 		}
-		s.pending = append(s.pending, &pendingRec{seq: seq, report: reports[seq], recovered: true})
+		s.pending = append(s.pending, frames[seq])
 	}
 	s.nextSeq = maxSeq + 1
 	return nil
@@ -311,19 +344,29 @@ func (s *spool) appendRecord(typ byte, seq uint64, body []byte) error {
 
 // add assigns the next sequence to the report and appends it (write-ahead:
 // the spool entry exists before the first send attempt). When the pending
-// queue exceeds capacity the oldest reports are dropped; their sequences
+// queue exceeds capacity the oldest frames are dropped; their sequences
 // are returned so the caller can count them.
 func (s *spool) add(r *proto.Report) (seq uint64, droppedSeqs []uint64, err error) {
-	seq = s.nextSeq
+	return s.enqueue(&pendingRec{report: r})
+}
+
+// addSummary spools one PDME→PDME fused summary; it shares the report
+// sequence space and capacity policy, so a single FIFO drains both kinds.
+func (s *spool) addSummary(sum *proto.FusedSummary) (seq uint64, droppedSeqs []uint64, err error) {
+	return s.enqueue(&pendingRec{summary: sum})
+}
+
+func (s *spool) enqueue(rec *pendingRec) (seq uint64, droppedSeqs []uint64, err error) {
+	rec.seq = s.nextSeq
 	s.nextSeq++
-	body, err := json.Marshal(r)
+	body, err := rec.marshalBody()
 	if err != nil {
-		return 0, nil, fmt.Errorf("uplink: encode report: %w", err)
+		return 0, nil, fmt.Errorf("uplink: encode spool frame: %w", err)
 	}
-	if err := s.appendRecord(recReport, seq, body); err != nil {
+	if err := s.appendRecord(rec.recType(), rec.seq, body); err != nil {
 		return 0, nil, err
 	}
-	s.pending = append(s.pending, &pendingRec{seq: seq, report: r})
+	s.pending = append(s.pending, rec)
 	for len(s.pending) > s.cap {
 		oldest := s.pending[0]
 		s.pending = s.pending[1:]
@@ -333,10 +376,10 @@ func (s *spool) add(r *proto.Report) (seq uint64, droppedSeqs []uint64, err erro
 		}
 		s.resolved++
 	}
-	if err := s.maybeCompact(r.DCID); err != nil {
+	if err := s.maybeCompact(); err != nil {
 		return 0, nil, err
 	}
-	return seq, droppedSeqs, nil
+	return rec.seq, droppedSeqs, nil
 }
 
 // peek returns the oldest pending report without removing it.
@@ -348,7 +391,7 @@ func (s *spool) peek() (*pendingRec, bool) {
 }
 
 // resolve retires an acked (or permanently rejected) sequence.
-func (s *spool) resolve(dcid string, seq uint64) error {
+func (s *spool) resolve(seq uint64) error {
 	for i, rec := range s.pending {
 		if rec.seq == seq {
 			s.pending = append(s.pending[:i], s.pending[i+1:]...)
@@ -359,14 +402,14 @@ func (s *spool) resolve(dcid string, seq uint64) error {
 		return err
 	}
 	s.resolved++
-	return s.maybeCompact(dcid)
+	return s.maybeCompact()
 }
 
-func (s *spool) maybeCompact(dcid string) error {
+func (s *spool) maybeCompact() error {
 	if s.f == nil || s.resolved < compactEvery {
 		return nil
 	}
-	return s.compact(dcid)
+	return s.compact(s.dcid)
 }
 
 // compact rewrites the file with only pending reports plus a sequence
@@ -394,8 +437,8 @@ func (s *spool) compact(dcid string) error {
 			break
 		}
 		var body []byte
-		if body, err = json.Marshal(rec.report); err == nil {
-			err = s.appendRecord(recReport, rec.seq, body)
+		if body, err = rec.marshalBody(); err == nil {
+			err = s.appendRecord(rec.recType(), rec.seq, body)
 		}
 	}
 	if err == nil {

@@ -38,7 +38,7 @@ func TestSpoolRecoversPendingAcrossReopen(t *testing.T) {
 			t.Fatalf("seq %d, want %d", seq, i)
 		}
 	}
-	if err := s.resolve("dc-1", 1); err != nil {
+	if err := s.resolve(1); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.close(); err != nil {
@@ -85,7 +85,7 @@ func TestSpoolSequenceSurvivesFullDrain(t *testing.T) {
 		}
 	}
 	for seq := uint64(1); seq <= 3; seq++ {
-		if err := s.resolve("dc-1", seq); err != nil {
+		if err := s.resolve(seq); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -236,7 +236,7 @@ func TestSpoolCompactionShrinksFile(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := s.resolve("dc-1", seq); err != nil {
+		if err := s.resolve(seq); err != nil {
 			t.Fatal(err)
 		}
 	}

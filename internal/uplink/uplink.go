@@ -110,6 +110,10 @@ type Counters struct {
 	// DedupAcks counts acks the server flagged as duplicate suppression —
 	// redelivery the PDME had already fused exactly once.
 	DedupAcks int64
+	// DialFailures counts connection attempts that never produced a live
+	// socket. Shard routers watch it (together with Retried) as the
+	// no-progress signal that triggers ring failover.
+	DialFailures int64
 	// HeartbeatsSent counts acked heartbeat frames.
 	HeartbeatsSent int64
 	// HeartbeatsDropped counts heartbeats abandoned because no connection
@@ -210,9 +214,43 @@ func (u *Uplink) Deliver(r *proto.Report) error {
 	return nil
 }
 
+// DeliverSummary spools one PDME→PDME fused summary for asynchronous
+// delivery. Summaries share the report FIFO, sequence space, capacity
+// policy, and server-side dedup window, so a shard uplink pointed at an
+// aggregator inherits the whole store-and-forward contract unchanged.
+//
+//mpros:ingest summary intake from the shard forwarder; must never block on the sender goroutine
+func (u *Uplink) DeliverSummary(s *proto.FusedSummary) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return errors.New("uplink: closed")
+	}
+	_, droppedSeqs, err := u.spool.addSummary(s)
+	if err == nil {
+		u.counters.Spooled++
+		u.counters.Dropped += int64(len(droppedSeqs))
+		u.counters.CapacityDrops += int64(len(droppedSeqs))
+	}
+	u.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	u.signal()
+	return nil
+}
+
 // Incarnation returns the sender-process instance id announced in
 // heartbeats (fresh on every New, even with a persistent spool).
 func (u *Uplink) Incarnation() uint64 { return u.incarnation }
+
+// Boot returns the spool's boot incarnation — the epoch half of the wire's
+// (boot, seq) delivery tag. It persists with a durable spool, so replays
+// after a process restart stay inside the same dedup window.
+func (u *Uplink) Boot() uint64 { return u.spool.boot }
 
 // SendHeartbeat queues a fleet-health heartbeat for delivery. The uplink
 // fills in its own identity (DCID, spool boot id, process incarnation) and
@@ -381,6 +419,7 @@ func (u *Uplink) run() {
 				// delivery as a replay.
 				u.mu.Lock()
 				rec.attempts++
+				u.counters.DialFailures++
 				u.mu.Unlock()
 				if !u.sleepBackoff(&backoff) {
 					return
@@ -444,13 +483,16 @@ func (u *Uplink) ensureConnected() bool {
 	return true
 }
 
-// sendOne performs one tagged exchange for the head-of-line report.
+// sendOne performs one tagged exchange for the head-of-line frame.
 func (u *Uplink) sendOne(rec *pendingRec) (dup bool, err error) {
 	u.mu.Lock()
 	client := u.client
 	u.mu.Unlock()
 	if client == nil {
 		return false, errors.New("uplink: not connected")
+	}
+	if rec.summary != nil {
+		return client.SendSummary(rec.summary, u.cfg.DCID, u.spool.boot, rec.seq)
 	}
 	return client.SendTagged(rec.report, u.spool.boot, rec.seq)
 }
@@ -459,7 +501,7 @@ func (u *Uplink) sendOne(rec *pendingRec) (dup bool, err error) {
 func (u *Uplink) retire(rec *pendingRec, dup, rejected bool) {
 	u.mu.Lock()
 	defer u.mu.Unlock()
-	_ = u.spool.resolve(u.cfg.DCID, rec.seq)
+	_ = u.spool.resolve(rec.seq)
 	if rejected {
 		u.counters.Dropped++
 		return
